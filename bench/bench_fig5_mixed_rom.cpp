@@ -1,0 +1,7 @@
+// Experiment F5 - Fig 5: Mixed-ROM DCT (4x4 even/odd matrices, 16-word
+// ROMs, input butterflies).
+#include "dct_bench_common.hpp"
+
+int main(int argc, char** argv) {
+  return dsra::bench::run_dct_fig_bench(argc, argv, dsra::dct::make_mixed_rom());
+}

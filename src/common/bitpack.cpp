@@ -1,0 +1,55 @@
+#include "common/bitpack.hpp"
+
+#include <array>
+
+namespace dsra {
+
+void BitWriter::write(std::uint64_t value, int bits) {
+  for (int i = 0; i < bits; ++i) {
+    const std::size_t byte = bit_size_ >> 3;
+    const int off = static_cast<int>(bit_size_ & 7);
+    if (byte >= bytes_.size()) bytes_.push_back(0);
+    if ((value >> i) & 1ull) bytes_[byte] |= static_cast<std::uint8_t>(1u << off);
+    ++bit_size_;
+  }
+}
+
+void BitWriter::align_to_byte() {
+  while (bit_size_ % 8 != 0) write(0, 1);
+}
+
+std::uint64_t BitReader::read(int bits) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < bits; ++i) {
+    const std::size_t byte = bit_pos_ >> 3;
+    const int off = static_cast<int>(bit_pos_ & 7);
+    if (byte >= bytes_->size()) {
+      ok_ = false;
+      return 0;
+    }
+    if (((*bytes_)[byte] >> off) & 1u) v |= 1ull << i;
+    ++bit_pos_;
+  }
+  return v;
+}
+
+void BitReader::align_to_byte() {
+  while (bit_pos_ % 8 != 0 && ok_) (void)read(1);
+}
+
+std::uint32_t crc32(const std::vector<std::uint8_t>& bytes) {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t n = 0; n < 256; ++n) {
+      std::uint32_t c = n;
+      for (int k = 0; k < 8; ++k) c = (c & 1u) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+      t[n] = c;
+    }
+    return t;
+  }();
+  std::uint32_t c = 0xffffffffu;
+  for (std::uint8_t b : bytes) c = table[(c ^ b) & 0xffu] ^ (c >> 8);
+  return c ^ 0xffffffffu;
+}
+
+}  // namespace dsra

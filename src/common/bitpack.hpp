@@ -1,0 +1,62 @@
+// Bit-level serialisation for configuration bitstreams.
+//
+// BitWriter/BitReader pack fields LSB-first into a byte vector; Crc32
+// protects serialised streams (the reconfiguration manager refuses to load
+// a corrupted bitstream).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dsra {
+
+/// Appends bit fields LSB-first to a growing byte buffer.
+class BitWriter {
+ public:
+  /// Append the low @p bits bits of @p value (bits in [0, 64]).
+  void write(std::uint64_t value, int bits);
+
+  /// Append a full 32-bit word.
+  void write_u32(std::uint32_t v) { write(v, 32); }
+
+  /// Pad with zero bits to the next byte boundary.
+  void align_to_byte();
+
+  [[nodiscard]] std::size_t bit_size() const { return bit_size_; }
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const { return bytes_; }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+  std::size_t bit_size_ = 0;
+};
+
+/// Reads bit fields LSB-first from a byte buffer.
+class BitReader {
+ public:
+  explicit BitReader(const std::vector<std::uint8_t>& bytes) : bytes_(&bytes) {}
+
+  /// Read @p bits bits (bits in [0, 64]). Reading past the end is an error
+  /// reported through ok().
+  [[nodiscard]] std::uint64_t read(int bits);
+
+  [[nodiscard]] std::uint32_t read_u32() { return static_cast<std::uint32_t>(read(32)); }
+
+  /// Skip to the next byte boundary.
+  void align_to_byte();
+
+  /// False once any read ran past the end of the buffer.
+  [[nodiscard]] bool ok() const { return ok_; }
+
+  [[nodiscard]] std::size_t bit_pos() const { return bit_pos_; }
+
+ private:
+  const std::vector<std::uint8_t>* bytes_;
+  std::size_t bit_pos_ = 0;
+  bool ok_ = true;
+};
+
+/// CRC-32 (IEEE 802.3, reflected) of a byte buffer.
+[[nodiscard]] std::uint32_t crc32(const std::vector<std::uint8_t>& bytes);
+
+}  // namespace dsra

@@ -1,0 +1,46 @@
+// Fixed-point (Q-format) helpers used by the Distributed-Arithmetic DCT
+// implementations: coefficient quantisation and scaling utilities.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/ints.hpp"
+
+namespace dsra {
+
+/// Quantise @p value to a signed fixed-point integer with @p frac_bits
+/// fractional bits (round to nearest, ties away from zero).
+[[nodiscard]] inline std::int64_t to_fixed(double value, int frac_bits) {
+  return static_cast<std::int64_t>(std::llround(value * static_cast<double>(1ll << frac_bits)));
+}
+
+/// Convert a fixed-point integer with @p frac_bits fractional bits to double.
+[[nodiscard]] inline double from_fixed(std::int64_t v, int frac_bits) {
+  return static_cast<double>(v) / static_cast<double>(1ll << frac_bits);
+}
+
+/// Quantise a coefficient vector to Q(frac_bits).
+[[nodiscard]] inline std::vector<std::int64_t> quantize_coeffs(const std::vector<double>& c,
+                                                               int frac_bits) {
+  std::vector<std::int64_t> out;
+  out.reserve(c.size());
+  for (double v : c) out.push_back(to_fixed(v, frac_bits));
+  return out;
+}
+
+/// Scale a fixed-point accumulator back to integer domain with rounding:
+/// (v + half) >> frac_bits, with correct behaviour for negative v.
+[[nodiscard]] inline std::int64_t round_shift(std::int64_t v, int frac_bits) {
+  if (frac_bits == 0) return v;
+  const std::int64_t half = 1ll << (frac_bits - 1);
+  return (v + half) >> frac_bits;
+}
+
+/// Maximum absolute quantisation error of a Q(frac_bits) coefficient.
+[[nodiscard]] inline double coeff_quant_error(int frac_bits) {
+  return 0.5 / static_cast<double>(1ll << frac_bits);
+}
+
+}  // namespace dsra

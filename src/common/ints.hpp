@@ -1,0 +1,78 @@
+// Small integer helpers shared across the library: width-limited two's
+// complement arithmetic as performed by cascaded 4-bit array elements.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+
+namespace dsra {
+
+/// Number of bits provided by a single reconfigurable array element.
+/// Clusters cascade elements to form wider datapaths (paper, section 2).
+inline constexpr int kElementBits = 4;
+
+/// Widest datapath a single cluster supports (8 cascaded elements).
+inline constexpr int kMaxClusterBits = 32;
+
+/// True if @p width is legal for a cluster datapath: a positive multiple
+/// of the element width, no wider than the cascade limit.
+[[nodiscard]] constexpr bool is_legal_width(int width) noexcept {
+  return width > 0 && width <= kMaxClusterBits && width % kElementBits == 0;
+}
+
+/// Number of 4-bit elements needed for a @p width-bit datapath.
+[[nodiscard]] constexpr int elements_for_width(int width) noexcept {
+  return (width + kElementBits - 1) / kElementBits;
+}
+
+/// Round @p bits up to a legal cluster width (element granularity).
+[[nodiscard]] constexpr int round_up_to_element(int bits) noexcept {
+  return elements_for_width(bits) * kElementBits;
+}
+
+/// Mask with the low @p bits bits set (bits in [0, 64]).
+[[nodiscard]] constexpr std::uint64_t low_mask(int bits) noexcept {
+  return bits >= 64 ? ~0ull : ((1ull << bits) - 1ull);
+}
+
+/// Sign-extend the low @p bits bits of @p v.
+[[nodiscard]] constexpr std::int64_t sign_extend(std::uint64_t v, int bits) noexcept {
+  const std::uint64_t m = 1ull << (bits - 1);
+  const std::uint64_t x = v & low_mask(bits);
+  return static_cast<std::int64_t>((x ^ m) - m);
+}
+
+/// Wrap @p v to @p bits-bit two's complement, as hardware truncation does.
+[[nodiscard]] constexpr std::int64_t wrap_to_width(std::int64_t v, int bits) noexcept {
+  return sign_extend(static_cast<std::uint64_t>(v), bits);
+}
+
+/// True if @p v is representable in @p bits-bit two's complement.
+[[nodiscard]] constexpr bool fits_signed(std::int64_t v, int bits) noexcept {
+  return wrap_to_width(v, bits) == v;
+}
+
+/// Saturate @p v to @p bits-bit two's complement range.
+[[nodiscard]] constexpr std::int64_t saturate_to_width(std::int64_t v, int bits) noexcept {
+  const std::int64_t hi = static_cast<std::int64_t>(low_mask(bits - 1));
+  const std::int64_t lo = -hi - 1;
+  return v > hi ? hi : (v < lo ? lo : v);
+}
+
+/// Ceiling division for non-negative integers.
+[[nodiscard]] constexpr std::int64_t ceil_div(std::int64_t a, std::int64_t b) noexcept {
+  return (a + b - 1) / b;
+}
+
+/// Smallest power-of-two exponent e with 2^e >= n (n >= 1).
+[[nodiscard]] constexpr int ceil_log2(std::uint64_t n) noexcept {
+  int e = 0;
+  std::uint64_t p = 1;
+  while (p < n) {
+    p <<= 1;
+    ++e;
+  }
+  return e;
+}
+
+}  // namespace dsra

@@ -1,0 +1,84 @@
+#include "common/report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace dsra {
+
+void ReportTable::set_header(std::vector<std::string> header) { header_ = std::move(header); }
+
+void ReportTable::add_row(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+void ReportTable::add_separator() { separators_.push_back(rows_.size()); }
+
+std::string ReportTable::to_string() const {
+  // Compute column widths over header and all rows.
+  std::size_t ncols = header_.size();
+  for (const auto& r : rows_) ncols = std::max(ncols, r.size());
+  std::vector<std::size_t> width(ncols, 0);
+  auto widen = [&](const std::vector<std::string>& r) {
+    for (std::size_t i = 0; i < r.size(); ++i) width[i] = std::max(width[i], r[i].size());
+  };
+  if (!header_.empty()) widen(header_);
+  for (const auto& r : rows_) widen(r);
+
+  std::ostringstream os;
+  auto rule = [&] {
+    os << '+';
+    for (std::size_t i = 0; i < ncols; ++i) os << std::string(width[i] + 2, '-') << '+';
+    os << '\n';
+  };
+  auto emit = [&](const std::vector<std::string>& r) {
+    os << '|';
+    for (std::size_t i = 0; i < ncols; ++i) {
+      const std::string& cell = i < r.size() ? r[i] : std::string{};
+      os << ' ' << cell << std::string(width[i] - cell.size() + 1, ' ') << '|';
+    }
+    os << '\n';
+  };
+
+  if (!title_.empty()) os << "== " << title_ << " ==\n";
+  rule();
+  if (!header_.empty()) {
+    emit(header_);
+    rule();
+  }
+  for (std::size_t i = 0; i < rows_.size(); ++i) {
+    if (std::find(separators_.begin(), separators_.end(), i) != separators_.end()) rule();
+    emit(rows_[i]);
+  }
+  rule();
+  return os.str();
+}
+
+void ReportTable::print() const { std::fputs(to_string().c_str(), stdout); }
+
+std::string format_double(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, v);
+  return buf;
+}
+
+std::string format_percent(double fraction, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f%%", decimals, fraction * 100.0);
+  return buf;
+}
+
+std::string format_i64(std::int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+  return buf;
+}
+
+std::string paper_vs_measured(const std::string& metric, double paper, double measured,
+                              const std::string& unit) {
+  std::ostringstream os;
+  os << metric << ": paper " << format_double(paper, 1) << unit << ", measured "
+     << format_double(measured, 1) << unit << " (delta " << format_double(measured - paper, 1)
+     << unit << ")";
+  return os.str();
+}
+
+}  // namespace dsra

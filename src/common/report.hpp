@@ -1,0 +1,51 @@
+// ASCII report tables for benchmarks.
+//
+// Every bench binary regenerates a paper table or figure as rows of a
+// ReportTable, so "paper vs measured" output has a single consistent look.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dsra {
+
+/// A simple column-aligned ASCII table.
+class ReportTable {
+ public:
+  explicit ReportTable(std::string title) : title_(std::move(title)) {}
+
+  /// Set the header row (also fixes the column count).
+  void set_header(std::vector<std::string> header);
+
+  /// Append a data row; must match the header width if one was set.
+  void add_row(std::vector<std::string> row);
+
+  /// Append a horizontal separator before the next row.
+  void add_separator();
+
+  /// Render to a string with aligned columns.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Render and write to stdout.
+  void print() const;
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<std::size_t> separators_;  // row indices before which to draw a rule
+};
+
+/// Format helpers used throughout bench output.
+[[nodiscard]] std::string format_double(double v, int decimals = 2);
+[[nodiscard]] std::string format_percent(double fraction, int decimals = 1);
+[[nodiscard]] std::string format_i64(std::int64_t v);
+
+/// "paper X, measured Y (delta)" one-liner used in EXPERIMENTS.md extracts.
+[[nodiscard]] std::string paper_vs_measured(const std::string& metric, double paper,
+                                            double measured, const std::string& unit);
+
+}  // namespace dsra

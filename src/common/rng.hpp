@@ -1,0 +1,43 @@
+// Deterministic pseudo-random number generation (xoshiro256**).
+//
+// All stochastic parts of the library (placement annealing, synthetic video,
+// randomised tests) draw from this generator so that every run of every
+// experiment is bit-reproducible from its seed.
+#pragma once
+
+#include <cstdint>
+
+namespace dsra {
+
+/// xoshiro256** 1.0 by Blackman & Vigna, seeded via splitmix64.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) { reseed(seed); }
+
+  void reseed(std::uint64_t seed);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform integer in [0, n) for n >= 1 (unbiased via rejection).
+  std::uint64_t next_below(std::uint64_t n);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t next_range(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Standard normal variate (Box-Muller, one value per call).
+  double next_gaussian();
+
+  /// Bernoulli trial with probability @p p.
+  bool next_bool(double p = 0.5) { return next_double() < p; }
+
+ private:
+  std::uint64_t s_[4]{};
+  bool have_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace dsra

@@ -1,0 +1,91 @@
+#include "core/arch.hpp"
+
+#include <stdexcept>
+
+namespace dsra {
+
+ArrayArch::ArrayArch(std::string name, int width, int height, ChannelSpec channels)
+    : name_(std::move(name)), width_(width), height_(height), channels_(channels) {
+  if (width <= 0 || height <= 0) throw std::invalid_argument("array dimensions must be positive");
+  tiles_.assign(static_cast<std::size_t>(width * height), ClusterKind::kAddShift);
+}
+
+ArrayArch ArrayArch::motion_estimation(int pe_cols, int pe_rows, ChannelSpec channels) {
+  // One PE needs two MuxReg sites (current- and search-pixel distribution
+  // registers, Fig 10), an AbsDiff and an AddAcc site; a Comp column on
+  // the right edge serves motion-vector selection (one Comp per row).
+  const int width = 4 * pe_cols + 1;
+  const int height = pe_rows;
+  ArrayArch arch("me_array_" + std::to_string(pe_cols) + "x" + std::to_string(pe_rows), width,
+                 height, channels);
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      ClusterKind kind = ClusterKind::kComp;
+      if (x < width - 1) {
+        switch (x % 4) {
+          case 0:
+          case 1: kind = ClusterKind::kMuxReg; break;
+          case 2: kind = ClusterKind::kAbsDiff; break;
+          default: kind = ClusterKind::kAddAcc; break;
+        }
+      }
+      arch.set_kind({x, y}, kind);
+    }
+  }
+  return arch;
+}
+
+ArrayArch ArrayArch::distributed_arithmetic(int width, int height, int mem_column_period,
+                                            ChannelSpec channels) {
+  if (mem_column_period < 2) throw std::invalid_argument("mem_column_period must be >= 2");
+  ArrayArch arch("da_array_" + std::to_string(width) + "x" + std::to_string(height), width,
+                 height, channels);
+  for (int y = 0; y < height; ++y)
+    for (int x = 0; x < width; ++x)
+      arch.set_kind({x, y}, (x % mem_column_period == mem_column_period / 2)
+                                ? ClusterKind::kMem
+                                : ClusterKind::kAddShift);
+  return arch;
+}
+
+ArrayArch ArrayArch::homogeneous(ClusterKind kind, int width, int height, ChannelSpec channels) {
+  ArrayArch arch(std::string("homogeneous_") + to_string(kind), width, height, channels);
+  for (int y = 0; y < height; ++y)
+    for (int x = 0; x < width; ++x) arch.set_kind({x, y}, kind);
+  return arch;
+}
+
+ClusterKind ArrayArch::kind_at(TileCoord c) const {
+  return tiles_.at(static_cast<std::size_t>(tile_index(c)));
+}
+
+void ArrayArch::set_kind(TileCoord c, ClusterKind kind) {
+  tiles_.at(static_cast<std::size_t>(tile_index(c))) = kind;
+}
+
+std::vector<TileCoord> ArrayArch::sites_of(ClusterKind kind) const {
+  std::vector<TileCoord> out;
+  for (int i = 0; i < tile_count(); ++i)
+    if (tiles_[static_cast<std::size_t>(i)] == kind) out.push_back(coord_of(i));
+  return out;
+}
+
+int ArrayArch::count_of(ClusterKind kind) const {
+  int n = 0;
+  for (const auto k : tiles_)
+    if (k == kind) ++n;
+  return n;
+}
+
+std::vector<std::pair<ClusterKind, int>> ArrayArch::composition() const {
+  std::vector<std::pair<ClusterKind, int>> out;
+  for (const ClusterKind k :
+       {ClusterKind::kMuxReg, ClusterKind::kAbsDiff, ClusterKind::kAddAcc, ClusterKind::kComp,
+        ClusterKind::kAddShift, ClusterKind::kMem}) {
+    const int n = count_of(k);
+    if (n > 0) out.emplace_back(k, n);
+  }
+  return out;
+}
+
+}  // namespace dsra

@@ -1,0 +1,87 @@
+// Array architecture description.
+//
+// An ArrayArch is the static structure of one domain-specific reconfigurable
+// array: a W x H grid of tiles, each providing one cluster site of a fixed
+// kind, plus the mesh interconnect parameters (number of 8-bit bus tracks
+// and 1-bit control tracks per channel, paper section 2).
+//
+// Builders reproduce the two fabrics of the paper:
+//   motion_estimation()       Fig 2 - MuxReg/AbsDiff/AddAcc columns with a
+//                             Comp column at the right edge.
+//   distributed_arithmetic()  Fig 3 - AddShift columns with interspersed
+//                             Mem columns.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/cluster.hpp"
+
+namespace dsra {
+
+/// Per-channel interconnect capacity (between adjacent tiles).
+struct ChannelSpec {
+  int bus_tracks = 4;  ///< number of 8-bit tracks
+  int bit_tracks = 8;  ///< number of 1-bit tracks
+};
+
+/// Tile coordinate; (0,0) is the south-west corner.
+struct TileCoord {
+  int x = 0;
+  int y = 0;
+  bool operator==(const TileCoord&) const = default;
+};
+
+class ArrayArch {
+ public:
+  ArrayArch(std::string name, int width, int height, ChannelSpec channels);
+
+  /// Fig 2 fabric: columns cycle [MuxReg, AbsDiff, AddAcc], the last column
+  /// provides Min/Max comparators. Sized so @p pe_cols x @p pe_rows
+  /// processing elements (1 AbsDiff + 1 AddAcc + 1 MuxReg each) fit.
+  static ArrayArch motion_estimation(int pe_cols, int pe_rows,
+                                     ChannelSpec channels = {4, 8});
+
+  /// Fig 3 fabric: AddShift clusters with a Mem column every
+  /// @p mem_column_period columns.
+  static ArrayArch distributed_arithmetic(int width, int height,
+                                          int mem_column_period = 4,
+                                          ChannelSpec channels = {4, 8});
+
+  /// Uniform fabric of one kind (used by tests and the FPGA baseline).
+  static ArrayArch homogeneous(ClusterKind kind, int width, int height,
+                               ChannelSpec channels = {4, 8});
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] int width() const { return width_; }
+  [[nodiscard]] int height() const { return height_; }
+  [[nodiscard]] const ChannelSpec& channels() const { return channels_; }
+  [[nodiscard]] int tile_count() const { return width_ * height_; }
+
+  [[nodiscard]] ClusterKind kind_at(TileCoord c) const;
+  void set_kind(TileCoord c, ClusterKind kind);
+
+  [[nodiscard]] int tile_index(TileCoord c) const { return c.y * width_ + c.x; }
+  [[nodiscard]] TileCoord coord_of(int index) const {
+    return {index % width_, index / width_};
+  }
+
+  /// All sites providing @p kind.
+  [[nodiscard]] std::vector<TileCoord> sites_of(ClusterKind kind) const;
+
+  /// Number of sites providing @p kind.
+  [[nodiscard]] int count_of(ClusterKind kind) const;
+
+  /// Composition summary (kind -> site count) for reports.
+  [[nodiscard]] std::vector<std::pair<ClusterKind, int>> composition() const;
+
+ private:
+  std::string name_;
+  int width_;
+  int height_;
+  ChannelSpec channels_;
+  std::vector<ClusterKind> tiles_;
+};
+
+}  // namespace dsra

@@ -1,0 +1,256 @@
+#include "core/cluster.hpp"
+
+#include <sstream>
+
+namespace dsra {
+
+const char* to_string(ClusterKind kind) {
+  switch (kind) {
+    case ClusterKind::kMuxReg: return "MuxReg";
+    case ClusterKind::kAbsDiff: return "AbsDiff";
+    case ClusterKind::kAddAcc: return "AddAcc";
+    case ClusterKind::kComp: return "Comp";
+    case ClusterKind::kAddShift: return "AddShift";
+    case ClusterKind::kMem: return "Mem";
+  }
+  return "?";
+}
+
+const char* to_string(AbsDiffOp op) {
+  switch (op) {
+    case AbsDiffOp::kAdd: return "add";
+    case AbsDiffOp::kSub: return "sub";
+    case AbsDiffOp::kAbsDiff: return "absdiff";
+  }
+  return "?";
+}
+
+const char* to_string(AddAccOp op) {
+  switch (op) {
+    case AddAccOp::kAdd: return "add";
+    case AddAccOp::kSub: return "sub";
+    case AddAccOp::kAccumulate: return "acc";
+  }
+  return "?";
+}
+
+const char* to_string(CompOp op) {
+  switch (op) {
+    case CompOp::kMin2: return "min2";
+    case CompOp::kMax2: return "max2";
+    case CompOp::kRunMin: return "runmin";
+    case CompOp::kRunMax: return "runmax";
+  }
+  return "?";
+}
+
+const char* to_string(AddShiftOp op) {
+  switch (op) {
+    case AddShiftOp::kAdd: return "add";
+    case AddShiftOp::kSub: return "sub";
+    case AddShiftOp::kShiftLeft: return "shl";
+    case AddShiftOp::kShiftRight: return "shr";
+    case AddShiftOp::kReg: return "reg";
+    case AddShiftOp::kShiftAcc: return "shiftacc";
+    case AddShiftOp::kShiftReg: return "shiftreg";
+    case AddShiftOp::kShiftAccTrunc: return "shiftacc_trunc";
+    case AddShiftOp::kShiftRegLsb: return "shiftreg_lsb";
+  }
+  return "?";
+}
+
+ClusterKind kind_of(const ClusterConfig& cfg) {
+  return static_cast<ClusterKind>(cfg.index());
+}
+
+int width_of(const ClusterConfig& cfg) {
+  return std::visit([](const auto& c) { return c.width; }, cfg);
+}
+
+int element_count(const ClusterConfig& cfg) {
+  if (const auto* mem = std::get_if<MemCfg>(&cfg)) {
+    // A memory element provides a 16x4 bit page; larger geometries cascade.
+    const int bits = mem->words * mem->width;
+    return static_cast<int>(ceil_div(bits, 16 * kElementBits));
+  }
+  return elements_for_width(width_of(cfg));
+}
+
+std::string validate(const ClusterConfig& cfg) {
+  std::ostringstream err;
+  const int w = width_of(cfg);
+  if (const auto* mem = std::get_if<MemCfg>(&cfg)) {
+    if (mem->words <= 0 || (mem->words & (mem->words - 1)) != 0)
+      err << "memory word count " << mem->words << " must be a power of two; ";
+    if (mem->width <= 0 || mem->width > kMaxClusterBits)
+      err << "memory width " << mem->width << " out of range; ";
+    if (!mem->contents.empty() && static_cast<int>(mem->contents.size()) != mem->words)
+      err << "contents size " << mem->contents.size() << " != words " << mem->words << "; ";
+    for (std::size_t i = 0; i < mem->contents.size(); ++i) {
+      if (!fits_signed(mem->contents[i], mem->width)) {
+        err << "contents[" << i << "]=" << mem->contents[i] << " does not fit in "
+            << mem->width << " bits; ";
+        break;
+      }
+    }
+  } else if (!is_legal_width(w)) {
+    err << "width " << w << " is not a legal cluster width (multiple of "
+        << kElementBits << ", <= " << kMaxClusterBits << "); ";
+  }
+  if (const auto* as = std::get_if<AddShiftCfg>(&cfg)) {
+    if ((as->op == AddShiftOp::kShiftLeft || as->op == AddShiftOp::kShiftRight ||
+         as->op == AddShiftOp::kShiftAccTrunc) &&
+        (as->shift < 0 || as->shift >= as->width))
+      err << "shift amount " << as->shift << " out of range for width " << as->width << "; ";
+  }
+  return err.str();
+}
+
+namespace {
+
+std::vector<PortSpec> mux_reg_ports(const MuxRegCfg& c) {
+  // When the output is registered the inputs are only sampled on the clock
+  // edge, so they carry no combinational dependency (levelisation relies on
+  // this to break feedback loops through registers).
+  return {{"a", PortDir::kIn, c.width, c.registered},
+          {"b", PortDir::kIn, c.width, c.registered},
+          {"sel", PortDir::kIn, 1, c.registered},
+          {"y", PortDir::kOut, c.width, c.registered}};
+}
+
+std::vector<PortSpec> abs_diff_ports(const AbsDiffCfg& c) {
+  return {{"a", PortDir::kIn, c.width, c.registered},
+          {"b", PortDir::kIn, c.width, c.registered},
+          {"y", PortDir::kOut, c.width, c.registered}};
+}
+
+std::vector<PortSpec> add_acc_ports(const AddAccCfg& c) {
+  if (c.op == AddAccOp::kAccumulate) {
+    return {{"a", PortDir::kIn, c.width, true},
+            {"clr", PortDir::kIn, 1, true},
+            {"en", PortDir::kIn, 1, true},
+            {"y", PortDir::kOut, c.width, true}};
+  }
+  return {{"a", PortDir::kIn, c.width, c.registered},
+          {"b", PortDir::kIn, c.width, c.registered},
+          {"y", PortDir::kOut, c.width, c.registered}};
+}
+
+std::vector<PortSpec> comp_ports(const CompCfg& c) {
+  if (c.op == CompOp::kRunMin || c.op == CompOp::kRunMax) {
+    return {{"a", PortDir::kIn, c.width, true},
+            {"reset", PortDir::kIn, 1, true},
+            {"en", PortDir::kIn, 1, true},
+            {"y", PortDir::kOut, c.width, true},
+            {"idx", PortDir::kOut, 16, true}};
+  }
+  return {{"a", PortDir::kIn, c.width, false},
+          {"b", PortDir::kIn, c.width, false},
+          {"y", PortDir::kOut, c.width, false}};
+}
+
+std::vector<PortSpec> add_shift_ports(const AddShiftCfg& c) {
+  switch (c.op) {
+    case AddShiftOp::kAdd:
+    case AddShiftOp::kSub:
+      return {{"a", PortDir::kIn, c.width, c.registered},
+              {"b", PortDir::kIn, c.width, c.registered},
+              {"y", PortDir::kOut, c.width, c.registered}};
+    case AddShiftOp::kShiftLeft:
+    case AddShiftOp::kShiftRight:
+      return {{"a", PortDir::kIn, c.width, false}, {"y", PortDir::kOut, c.width, false}};
+    case AddShiftOp::kReg:
+      return {{"a", PortDir::kIn, c.width, true}, {"y", PortDir::kOut, c.width, true}};
+    case AddShiftOp::kShiftAcc:
+    case AddShiftOp::kShiftAccTrunc:
+      return {{"a", PortDir::kIn, c.width, true},
+              {"clr", PortDir::kIn, 1, true},
+              {"en", PortDir::kIn, 1, true},
+              {"sub", PortDir::kIn, 1, true},
+              {"y", PortDir::kOut, c.width, true}};
+    case AddShiftOp::kShiftReg:
+    case AddShiftOp::kShiftRegLsb:
+      return {{"d", PortDir::kIn, c.width, true},
+              {"load", PortDir::kIn, 1, true},
+              {"en", PortDir::kIn, 1, true},
+              {"q", PortDir::kOut, 1, true}};
+  }
+  return {};
+}
+
+std::vector<PortSpec> mem_ports(const MemCfg& c) {
+  std::vector<PortSpec> p;
+  const int addr_bits = ceil_log2(static_cast<std::uint64_t>(c.words));
+  if (c.addr_mode == MemAddrMode::kBit) {
+    for (int i = 0; i < addr_bits; ++i)
+      p.push_back({"a" + std::to_string(i), PortDir::kIn, 1, false});
+  } else {
+    p.push_back({"addr", PortDir::kIn, addr_bits, false});
+  }
+  if (c.mode == MemMode::kRam) {
+    p.push_back({"din", PortDir::kIn, c.width, true});
+    p.push_back({"we", PortDir::kIn, 1, true});
+  }
+  p.push_back({"q", PortDir::kOut, c.width, false});
+  return p;
+}
+
+}  // namespace
+
+std::vector<PortSpec> ports_of(const ClusterConfig& cfg) {
+  return std::visit(
+      [](const auto& c) -> std::vector<PortSpec> {
+        using T = std::decay_t<decltype(c)>;
+        if constexpr (std::is_same_v<T, MuxRegCfg>) return mux_reg_ports(c);
+        if constexpr (std::is_same_v<T, AbsDiffCfg>) return abs_diff_ports(c);
+        if constexpr (std::is_same_v<T, AddAccCfg>) return add_acc_ports(c);
+        if constexpr (std::is_same_v<T, CompCfg>) return comp_ports(c);
+        if constexpr (std::is_same_v<T, AddShiftCfg>) return add_shift_ports(c);
+        if constexpr (std::is_same_v<T, MemCfg>) return mem_ports(c);
+      },
+      cfg);
+}
+
+int port_index(const ClusterConfig& cfg, const std::string& name) {
+  const auto ports = ports_of(cfg);
+  for (std::size_t i = 0; i < ports.size(); ++i)
+    if (ports[i].name == name) return static_cast<int>(i);
+  return -1;
+}
+
+bool has_comb_path(const ClusterConfig& cfg) {
+  // A cluster is combinational if any of its outputs reacts to an input in
+  // the same cycle.
+  const auto ports = ports_of(cfg);
+  for (const auto& p : ports)
+    if (p.dir == PortDir::kOut && !p.sequential) return true;
+  return false;
+}
+
+int config_bit_count(const ClusterConfig& cfg) {
+  // Mode field (3 bits), width select (3 bits: width/4 in 1..8), plus
+  // per-kind extras. Memory clusters additionally store their contents.
+  int bits = 3 + 3;
+  std::visit(
+      [&bits](const auto& c) {
+        using T = std::decay_t<decltype(c)>;
+        if constexpr (std::is_same_v<T, MuxRegCfg>) {
+          bits += 1;  // registered
+        } else if constexpr (std::is_same_v<T, AbsDiffCfg>) {
+          bits += 2 + 1;  // op + registered
+        } else if constexpr (std::is_same_v<T, AddAccCfg>) {
+          bits += 2 + 1;
+        } else if constexpr (std::is_same_v<T, CompCfg>) {
+          bits += 2;
+        } else if constexpr (std::is_same_v<T, AddShiftCfg>) {
+          bits += 3 + 5 + 1;  // op + shift amount + registered
+        } else if constexpr (std::is_same_v<T, MemCfg>) {
+          bits += 1 + 1 + 4;  // mode + addr mode + geometry select
+          bits += c.words * c.width;
+        }
+      },
+      cfg);
+  return bits;
+}
+
+}  // namespace dsra

@@ -1,0 +1,160 @@
+// Cluster catalogue of the domain-specific reconfigurable arrays.
+//
+// The paper's arrays are heterogeneous grids of coarse-grain clusters, each
+// specialised for one operation (section 2):
+//   ME array  (Fig 2): Register-Multiplexer, Absolute-Difference,
+//                      Adder/Accumulator, Min/Max Comparator.
+//   DA array  (Fig 3): Add-Shift clusters and Memory elements.
+//
+// Every cluster is built from 4-bit elements cascaded for wider datapaths.
+// A ClusterConfig is the complete programming of one cluster instance; it is
+// what the configuration bitstream stores per occupied tile.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/ints.hpp"
+
+namespace dsra {
+
+/// The six cluster kinds provided by the two domain-specific arrays.
+enum class ClusterKind : std::uint8_t {
+  kMuxReg,    ///< 2:1 multiplexer with optional output register (ME).
+  kAbsDiff,   ///< add / subtract / absolute difference (ME).
+  kAddAcc,    ///< combinational add/sub or sequential accumulator (ME).
+  kComp,      ///< min/max of two, or running min/max of a stream (ME).
+  kAddShift,  ///< add, sub, shift, shift-accumulate, P2S shift register (DA).
+  kMem,       ///< LUT/ROM/RAM with configurable geometry (DA).
+};
+
+[[nodiscard]] const char* to_string(ClusterKind kind);
+
+/// Operating modes -------------------------------------------------------
+
+enum class AbsDiffOp : std::uint8_t { kAdd, kSub, kAbsDiff };
+enum class AddAccOp : std::uint8_t { kAdd, kSub, kAccumulate };
+enum class CompOp : std::uint8_t { kMin2, kMax2, kRunMin, kRunMax };
+enum class AddShiftOp : std::uint8_t {
+  kAdd,        ///< y = a + b
+  kSub,        ///< y = a - b
+  kShiftLeft,  ///< y = a << shift
+  kShiftRight, ///< y = a >> shift (arithmetic)
+  kReg,        ///< y = registered a
+  kShiftAcc,   ///< MSB-first DA accumulator: acc = (acc << 1) +/- a (exact)
+  kShiftReg,   ///< parallel-load, MSB-first serial-out register (P2S)
+  /// LSB-first right-shifting DA accumulator, the form real 16-bit
+  /// shift-accumulators use (paper Fig 4): acc = asr(acc, 1) +/- (a <<
+  /// shift). Each shift truncates one LSB, so the result carries a bounded
+  /// rounding error - the "precision of the output result" trade the
+  /// paper mentions. The final value is scaled by 2^(shift - B + 1).
+  kShiftAccTrunc,
+  /// parallel-load, LSB-first serial-out register (pairs with the
+  /// right-shifting accumulator).
+  kShiftRegLsb,
+};
+enum class MemMode : std::uint8_t { kRom, kRam };
+enum class MemAddrMode : std::uint8_t {
+  kWord,  ///< one addr port of ceil_log2(words) bits
+  kBit,   ///< one 1-bit port per address line (DA serial bit lines)
+};
+
+[[nodiscard]] const char* to_string(AbsDiffOp op);
+[[nodiscard]] const char* to_string(AddAccOp op);
+[[nodiscard]] const char* to_string(CompOp op);
+[[nodiscard]] const char* to_string(AddShiftOp op);
+
+/// Per-kind configurations ----------------------------------------------
+
+struct MuxRegCfg {
+  int width = 8;
+  bool registered = false;
+  bool operator==(const MuxRegCfg&) const = default;
+};
+
+struct AbsDiffCfg {
+  int width = 8;
+  AbsDiffOp op = AbsDiffOp::kAbsDiff;
+  bool registered = false;
+  bool operator==(const AbsDiffCfg&) const = default;
+};
+
+struct AddAccCfg {
+  int width = 16;
+  AddAccOp op = AddAccOp::kAdd;
+  bool registered = false;  ///< pipeline register on y (kAdd/kSub only)
+  bool operator==(const AddAccCfg&) const = default;
+};
+
+struct CompCfg {
+  int width = 16;
+  CompOp op = CompOp::kMin2;
+  bool operator==(const CompCfg&) const = default;
+};
+
+struct AddShiftCfg {
+  int width = 16;
+  AddShiftOp op = AddShiftOp::kAdd;
+  int shift = 0;            ///< constant shift amount for kShiftLeft/Right
+  bool registered = false;  ///< pipeline register on y (kAdd/kSub only)
+  bool operator==(const AddShiftCfg&) const = default;
+};
+
+struct MemCfg {
+  int words = 16;
+  int width = 8;
+  MemMode mode = MemMode::kRom;
+  MemAddrMode addr_mode = MemAddrMode::kBit;
+  /// ROM initialisation / RAM initial state; values stored sign-extended.
+  std::vector<std::int64_t> contents;
+  bool operator==(const MemCfg&) const = default;
+};
+
+using ClusterConfig =
+    std::variant<MuxRegCfg, AbsDiffCfg, AddAccCfg, CompCfg, AddShiftCfg, MemCfg>;
+
+/// Kind implied by the active alternative of a ClusterConfig.
+[[nodiscard]] ClusterKind kind_of(const ClusterConfig& cfg);
+
+/// Datapath width of a configuration.
+[[nodiscard]] int width_of(const ClusterConfig& cfg);
+
+/// Number of 4-bit elements the configuration occupies.
+[[nodiscard]] int element_count(const ClusterConfig& cfg);
+
+/// Validate a configuration (legal widths, ROM geometry, contents in range).
+/// Returns an empty string when valid, else a description of the violation.
+[[nodiscard]] std::string validate(const ClusterConfig& cfg);
+
+/// Ports ------------------------------------------------------------------
+
+enum class PortDir : std::uint8_t { kIn, kOut };
+
+/// One port of a configured cluster. Width-1 ports route on the 1-bit mesh
+/// tracks; wider ports on the 8-bit bus tracks (paper, section 2).
+struct PortSpec {
+  std::string name;
+  PortDir dir = PortDir::kIn;
+  int width = 1;
+  /// True if the port value is consumed/produced on the clock edge only
+  /// (no combinational arc through the cluster). Used by levelisation.
+  bool sequential = false;
+};
+
+/// Full port list for a configuration, in canonical order (inputs first).
+[[nodiscard]] std::vector<PortSpec> ports_of(const ClusterConfig& cfg);
+
+/// Index of port @p name within ports_of(cfg); -1 if absent.
+[[nodiscard]] int port_index(const ClusterConfig& cfg, const std::string& name);
+
+/// True if the cluster has any combinational input->output path
+/// (determines whether it participates in combinational levelisation).
+[[nodiscard]] bool has_comb_path(const ClusterConfig& cfg);
+
+/// Number of configuration bits this cluster programming occupies in the
+/// bitstream (mode + width select + constants + memory contents).
+[[nodiscard]] int config_bit_count(const ClusterConfig& cfg);
+
+}  // namespace dsra

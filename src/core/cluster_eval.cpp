@@ -1,0 +1,278 @@
+#include "core/cluster_eval.hpp"
+
+#include <cassert>
+#include <cstdlib>
+
+namespace dsra {
+
+void ClusterState::reset(const ClusterConfig& cfg) {
+  reg = acc = best = best_idx = counter = 0;
+  best_valid = false;
+  mem.clear();
+  if (const auto* m = std::get_if<MemCfg>(&cfg)) {
+    if (m->mode == MemMode::kRam) {
+      mem.assign(static_cast<std::size_t>(m->words), 0);
+      for (std::size_t i = 0; i < m->contents.size() && i < mem.size(); ++i)
+        mem[i] = m->contents[i];
+    }
+  }
+}
+
+int input_count(const ClusterConfig& cfg) {
+  int n = 0;
+  for (const auto& p : ports_of(cfg))
+    if (p.dir == PortDir::kIn) ++n;
+  return n;
+}
+
+int output_count(const ClusterConfig& cfg) {
+  int n = 0;
+  for (const auto& p : ports_of(cfg))
+    if (p.dir == PortDir::kOut) ++n;
+  return n;
+}
+
+namespace {
+
+// Port index helpers: inputs are numbered before outputs in canonical order,
+// and within each group in declaration order (see cluster.cpp).
+
+std::int64_t mem_read(const MemCfg& c, const ClusterState& s, std::int64_t addr) {
+  const auto idx = static_cast<std::size_t>(addr) & (static_cast<std::size_t>(c.words) - 1);
+  if (c.mode == MemMode::kRam) return idx < s.mem.size() ? s.mem[idx] : 0;
+  return idx < c.contents.size() ? c.contents[idx] : 0;
+}
+
+std::int64_t mem_addr(const MemCfg& c, std::span<const std::int64_t> in) {
+  const int addr_bits = ceil_log2(static_cast<std::uint64_t>(c.words));
+  if (c.addr_mode == MemAddrMode::kBit) {
+    std::int64_t addr = 0;
+    for (int i = 0; i < addr_bits; ++i)
+      if (in[static_cast<std::size_t>(i)] & 1) addr |= 1ll << i;
+    return addr;
+  }
+  return in[0] & static_cast<std::int64_t>(low_mask(addr_bits));
+}
+
+}  // namespace
+
+void eval_comb(const ClusterConfig& cfg, const ClusterState& state,
+               std::span<const std::int64_t> inputs, std::span<std::int64_t> outputs) {
+  std::visit(
+      [&](const auto& c) {
+        using T = std::decay_t<decltype(c)>;
+        if constexpr (std::is_same_v<T, MuxRegCfg>) {
+          if (c.registered) {
+            outputs[0] = state.reg;
+          } else {
+            outputs[0] = wrap_to_width((inputs[2] & 1) ? inputs[1] : inputs[0], c.width);
+          }
+        } else if constexpr (std::is_same_v<T, AbsDiffCfg>) {
+          if (c.registered) {
+            outputs[0] = state.reg;
+            return;
+          }
+          std::int64_t v = 0;
+          switch (c.op) {
+            case AbsDiffOp::kAdd: v = inputs[0] + inputs[1]; break;
+            case AbsDiffOp::kSub: v = inputs[0] - inputs[1]; break;
+            case AbsDiffOp::kAbsDiff: v = std::abs(inputs[0] - inputs[1]); break;
+          }
+          outputs[0] = wrap_to_width(v, c.width);
+        } else if constexpr (std::is_same_v<T, AddAccCfg>) {
+          if (c.op == AddAccOp::kAccumulate || c.registered) {
+            outputs[0] = c.op == AddAccOp::kAccumulate ? state.acc : state.reg;
+            return;
+          }
+          const std::int64_t v =
+              c.op == AddAccOp::kAdd ? inputs[0] + inputs[1] : inputs[0] - inputs[1];
+          outputs[0] = wrap_to_width(v, c.width);
+        } else if constexpr (std::is_same_v<T, CompCfg>) {
+          switch (c.op) {
+            case CompOp::kMin2:
+              outputs[0] = inputs[0] < inputs[1] ? inputs[0] : inputs[1];
+              break;
+            case CompOp::kMax2:
+              outputs[0] = inputs[0] > inputs[1] ? inputs[0] : inputs[1];
+              break;
+            case CompOp::kRunMin:
+            case CompOp::kRunMax:
+              outputs[0] = state.best;
+              outputs[1] = state.best_idx;
+              break;
+          }
+        } else if constexpr (std::is_same_v<T, AddShiftCfg>) {
+          switch (c.op) {
+            case AddShiftOp::kAdd:
+            case AddShiftOp::kSub: {
+              if (c.registered) {
+                outputs[0] = state.reg;
+                return;
+              }
+              const std::int64_t v = c.op == AddShiftOp::kAdd ? inputs[0] + inputs[1]
+                                                              : inputs[0] - inputs[1];
+              outputs[0] = wrap_to_width(v, c.width);
+              break;
+            }
+            case AddShiftOp::kShiftLeft:
+              outputs[0] = wrap_to_width(inputs[0] << c.shift, c.width);
+              break;
+            case AddShiftOp::kShiftRight:
+              outputs[0] = wrap_to_width(inputs[0] >> c.shift, c.width);
+              break;
+            case AddShiftOp::kReg:
+              outputs[0] = state.reg;
+              break;
+            case AddShiftOp::kShiftAcc:
+            case AddShiftOp::kShiftAccTrunc:
+              outputs[0] = state.acc;
+              break;
+            case AddShiftOp::kShiftReg:
+              // Serial output is the current MSB of the shift register.
+              outputs[0] = (state.reg >> (c.width - 1)) & 1;
+              break;
+            case AddShiftOp::kShiftRegLsb:
+              outputs[0] = state.reg & 1;
+              break;
+          }
+        } else if constexpr (std::is_same_v<T, MemCfg>) {
+          outputs[0] = wrap_to_width(mem_read(c, state, mem_addr(c, inputs)), c.width);
+        }
+      },
+      cfg);
+}
+
+void eval_seq(const ClusterConfig& cfg, ClusterState& state,
+              std::span<const std::int64_t> inputs) {
+  std::visit(
+      [&](const auto& c) {
+        using T = std::decay_t<decltype(c)>;
+        if constexpr (std::is_same_v<T, MuxRegCfg>) {
+          if (c.registered)
+            state.reg = wrap_to_width((inputs[2] & 1) ? inputs[1] : inputs[0], c.width);
+        } else if constexpr (std::is_same_v<T, AbsDiffCfg>) {
+          if (!c.registered) return;
+          std::int64_t v = 0;
+          switch (c.op) {
+            case AbsDiffOp::kAdd: v = inputs[0] + inputs[1]; break;
+            case AbsDiffOp::kSub: v = inputs[0] - inputs[1]; break;
+            case AbsDiffOp::kAbsDiff: v = std::abs(inputs[0] - inputs[1]); break;
+          }
+          state.reg = wrap_to_width(v, c.width);
+        } else if constexpr (std::is_same_v<T, AddAccCfg>) {
+          if (c.op == AddAccOp::kAccumulate) {
+            // inputs: a, clr, en
+            if (inputs[1] & 1) {
+              state.acc = 0;
+            } else if (inputs[2] & 1) {
+              state.acc = wrap_to_width(state.acc + inputs[0], c.width);
+            }
+          } else if (c.registered) {
+            const std::int64_t v =
+                c.op == AddAccOp::kAdd ? inputs[0] + inputs[1] : inputs[0] - inputs[1];
+            state.reg = wrap_to_width(v, c.width);
+          }
+        } else if constexpr (std::is_same_v<T, CompCfg>) {
+          if (c.op != CompOp::kRunMin && c.op != CompOp::kRunMax) return;
+          // inputs: a, reset, en
+          if (inputs[1] & 1) {
+            state.best_valid = false;
+            state.counter = 0;
+            state.best = 0;
+            state.best_idx = 0;
+            return;
+          }
+          if (inputs[2] & 1) {
+            const bool better = !state.best_valid ||
+                                (c.op == CompOp::kRunMin ? inputs[0] < state.best
+                                                         : inputs[0] > state.best);
+            if (better) {
+              state.best = wrap_to_width(inputs[0], c.width);
+              state.best_idx = state.counter;
+              state.best_valid = true;
+            }
+            ++state.counter;
+          }
+        } else if constexpr (std::is_same_v<T, AddShiftCfg>) {
+          switch (c.op) {
+            case AddShiftOp::kAdd:
+            case AddShiftOp::kSub:
+              if (c.registered) {
+                const std::int64_t v = c.op == AddShiftOp::kAdd ? inputs[0] + inputs[1]
+                                                                : inputs[0] - inputs[1];
+                state.reg = wrap_to_width(v, c.width);
+              }
+              break;
+            case AddShiftOp::kReg:
+              state.reg = wrap_to_width(inputs[0], c.width);
+              break;
+            case AddShiftOp::kShiftAcc: {
+              // inputs: a, clr, en, sub. MSB-first distributed arithmetic:
+              //   acc <- (acc << 1) + a   (or - a on the sign-bit cycle),
+              // which accumulates sum(b_k * f_k * 2^k) with the MSB term
+              // negated, i.e. exact two's-complement DA.
+              if (inputs[1] & 1) {
+                state.acc = 0;
+              } else if (inputs[2] & 1) {
+                const std::int64_t addend = (inputs[3] & 1) ? -inputs[0] : inputs[0];
+                state.acc = wrap_to_width((state.acc << 1) + addend, c.width);
+              }
+              break;
+            }
+            case AddShiftOp::kShiftAccTrunc: {
+              // inputs: a, clr, en, sub. LSB-first distributed arithmetic
+              // with a right-shifting (truncating) accumulator, the real
+              // 16-bit shift-accumulator of Fig 4:
+              //   acc <- asr(acc, 1) + (+/- a) << shift.
+              // Each shift discards one LSB (bounded rounding error); the
+              // MSB cycle subtracts via the sub strobe as usual.
+              if (inputs[1] & 1) {
+                state.acc = 0;
+              } else if (inputs[2] & 1) {
+                const std::int64_t addend = (inputs[3] & 1) ? -inputs[0] : inputs[0];
+                state.acc =
+                    wrap_to_width((state.acc >> 1) + (addend << c.shift), c.width);
+              }
+              break;
+            }
+            case AddShiftOp::kShiftReg:
+              // inputs: d, load, en. MSB-first serial output.
+              if (inputs[1] & 1) {
+                state.reg = wrap_to_width(inputs[0], c.width);
+              } else if (inputs[2] & 1) {
+                state.reg = wrap_to_width(state.reg << 1, c.width);
+              }
+              break;
+            case AddShiftOp::kShiftRegLsb:
+              // inputs: d, load, en. LSB-first serial output.
+              if (inputs[1] & 1) {
+                state.reg = wrap_to_width(inputs[0], c.width);
+              } else if (inputs[2] & 1) {
+                // Logical right shift: vacated MSBs fill with zero; sign
+                // weighting is handled by the accumulator's sub strobe.
+                state.reg = static_cast<std::int64_t>(
+                    (static_cast<std::uint64_t>(state.reg) & low_mask(c.width)) >> 1);
+              }
+              break;
+            default:
+              break;
+          }
+        } else if constexpr (std::is_same_v<T, MemCfg>) {
+          if (c.mode == MemMode::kRam) {
+            // trailing inputs: din, we (after the address inputs)
+            const std::size_t n = static_cast<std::size_t>(input_count(cfg));
+            const std::int64_t we = inputs[n - 1];
+            if (we & 1) {
+              const std::int64_t addr = mem_addr(c, inputs);
+              const std::int64_t din = inputs[n - 2];
+              const auto idx =
+                  static_cast<std::size_t>(addr) & (static_cast<std::size_t>(c.words) - 1);
+              if (idx < state.mem.size()) state.mem[idx] = wrap_to_width(din, c.width);
+            }
+          }
+        }
+      },
+      cfg);
+}
+
+}  // namespace dsra

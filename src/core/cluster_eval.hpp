@@ -1,0 +1,45 @@
+// Functional semantics of configured clusters.
+//
+// These two functions are the single source of truth for what a cluster
+// computes: the netlist-level simulator, the post-place-and-route device
+// simulator and all implementation unit tests evaluate through them.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/cluster.hpp"
+
+namespace dsra {
+
+/// Architectural state of one cluster instance.
+struct ClusterState {
+  std::int64_t reg = 0;       ///< output / shift register
+  std::int64_t acc = 0;       ///< accumulator
+  std::int64_t best = 0;      ///< running min/max value
+  std::int64_t best_idx = 0;  ///< index of the running extremum
+  std::int64_t counter = 0;   ///< sample counter for running comparators
+  bool best_valid = false;    ///< running extremum seen at least one sample
+  std::vector<std::int64_t> mem;  ///< RAM contents (ROMs read the config)
+
+  /// Initialise state for a configuration (sizes RAM, zeroes registers).
+  void reset(const ClusterConfig& cfg);
+};
+
+/// Compute all outputs of the cluster for the current cycle, given the
+/// current input values and pre-clock state. Outputs are written in the
+/// canonical port order of ports_of(cfg) (outputs only, in order).
+void eval_comb(const ClusterConfig& cfg, const ClusterState& state,
+               std::span<const std::int64_t> inputs, std::span<std::int64_t> outputs);
+
+/// Advance the sequential state by one clock edge given the input values
+/// sampled in the current cycle.
+void eval_seq(const ClusterConfig& cfg, ClusterState& state,
+              std::span<const std::int64_t> inputs);
+
+/// Convenience: number of input / output ports of a configuration.
+[[nodiscard]] int input_count(const ClusterConfig& cfg);
+[[nodiscard]] int output_count(const ClusterConfig& cfg);
+
+}  // namespace dsra

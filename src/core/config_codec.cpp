@@ -1,0 +1,109 @@
+#include "core/config_codec.hpp"
+
+#include <stdexcept>
+
+#include "common/ints.hpp"
+
+namespace dsra {
+
+namespace {
+constexpr int kKindBits = 3;
+constexpr int kWidthBits = 6;
+constexpr int kOpBits = 3;
+constexpr int kShiftBits = 6;
+constexpr int kWordsLogBits = 5;
+}  // namespace
+
+void encode_config(const ClusterConfig& cfg, BitWriter& w) {
+  w.write(static_cast<std::uint64_t>(kind_of(cfg)), kKindBits);
+  std::visit(
+      [&w](const auto& c) {
+        using T = std::decay_t<decltype(c)>;
+        if constexpr (std::is_same_v<T, MuxRegCfg>) {
+          w.write(static_cast<std::uint64_t>(c.width), kWidthBits);
+          w.write(c.registered ? 1 : 0, 1);
+        } else if constexpr (std::is_same_v<T, AbsDiffCfg>) {
+          w.write(static_cast<std::uint64_t>(c.width), kWidthBits);
+          w.write(static_cast<std::uint64_t>(c.op), kOpBits);
+          w.write(c.registered ? 1 : 0, 1);
+        } else if constexpr (std::is_same_v<T, AddAccCfg>) {
+          w.write(static_cast<std::uint64_t>(c.width), kWidthBits);
+          w.write(static_cast<std::uint64_t>(c.op), kOpBits);
+          w.write(c.registered ? 1 : 0, 1);
+        } else if constexpr (std::is_same_v<T, CompCfg>) {
+          w.write(static_cast<std::uint64_t>(c.width), kWidthBits);
+          w.write(static_cast<std::uint64_t>(c.op), kOpBits);
+        } else if constexpr (std::is_same_v<T, AddShiftCfg>) {
+          w.write(static_cast<std::uint64_t>(c.width), kWidthBits);
+          w.write(static_cast<std::uint64_t>(c.op), kOpBits);
+          w.write(static_cast<std::uint64_t>(c.shift), kShiftBits);
+          w.write(c.registered ? 1 : 0, 1);
+        } else if constexpr (std::is_same_v<T, MemCfg>) {
+          w.write(static_cast<std::uint64_t>(ceil_log2(static_cast<std::uint64_t>(c.words))),
+                  kWordsLogBits);
+          w.write(static_cast<std::uint64_t>(c.width), kWidthBits);
+          w.write(c.mode == MemMode::kRam ? 1 : 0, 1);
+          w.write(c.addr_mode == MemAddrMode::kBit ? 1 : 0, 1);
+          w.write(c.contents.empty() ? 0 : 1, 1);
+          if (!c.contents.empty())
+            for (const std::int64_t v : c.contents)
+              w.write(static_cast<std::uint64_t>(v) & low_mask(c.width), c.width);
+        }
+      },
+      cfg);
+}
+
+ClusterConfig decode_config(BitReader& r) {
+  const auto kind = static_cast<ClusterKind>(r.read(kKindBits));
+  switch (kind) {
+    case ClusterKind::kMuxReg: {
+      MuxRegCfg c;
+      c.width = static_cast<int>(r.read(kWidthBits));
+      c.registered = r.read(1) != 0;
+      return c;
+    }
+    case ClusterKind::kAbsDiff: {
+      AbsDiffCfg c;
+      c.width = static_cast<int>(r.read(kWidthBits));
+      c.op = static_cast<AbsDiffOp>(r.read(kOpBits));
+      c.registered = r.read(1) != 0;
+      return c;
+    }
+    case ClusterKind::kAddAcc: {
+      AddAccCfg c;
+      c.width = static_cast<int>(r.read(kWidthBits));
+      c.op = static_cast<AddAccOp>(r.read(kOpBits));
+      c.registered = r.read(1) != 0;
+      return c;
+    }
+    case ClusterKind::kComp: {
+      CompCfg c;
+      c.width = static_cast<int>(r.read(kWidthBits));
+      c.op = static_cast<CompOp>(r.read(kOpBits));
+      return c;
+    }
+    case ClusterKind::kAddShift: {
+      AddShiftCfg c;
+      c.width = static_cast<int>(r.read(kWidthBits));
+      c.op = static_cast<AddShiftOp>(r.read(kOpBits));
+      c.shift = static_cast<int>(r.read(kShiftBits));
+      c.registered = r.read(1) != 0;
+      return c;
+    }
+    case ClusterKind::kMem: {
+      MemCfg c;
+      c.words = 1 << r.read(kWordsLogBits);
+      c.width = static_cast<int>(r.read(kWidthBits));
+      c.mode = r.read(1) != 0 ? MemMode::kRam : MemMode::kRom;
+      c.addr_mode = r.read(1) != 0 ? MemAddrMode::kBit : MemAddrMode::kWord;
+      if (r.read(1) != 0) {
+        c.contents.resize(static_cast<std::size_t>(c.words));
+        for (auto& v : c.contents) v = sign_extend(r.read(c.width), c.width);
+      }
+      return c;
+    }
+  }
+  throw std::runtime_error("corrupt cluster configuration encoding");
+}
+
+}  // namespace dsra

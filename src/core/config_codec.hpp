@@ -1,0 +1,22 @@
+// Binary encoding of cluster configurations.
+//
+// Each occupied tile's programming is serialised into the device bitstream;
+// decode() must reproduce the configuration exactly (round-trip tested),
+// since the reconfiguration manager reloads implementations from stored
+// bitstreams at runtime (paper conclusion: dynamic reconfiguration between
+// implementations under changing run-time constraints).
+#pragma once
+
+#include "common/bitpack.hpp"
+#include "core/cluster.hpp"
+
+namespace dsra {
+
+/// Serialise a cluster configuration (including ROM contents).
+void encode_config(const ClusterConfig& cfg, BitWriter& w);
+
+/// Deserialise a cluster configuration written by encode_config.
+/// Throws std::runtime_error on malformed input.
+[[nodiscard]] ClusterConfig decode_config(BitReader& r);
+
+}  // namespace dsra

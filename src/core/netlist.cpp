@@ -1,0 +1,159 @@
+#include "core/netlist.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace dsra {
+
+NetId Netlist::add_input(const std::string& name, int width) {
+  const NetId net = add_net(name, width);
+  inputs_.push_back({name, width, net});
+  nets_[static_cast<std::size_t>(net)].driver = PinRef{kInvalidId, static_cast<int>(inputs_.size()) - 1};
+  return net;
+}
+
+void Netlist::bind_input(const std::string& name, NetId net) {
+  const auto& n = nets_.at(static_cast<std::size_t>(net));
+  inputs_.push_back({name, n.width, net});
+  nets_[static_cast<std::size_t>(net)].driver =
+      PinRef{kInvalidId, static_cast<int>(inputs_.size()) - 1};
+}
+
+void Netlist::add_output(const std::string& name, NetId net) {
+  const auto& n = nets_.at(static_cast<std::size_t>(net));
+  outputs_.push_back({name, n.width, net});
+  nets_[static_cast<std::size_t>(net)].sinks.push_back(
+      PinRef{kInvalidId, static_cast<int>(outputs_.size()) - 1});
+}
+
+NodeId Netlist::add_node(const std::string& name, ClusterConfig config) {
+  Node node;
+  node.name = name;
+  node.pins.assign(ports_of(config).size(), kInvalidId);
+  node.config = std::move(config);
+  nodes_.push_back(std::move(node));
+  return static_cast<NodeId>(nodes_.size()) - 1;
+}
+
+NetId Netlist::add_net(const std::string& name, int width) {
+  Net net;
+  net.name = name;
+  net.width = width;
+  net.driver = PinRef{kInvalidId, -1};
+  nets_.push_back(std::move(net));
+  return static_cast<NetId>(nets_.size()) - 1;
+}
+
+void Netlist::connect_output(NodeId node, const std::string& port_name, NetId net) {
+  auto& n = nodes_.at(static_cast<std::size_t>(node));
+  const int pi = port_index(n.config, port_name);
+  if (pi < 0) throw std::invalid_argument("no port '" + port_name + "' on " + n.name);
+  n.pins[static_cast<std::size_t>(pi)] = net;
+  nets_.at(static_cast<std::size_t>(net)).driver = PinRef{node, pi};
+}
+
+void Netlist::connect_input(NodeId node, const std::string& port_name, NetId net) {
+  auto& n = nodes_.at(static_cast<std::size_t>(node));
+  const int pi = port_index(n.config, port_name);
+  if (pi < 0) throw std::invalid_argument("no port '" + port_name + "' on " + n.name);
+  n.pins[static_cast<std::size_t>(pi)] = net;
+  nets_.at(static_cast<std::size_t>(net)).sinks.push_back(PinRef{node, pi});
+}
+
+NetId Netlist::output_net(NodeId node, const std::string& port_name) {
+  const auto& n = nodes_.at(static_cast<std::size_t>(node));
+  const int pi = port_index(n.config, port_name);
+  if (pi < 0) throw std::invalid_argument("no port '" + port_name + "' on " + n.name);
+  const int width = ports_of(n.config)[static_cast<std::size_t>(pi)].width;
+  const NetId net = add_net(n.name + "." + port_name, width);
+  connect_output(node, port_name, net);
+  return net;
+}
+
+std::optional<NetId> Netlist::find_input(const std::string& name) const {
+  for (const auto& in : inputs_)
+    if (in.name == name) return in.net;
+  return std::nullopt;
+}
+
+std::optional<NetId> Netlist::find_output(const std::string& name) const {
+  for (const auto& out : outputs_)
+    if (out.name == name) return out.net;
+  return std::nullopt;
+}
+
+std::optional<NodeId> Netlist::find_node(const std::string& name) const {
+  for (std::size_t i = 0; i < nodes_.size(); ++i)
+    if (nodes_[i].name == name) return static_cast<NodeId>(i);
+  return std::nullopt;
+}
+
+ClusterCensus Netlist::census() const {
+  ClusterCensus c;
+  for (const auto& node : nodes_) {
+    switch (kind_of(node.config)) {
+      case ClusterKind::kMuxReg: ++c.mux_regs; break;
+      case ClusterKind::kAbsDiff: ++c.abs_diffs; break;
+      case ClusterKind::kComp: ++c.comparators; break;
+      case ClusterKind::kMem: ++c.mem_clusters; break;
+      case ClusterKind::kAddAcc: {
+        const auto& cfg = std::get<AddAccCfg>(node.config);
+        if (cfg.op == AddAccOp::kAdd) ++c.adders;
+        else if (cfg.op == AddAccOp::kSub) ++c.subtracters;
+        else ++c.accumulators;
+        break;
+      }
+      case ClusterKind::kAddShift: {
+        const auto& cfg = std::get<AddShiftCfg>(node.config);
+        switch (cfg.op) {
+          case AddShiftOp::kAdd: ++c.adders; break;
+          case AddShiftOp::kSub: ++c.subtracters; break;
+          case AddShiftOp::kShiftReg:
+          case AddShiftOp::kShiftRegLsb: ++c.shift_regs; break;
+          case AddShiftOp::kShiftAcc:
+          case AddShiftOp::kShiftAccTrunc: ++c.accumulators; break;
+          default: ++c.other_add_shift; break;
+        }
+        break;
+      }
+    }
+  }
+  return c;
+}
+
+std::int64_t Netlist::rom_bits() const {
+  std::int64_t bits = 0;
+  for (const auto& node : nodes_)
+    if (const auto* m = std::get_if<MemCfg>(&node.config))
+      bits += static_cast<std::int64_t>(m->words) * m->width;
+  return bits;
+}
+
+std::string Netlist::validate() const {
+  std::ostringstream err;
+  for (std::size_t i = 0; i < nets_.size(); ++i) {
+    const Net& net = nets_[i];
+    if (net.driver.node == kInvalidId && net.driver.port < 0)
+      err << "net '" << net.name << "' has no driver; ";
+  }
+  for (const auto& node : nodes_) {
+    const std::string v = dsra::validate(node.config);
+    if (!v.empty()) err << "node '" << node.name << "': " << v;
+    const auto ports = ports_of(node.config);
+    for (std::size_t p = 0; p < ports.size(); ++p) {
+      const NetId net = node.pins[p];
+      if (net == kInvalidId) continue;
+      const int nw = nets_[static_cast<std::size_t>(net)].width;
+      // Output pins must match the net exactly; input pins may be wider
+      // than the net (the cluster sign-extends a narrower bus).
+      const bool ok = ports[p].dir == PortDir::kOut ? ports[p].width == nw
+                                                    : ports[p].width >= nw;
+      if (!ok)
+        err << "node '" << node.name << "' port '" << ports[p].name << "' width "
+            << ports[p].width << " incompatible with net width " << nw << "; ";
+    }
+  }
+  return err.str();
+}
+
+}  // namespace dsra

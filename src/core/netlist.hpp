@@ -1,0 +1,150 @@
+// Cluster-level dataflow netlist.
+//
+// A Netlist is what an implementation generator produces (sections 3 and 4
+// of the paper map DCT/ME structures onto cluster netlists) and what the
+// mapper places and routes onto an array architecture. It is also directly
+// executable by the cycle-accurate simulator, so functional verification
+// happens at the same granularity the paper's Table 1 counts resources at.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/cluster.hpp"
+
+namespace dsra {
+
+using NodeId = int;
+using NetId = int;
+inline constexpr int kInvalidId = -1;
+
+/// One configured cluster instance.
+struct Node {
+  std::string name;
+  ClusterConfig config;
+  /// Net connected to each port, in ports_of(config) canonical order;
+  /// kInvalidId for unconnected (inputs read as 0).
+  std::vector<NetId> pins;
+};
+
+/// Reference to one pin of a node (or a primary input/output).
+struct PinRef {
+  NodeId node = kInvalidId;  ///< kInvalidId => netlist-level port
+  int port = 0;              ///< port index within ports_of(config)
+  bool operator==(const PinRef&) const = default;
+};
+
+/// A multi-terminal net: one driver, any number of sinks.
+struct Net {
+  std::string name;
+  int width = 1;
+  PinRef driver;               ///< driving pin (node output or primary input)
+  std::vector<PinRef> sinks;   ///< reading pins (node inputs / primary outputs)
+};
+
+/// Netlist-level input (driven by the testbench / SoC controller).
+struct PrimaryInput {
+  std::string name;
+  int width = 1;
+  NetId net = kInvalidId;
+};
+
+/// Netlist-level output (observed by the testbench / SoC controller).
+struct PrimaryOutput {
+  std::string name;
+  int width = 1;
+  NetId net = kInvalidId;
+};
+
+/// Resource census in the terms of the paper's Table 1.
+struct ClusterCensus {
+  int adders = 0;        ///< AddShift kAdd (+ AddAcc kAdd on the ME array)
+  int subtracters = 0;   ///< AddShift kSub (+ AddAcc kSub)
+  int shift_regs = 0;    ///< AddShift kShiftReg
+  int accumulators = 0;  ///< AddShift kShiftAcc (+ AddAcc kAccumulate)
+  int other_add_shift = 0;  ///< AddShift kShiftLeft/Right/kReg
+  int mem_clusters = 0;
+  int mux_regs = 0;
+  int abs_diffs = 0;
+  int comparators = 0;
+
+  [[nodiscard]] int add_shift_total() const {
+    return adders + subtracters + shift_regs + accumulators + other_add_shift;
+  }
+  [[nodiscard]] int total() const {
+    return add_shift_total() + mem_clusters + mux_regs + abs_diffs + comparators;
+  }
+};
+
+class Netlist {
+ public:
+  explicit Netlist(std::string name) : name_(std::move(name)) {}
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  [[nodiscard]] const std::vector<Node>& nodes() const { return nodes_; }
+  [[nodiscard]] const std::vector<Net>& nets() const { return nets_; }
+  [[nodiscard]] const std::vector<PrimaryInput>& inputs() const { return inputs_; }
+  [[nodiscard]] const std::vector<PrimaryOutput>& outputs() const { return outputs_; }
+
+  [[nodiscard]] const Node& node(NodeId id) const { return nodes_[static_cast<std::size_t>(id)]; }
+  [[nodiscard]] const Net& net(NetId id) const { return nets_[static_cast<std::size_t>(id)]; }
+
+  /// --- construction -----------------------------------------------------
+
+  /// Add a primary input of @p width bits; returns the net it drives.
+  NetId add_input(const std::string& name, int width);
+
+  /// Register a primary input driving an existing net (used when
+  /// reconstructing a netlist from a bitstream, where nets are created
+  /// first to preserve their identifiers).
+  void bind_input(const std::string& name, NetId net);
+
+  /// Mark @p net as a primary output named @p name.
+  void add_output(const std::string& name, NetId net);
+
+  /// Add a cluster instance; pins are initially unconnected.
+  NodeId add_node(const std::string& name, ClusterConfig config);
+
+  /// Create an undriven net (to be driven via connect_output).
+  NetId add_net(const std::string& name, int width);
+
+  /// Drive @p net from output port @p port_name of @p node.
+  void connect_output(NodeId node, const std::string& port_name, NetId net);
+
+  /// Feed input port @p port_name of @p node from @p net.
+  void connect_input(NodeId node, const std::string& port_name, NetId net);
+
+  /// Convenience: make a fresh net driven by @p node's output @p port_name.
+  NetId output_net(NodeId node, const std::string& port_name);
+
+  /// --- queries ------------------------------------------------------------
+
+  [[nodiscard]] std::optional<NetId> find_input(const std::string& name) const;
+  [[nodiscard]] std::optional<NetId> find_output(const std::string& name) const;
+  [[nodiscard]] std::optional<NodeId> find_node(const std::string& name) const;
+
+  /// Paper-style resource census (Table 1 rows).
+  [[nodiscard]] ClusterCensus census() const;
+
+  /// Total ROM bits instantiated in Mem clusters (the paper compares
+  /// 16-word vs 256-word ROM variants by exactly this number).
+  [[nodiscard]] std::int64_t rom_bits() const;
+
+  /// Structural validation: every net has a driver, every connected pin
+  /// width-matches its net, configs are legal. Returns error description
+  /// or empty string when valid.
+  [[nodiscard]] std::string validate() const;
+
+ private:
+  std::string name_;
+  std::vector<Node> nodes_;
+  std::vector<Net> nets_;
+  std::vector<PrimaryInput> inputs_;
+  std::vector<PrimaryOutput> outputs_;
+};
+
+}  // namespace dsra

@@ -1,0 +1,171 @@
+#include "core/sim.hpp"
+
+#include <bit>
+#include <queue>
+
+#include "common/ints.hpp"
+
+namespace dsra {
+
+Simulator::Simulator(const Netlist& netlist) : netlist_(&netlist) {
+  const std::string err = netlist.validate();
+  if (!err.empty()) throw std::invalid_argument("invalid netlist: " + err);
+  states_.resize(netlist.nodes().size());
+  net_values_.assign(netlist.nets().size(), 0);
+  prev_net_values_.assign(netlist.nets().size(), 0);
+  input_values_.assign(netlist.inputs().size(), 0);
+  toggles_.assign(netlist.nets().size(), 0);
+  build_order();
+  reset();
+}
+
+void Simulator::build_order() {
+  // Kahn's algorithm over combinational dependency edges:
+  // net driver (comb output) -> node reading it through a comb input port.
+  const auto& nodes = netlist_->nodes();
+  const std::size_t n = nodes.size();
+  std::vector<std::vector<int>> adj(n);
+  std::vector<int> indeg(n, 0);
+
+  // Cache port specs per node.
+  std::vector<std::vector<PortSpec>> specs(n);
+  for (std::size_t i = 0; i < n; ++i) specs[i] = ports_of(nodes[i].config);
+
+  for (std::size_t sink = 0; sink < n; ++sink) {
+    const auto& node = nodes[sink];
+    const auto& sp = specs[sink];
+    for (std::size_t p = 0; p < sp.size(); ++p) {
+      if (sp[p].dir != PortDir::kIn || sp[p].sequential) continue;
+      const NetId net = node.pins[p];
+      if (net == kInvalidId) continue;
+      const PinRef drv = netlist_->net(net).driver;
+      if (drv.node == kInvalidId) continue;  // primary input: no ordering
+      // Only a combinational *output* of the driver creates a dependency.
+      const auto& dsp = specs[static_cast<std::size_t>(drv.node)];
+      if (dsp[static_cast<std::size_t>(drv.port)].sequential) continue;
+      adj[static_cast<std::size_t>(drv.node)].push_back(static_cast<int>(sink));
+      ++indeg[sink];
+    }
+  }
+
+  eval_order_.clear();
+  eval_order_.reserve(n);
+  std::queue<int> ready;
+  for (std::size_t i = 0; i < n; ++i)
+    if (indeg[i] == 0) ready.push(static_cast<int>(i));
+  while (!ready.empty()) {
+    const int u = ready.front();
+    ready.pop();
+    eval_order_.push_back(u);
+    for (int v : adj[static_cast<std::size_t>(u)])
+      if (--indeg[static_cast<std::size_t>(v)] == 0) ready.push(v);
+  }
+  if (eval_order_.size() != n)
+    throw CombLoopError("combinational loop in netlist '" + netlist_->name() + "'");
+}
+
+void Simulator::reset() {
+  for (std::size_t i = 0; i < states_.size(); ++i)
+    states_[i].reset(netlist_->nodes()[i].config);
+  std::fill(net_values_.begin(), net_values_.end(), 0);
+  std::fill(prev_net_values_.begin(), prev_net_values_.end(), 0);
+  std::fill(input_values_.begin(), input_values_.end(), 0);
+  std::fill(toggles_.begin(), toggles_.end(), 0);
+  cycle_ = 0;
+  evaluated_ = false;
+}
+
+void Simulator::set_input(const std::string& name, std::int64_t value) {
+  const auto& ins = netlist_->inputs();
+  for (std::size_t i = 0; i < ins.size(); ++i) {
+    if (ins[i].name == name) {
+      input_values_[i] = wrap_to_width(value, ins[i].width);
+      evaluated_ = false;
+      return;
+    }
+  }
+  throw std::invalid_argument("no primary input '" + name + "'");
+}
+
+void Simulator::eval() {
+  const auto& nodes = netlist_->nodes();
+  const auto& ins = netlist_->inputs();
+  for (std::size_t i = 0; i < ins.size(); ++i)
+    net_values_[static_cast<std::size_t>(ins[i].net)] = input_values_[i];
+
+  for (const NodeId id : eval_order_) {
+    const Node& node = nodes[static_cast<std::size_t>(id)];
+    const auto ports = ports_of(node.config);
+    in_buf_.clear();
+    out_buf_.clear();
+    for (std::size_t p = 0; p < ports.size(); ++p) {
+      if (ports[p].dir != PortDir::kIn) continue;
+      const NetId net = node.pins[p];
+      in_buf_.push_back(net == kInvalidId ? 0 : net_values_[static_cast<std::size_t>(net)]);
+    }
+    out_buf_.assign(static_cast<std::size_t>(output_count(node.config)), 0);
+    eval_comb(node.config, states_[static_cast<std::size_t>(id)], in_buf_, out_buf_);
+    std::size_t oi = 0;
+    for (std::size_t p = 0; p < ports.size(); ++p) {
+      if (ports[p].dir != PortDir::kOut) continue;
+      const NetId net = node.pins[p];
+      if (net != kInvalidId) net_values_[static_cast<std::size_t>(net)] = out_buf_[oi];
+      ++oi;
+    }
+  }
+
+  // Activity: per-net bit toggles relative to the previous settled state.
+  for (std::size_t i = 0; i < net_values_.size(); ++i) {
+    const auto diff =
+        static_cast<std::uint64_t>(net_values_[i]) ^ static_cast<std::uint64_t>(prev_net_values_[i]);
+    const int width = netlist_->nets()[i].width;
+    toggles_[i] += static_cast<std::uint64_t>(std::popcount(diff & low_mask(width)));
+    prev_net_values_[i] = net_values_[i];
+  }
+  evaluated_ = true;
+}
+
+void Simulator::step() {
+  if (!evaluated_) eval();
+  const auto& nodes = netlist_->nodes();
+  for (std::size_t id = 0; id < nodes.size(); ++id) {
+    const Node& node = nodes[id];
+    const auto ports = ports_of(node.config);
+    in_buf_.clear();
+    for (std::size_t p = 0; p < ports.size(); ++p) {
+      if (ports[p].dir != PortDir::kIn) continue;
+      const NetId net = node.pins[p];
+      in_buf_.push_back(net == kInvalidId ? 0 : net_values_[static_cast<std::size_t>(net)]);
+    }
+    eval_seq(node.config, states_[id], in_buf_);
+  }
+  ++cycle_;
+  evaluated_ = false;
+  eval();
+}
+
+void Simulator::run(int n) {
+  for (int i = 0; i < n; ++i) step();
+}
+
+std::int64_t Simulator::output(const std::string& name) const {
+  for (const auto& out : netlist_->outputs())
+    if (out.name == name) return net_values_[static_cast<std::size_t>(out.net)];
+  throw std::invalid_argument("no primary output '" + name + "'");
+}
+
+std::int64_t Simulator::net_value(NetId id) const {
+  return net_values_.at(static_cast<std::size_t>(id));
+}
+
+const ClusterState& Simulator::state(NodeId id) const {
+  return states_.at(static_cast<std::size_t>(id));
+}
+
+std::uint64_t Simulator::total_toggles() const {
+  std::uint64_t t = 0;
+  for (const auto v : toggles_) t += v;
+  return t;
+}
+
+}  // namespace dsra

@@ -1,0 +1,83 @@
+// Cycle-accurate, cluster-granular simulator.
+//
+// Evaluates a Netlist exactly as the configured array executes it: all
+// combinational cluster outputs settle within a cycle (levelised order),
+// sequential state advances on the clock edge. Per-net toggle counts are
+// recorded to drive the activity-based power model.
+//
+// Control sequencing (load/clear/sign pulses) is injected through primary
+// inputs, mirroring the paper's platform where the processor-side controller
+// generates the array's addresses and strobes.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/cluster_eval.hpp"
+#include "core/netlist.hpp"
+
+namespace dsra {
+
+/// Thrown when the netlist has a combinational cycle.
+struct CombLoopError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+class Simulator {
+ public:
+  /// Builds evaluation order; throws CombLoopError on combinational cycles.
+  explicit Simulator(const Netlist& netlist);
+
+  /// Reset sequential state, cycle counter and activity counters.
+  void reset();
+
+  /// Drive a primary input (persists until overwritten).
+  void set_input(const std::string& name, std::int64_t value);
+
+  /// Settle combinational logic with the current inputs (idempotent).
+  void eval();
+
+  /// One clock cycle: settle combinational logic, then clock edge.
+  void step();
+
+  /// Run @p n clock cycles.
+  void run(int n);
+
+  /// Value of a primary output (call after eval()/step()).
+  [[nodiscard]] std::int64_t output(const std::string& name) const;
+
+  /// Value of any net (post-eval).
+  [[nodiscard]] std::int64_t net_value(NetId id) const;
+
+  /// Architectural state of a node (for whitebox tests).
+  [[nodiscard]] const ClusterState& state(NodeId id) const;
+
+  [[nodiscard]] std::uint64_t cycle() const { return cycle_; }
+
+  /// Per-net bit-toggle counts since reset (activity for the power model).
+  [[nodiscard]] const std::vector<std::uint64_t>& net_toggles() const { return toggles_; }
+  [[nodiscard]] std::uint64_t total_toggles() const;
+
+  [[nodiscard]] const Netlist& netlist() const { return *netlist_; }
+
+ private:
+  void build_order();
+
+  const Netlist* netlist_;
+  std::vector<ClusterState> states_;
+  std::vector<std::int64_t> net_values_;
+  std::vector<std::int64_t> prev_net_values_;
+  std::vector<std::int64_t> input_values_;  // per primary input
+  std::vector<NodeId> eval_order_;          // all nodes, comb-topological
+  std::vector<std::uint64_t> toggles_;
+  std::uint64_t cycle_ = 0;
+  bool evaluated_ = false;
+
+  // scratch buffers reused across eval calls
+  std::vector<std::int64_t> in_buf_;
+  std::vector<std::int64_t> out_buf_;
+};
+
+}  // namespace dsra

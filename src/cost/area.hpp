@@ -1,0 +1,41 @@
+// Area model for the domain-specific arrays.
+//
+// Area is reported for the fabric region a design occupies: the cluster
+// macros it configures plus that region's share of the mesh interconnect
+// and configuration memory. This matches how the paper compares "area
+// usage on the array" (Table 1 counts clusters; [1][2] report silicon
+// area vs an FPGA implementing the same netlist).
+#pragma once
+
+#include <cstdint>
+
+#include "core/arch.hpp"
+#include "core/netlist.hpp"
+#include "cost/constants.hpp"
+
+namespace dsra::cost {
+
+struct AreaReport {
+  double cluster_area = 0.0;      ///< configured cluster macros
+  double routing_area = 0.0;      ///< mesh share of the occupied region
+  double config_area = 0.0;       ///< configuration SRAM
+  std::int64_t config_bits = 0;   ///< cluster + routing configuration bits
+  int clusters = 0;
+
+  [[nodiscard]] double total() const { return cluster_area + routing_area + config_area; }
+};
+
+/// Area of one configured cluster macro (elements + overhead; memory
+/// clusters are costed per bit).
+[[nodiscard]] double cluster_area(const ClusterConfig& cfg, const DomainCost& c = domain_cost());
+
+/// Area of @p netlist mapped on a fabric with @p channels interconnect.
+[[nodiscard]] AreaReport domain_design_area(const Netlist& netlist, const ChannelSpec& channels,
+                                            const DomainCost& c = domain_cost());
+
+/// Full-fabric area of an architecture (every site, used or not) - reported
+/// by the array-exploration example.
+[[nodiscard]] AreaReport domain_fabric_area(const ArrayArch& arch,
+                                            const DomainCost& c = domain_cost());
+
+}  // namespace dsra::cost

@@ -1,0 +1,23 @@
+#include "cost/compare.hpp"
+
+namespace dsra::cost {
+
+FabricComparison compare_fabrics(const Netlist& netlist, const map::CompiledDesign& design,
+                                 const Simulator& sim, double freq_mhz,
+                                 const ChannelSpec& channels) {
+  FabricComparison cmp;
+
+  const AreaReport area = domain_design_area(netlist, channels);
+  const PowerReport power = domain_power(netlist, sim, &design.routes, freq_mhz, area);
+  cmp.domain.area_um2 = area.total();
+  cmp.domain.power_mw = power.total();
+  cmp.domain.fmax_mhz = design.timing.fmax_mhz;
+
+  const FpgaEstimate fpga = estimate_fpga(netlist, sim, freq_mhz);
+  cmp.fpga.area_um2 = fpga.area_um2;
+  cmp.fpga.power_mw = fpga.power_mw;
+  cmp.fpga.fmax_mhz = fpga.fmax_mhz;
+  return cmp;
+}
+
+}  // namespace dsra::cost

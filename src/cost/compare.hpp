@@ -1,0 +1,44 @@
+// Fabric comparison: the same netlist costed on the domain-specific array
+// and on the generic FPGA baseline. This regenerates the paper's headline
+// deltas (introduction, quoting [1] and [2]).
+#pragma once
+
+#include "cost/fpga_baseline.hpp"
+#include "cost/power.hpp"
+#include "mapper/flow.hpp"
+
+namespace dsra::cost {
+
+struct FabricNumbers {
+  double area_um2 = 0.0;
+  double power_mw = 0.0;
+  double fmax_mhz = 0.0;
+};
+
+struct FabricComparison {
+  FabricNumbers domain;
+  FabricNumbers fpga;
+
+  /// Paper-style deltas: negative = domain array is lower/better.
+  [[nodiscard]] double power_reduction() const {
+    return 1.0 - domain.power_mw / fpga.power_mw;
+  }
+  [[nodiscard]] double area_reduction() const {
+    return 1.0 - domain.area_um2 / fpga.area_um2;
+  }
+  /// Positive = domain array is faster ("timing improved by 23%");
+  /// negative = domain array clocks lower ("54% decrease in Fmax").
+  [[nodiscard]] double timing_improvement() const {
+    return domain.fmax_mhz / fpga.fmax_mhz - 1.0;
+  }
+};
+
+/// Compare fabrics for a netlist mapped as @p design whose activity was
+/// measured by @p sim. Both fabrics are evaluated at @p freq_mhz (the
+/// workload's required throughput clock).
+[[nodiscard]] FabricComparison compare_fabrics(const Netlist& netlist,
+                                               const map::CompiledDesign& design,
+                                               const Simulator& sim, double freq_mhz,
+                                               const ChannelSpec& channels);
+
+}  // namespace dsra::cost

@@ -1,0 +1,248 @@
+#include "cost/fpga_baseline.hpp"
+
+#include <cmath>
+
+#include "common/ints.hpp"
+
+namespace dsra::cost {
+
+LutDecomposition decompose(const ClusterConfig& cfg, const FpgaCost& fc) {
+  LutDecomposition d;
+  const int w = width_of(cfg);
+  std::visit(
+      [&](const auto& c) {
+        using T = std::decay_t<decltype(c)>;
+        if constexpr (std::is_same_v<T, MuxRegCfg>) {
+          d.luts = w;  // one 2:1 mux bit per LUT
+          d.ffs = c.registered ? w : 0;
+          d.lut_levels = 1;
+        } else if constexpr (std::is_same_v<T, AbsDiffCfg>) {
+          if (c.op == AbsDiffOp::kAbsDiff) {
+            // subtract, conditional complement, increment: two carry chains
+            // plus a masking level.
+            d.luts = 2 * w + w / 2;
+            d.lut_levels = 3;
+            d.carry_bits = 2.0 * w;
+          } else {
+            d.luts = w;
+            d.lut_levels = 1;
+            d.carry_bits = w;
+          }
+          d.ffs = c.registered ? w : 0;
+        } else if constexpr (std::is_same_v<T, AddAccCfg>) {
+          d.luts = w;
+          d.lut_levels = 1;
+          d.carry_bits = w;
+          d.ffs = (c.op == AddAccOp::kAccumulate || c.registered) ? w : 0;
+        } else if constexpr (std::is_same_v<T, CompCfg>) {
+          // magnitude compare (carry chain) plus select muxes
+          d.luts = 2 * w;
+          d.lut_levels = 2;
+          d.carry_bits = w;
+          if (c.op == CompOp::kRunMin || c.op == CompOp::kRunMax) {
+            d.luts += 16;  // index counter + capture
+            d.ffs = w + 16;
+          }
+        } else if constexpr (std::is_same_v<T, AddShiftCfg>) {
+          switch (c.op) {
+            case AddShiftOp::kAdd:
+            case AddShiftOp::kSub:
+              d.luts = w;
+              d.lut_levels = 1;
+              d.carry_bits = w;
+              d.ffs = c.registered ? w : 0;
+              break;
+            case AddShiftOp::kShiftLeft:
+            case AddShiftOp::kShiftRight:
+              d.luts = 0;  // constant shifts are wiring
+              d.lut_levels = 0;
+              break;
+            case AddShiftOp::kReg:
+              d.ffs = w;
+              break;
+            case AddShiftOp::kShiftAcc:
+            case AddShiftOp::kShiftAccTrunc:
+              // adder + add/sub select + accumulator register
+              d.luts = 2 * w;
+              d.lut_levels = 2;
+              d.carry_bits = w;
+              d.ffs = w;
+              break;
+            case AddShiftOp::kShiftReg:
+            case AddShiftOp::kShiftRegLsb:
+              // load mux in front of every flop
+              d.luts = w;
+              d.lut_levels = 1;
+              d.ffs = w;
+              break;
+          }
+        } else if constexpr (std::is_same_v<T, MemCfg>) {
+          if (c.words >= fc.bram_threshold_words) {
+            // Large ROMs map to block RAM: dense bits, one read stage.
+            d.bram_bits = static_cast<std::int64_t>(c.words) * c.width;
+            d.uses_bram = true;
+            d.luts = 2;  // address registering / output select
+            d.lut_levels = 1;
+          } else {
+            // Distributed LUT-ROM: 16 bits per 4-LUT per output bit, plus
+            // a 4:1 mux tree combining the 16-word pages.
+            const int pages = std::max(1, c.words / 16);
+            const int mux_per_bit = pages > 1 ? static_cast<int>(ceil_div(pages - 1, 3)) : 0;
+            d.luts = c.width * (pages + mux_per_bit);
+            d.lut_levels = 1 + (pages > 1 ? static_cast<int>(ceil_div(ceil_log2(pages), 2)) : 0);
+          }
+          if (c.mode == MemMode::kRam) d.ffs = 0;  // LUT-RAM / BRAM, no extra flops
+        }
+      },
+      cfg);
+  return d;
+}
+
+FpgaMapping map_to_fpga(const Netlist& netlist, const FpgaCost& c) {
+  FpgaMapping m;
+  double internal_nets = 0.0;
+  for (const auto& node : netlist.nodes()) {
+    const LutDecomposition d = decompose(node.config, c);
+    m.luts += d.luts;
+    m.ffs += d.ffs;
+    m.bram_bits += d.bram_bits;
+    internal_nets += std::max(0, d.lut_levels - 1) * width_of(node.config);
+  }
+  for (const auto& net : netlist.nets()) m.bit_nets += net.width;
+  m.bit_nets += internal_nets;
+  const int packs = std::max(m.luts, m.ffs);  // FFs pack with LUTs per cell
+  m.clbs = static_cast<int>(ceil_div(packs, c.luts_per_clb));
+  m.config_bits = static_cast<std::int64_t>(m.clbs * c.config_bits_per_clb);
+  return m;
+}
+
+namespace {
+
+/// FPGA combinational delay of one cluster-equivalent.
+double node_delay(const ClusterConfig& cfg, const FpgaCost& c) {
+  const LutDecomposition d = decompose(cfg, c);
+  double t = d.lut_levels * c.lut_delay;
+  if (d.lut_levels > 1) t += (d.lut_levels - 1) * c.route_per_level;
+  t += d.carry_bits * c.carry_per_bit;
+  if (d.uses_bram) t += c.bram_read_delay;
+  return t;
+}
+
+/// Longest path (levels-based; inter-cluster routing added per arc).
+double critical_path(const Netlist& netlist, const FpgaCost& c) {
+  const auto& nodes = netlist.nodes();
+  const std::size_t n = nodes.size();
+  std::vector<std::vector<PortSpec>> specs(n);
+  for (std::size_t i = 0; i < n; ++i) specs[i] = ports_of(nodes[i].config);
+
+  // Kahn topological order over combinational arcs.
+  std::vector<std::vector<int>> adj(n);
+  std::vector<int> indeg(n, 0);
+  for (std::size_t sink = 0; sink < n; ++sink) {
+    for (std::size_t p = 0; p < specs[sink].size(); ++p) {
+      const auto& spec = specs[sink][p];
+      if (spec.dir != PortDir::kIn || spec.sequential) continue;
+      const NetId net = nodes[sink].pins[p];
+      if (net == kInvalidId) continue;
+      const PinRef drv = netlist.net(net).driver;
+      if (drv.node == kInvalidId) continue;
+      if (specs[static_cast<std::size_t>(drv.node)][static_cast<std::size_t>(drv.port)].sequential)
+        continue;
+      adj[static_cast<std::size_t>(drv.node)].push_back(static_cast<int>(sink));
+      ++indeg[sink];
+    }
+  }
+  std::vector<int> order;
+  order.reserve(n);
+  std::vector<int> stack;
+  for (std::size_t i = 0; i < n; ++i)
+    if (indeg[i] == 0) stack.push_back(static_cast<int>(i));
+  while (!stack.empty()) {
+    const int u = stack.back();
+    stack.pop_back();
+    order.push_back(u);
+    for (const int v : adj[static_cast<std::size_t>(u)])
+      if (--indeg[static_cast<std::size_t>(v)] == 0) stack.push_back(v);
+  }
+
+  std::vector<double> arrival(n, 0.0);
+  double critical = 0.0;
+  for (const int u : order) {
+    const Node& node = nodes[static_cast<std::size_t>(u)];
+    double worst = 0.0;
+    for (std::size_t p = 0; p < specs[static_cast<std::size_t>(u)].size(); ++p) {
+      const auto& spec = specs[static_cast<std::size_t>(u)][p];
+      if (spec.dir != PortDir::kIn) continue;
+      const NetId net = node.pins[p];
+      if (net == kInvalidId) continue;
+      const PinRef drv = netlist.net(net).driver;
+      double t = c.route_per_level;  // inter-cluster routing
+      if (drv.node != kInvalidId) {
+        const auto& dspec =
+            specs[static_cast<std::size_t>(drv.node)][static_cast<std::size_t>(drv.port)];
+        t += dspec.sequential ? c.clk_to_q : arrival[static_cast<std::size_t>(drv.node)];
+      }
+      if (spec.sequential) {
+        critical = std::max(critical, t + c.setup);
+        continue;
+      }
+      worst = std::max(worst, t);
+    }
+    arrival[static_cast<std::size_t>(u)] = worst + node_delay(node.config, c);
+    critical = std::max(critical, arrival[static_cast<std::size_t>(u)]);
+  }
+  return critical;
+}
+
+}  // namespace
+
+FpgaEstimate estimate_fpga(const Netlist& netlist, const Simulator& sim, double freq_mhz,
+                           const FpgaCost& c) {
+  FpgaEstimate e;
+  e.mapping = map_to_fpga(netlist, c);
+
+  const double clb_tile = c.luts_per_clb * c.lut_area + c.clb_routing_area +
+                          c.config_bits_per_clb * c.config_bit_area;
+  e.area_um2 = e.mapping.clbs * clb_tile +
+               static_cast<double>(e.mapping.bram_bits) * c.bram_bit_area;
+
+  // Dynamic power from measured cluster-net activity, expanded to bit-level
+  // FPGA nets: every toggled data bit travels avg_hops_per_net 1-bit
+  // segments; internal decomposition levels add LUT toggles.
+  const double cycles = std::max<double>(1.0, static_cast<double>(sim.cycle()));
+  double hop_energy = 0.0;
+  for (std::size_t i = 0; i < netlist.nets().size(); ++i)
+    hop_energy += static_cast<double>(sim.net_toggles()[i]) * c.energy_per_bit_hop *
+                  c.avg_hops_per_net;
+  double lut_energy = 0.0;
+  for (const auto& node : netlist.nodes()) {
+    const LutDecomposition d = decompose(node.config, c);
+    double in_toggles = 0.0;
+    const auto specs = ports_of(node.config);
+    for (std::size_t p = 0; p < specs.size(); ++p) {
+      if (specs[p].dir != PortDir::kIn) continue;
+      const NetId net = node.pins[p];
+      if (net != kInvalidId) in_toggles += static_cast<double>(sim.net_toggles()[static_cast<std::size_t>(net)]);
+    }
+    // Each input toggle ripples through roughly lut_levels LUTs and one
+    // internal routing segment per extra level.
+    lut_energy += in_toggles * (d.lut_levels * c.energy_per_lut_toggle +
+                                std::max(0, d.lut_levels - 1) * c.energy_per_bit_hop);
+    if (d.uses_bram) {
+      const int addr_bits =
+          ceil_log2(static_cast<std::uint64_t>(std::get<MemCfg>(node.config).words));
+      lut_energy += in_toggles / std::max(1, addr_bits) * c.bram_read_energy;
+    }
+  }
+  const double dyn_pj_per_cycle = (hop_energy + lut_energy) / cycles;
+  const double dyn_mw = dyn_pj_per_cycle * freq_mhz * 1e-3;  // pJ * MHz = uW
+  const double clock_mw = dyn_mw * c.clock_tree_fraction / (1.0 - c.clock_tree_fraction);
+  const double leak_mw = e.area_um2 * c.leakage_per_area;
+  e.power_mw = dyn_mw + clock_mw + leak_mw;
+
+  e.critical_path_ns = critical_path(netlist, c);
+  if (e.critical_path_ns > 0.0) e.fmax_mhz = 1000.0 / e.critical_path_ns;
+  return e;
+}
+
+}  // namespace dsra::cost

@@ -1,0 +1,57 @@
+#include "cost/power.hpp"
+
+#include <algorithm>
+
+namespace dsra::cost {
+
+PowerReport domain_power(const Netlist& netlist, const Simulator& sim,
+                         const map::RouteResult* routes, double freq_mhz,
+                         const AreaReport& area, const DomainCost& c) {
+  PowerReport r;
+  const double cycles = std::max<double>(1.0, static_cast<double>(sim.cycle()));
+
+  // Interconnect: toggled bits travel the routed channel tree.
+  double hop_pj = 0.0;
+  for (std::size_t i = 0; i < netlist.nets().size(); ++i) {
+    const double toggles = static_cast<double>(sim.net_toggles()[i]);
+    double hops = 2.0;
+    if (routes != nullptr && i < routes->nets.size() && !routes->nets[i].tree.empty())
+      hops = static_cast<double>(routes->nets[i].tree.size());
+    hop_pj += toggles * hops * c.energy_per_bit_hop;
+  }
+
+  // Cluster cores: energy proportional to input activity and element count.
+  double core_pj = 0.0;
+  double mem_pj = 0.0;
+  for (const auto& node : netlist.nodes()) {
+    const auto specs = ports_of(node.config);
+    double in_toggles = 0.0;
+    for (std::size_t p = 0; p < specs.size(); ++p) {
+      if (specs[p].dir != PortDir::kIn) continue;
+      const NetId net = node.pins[p];
+      if (net != kInvalidId)
+        in_toggles += static_cast<double>(sim.net_toggles()[static_cast<std::size_t>(net)]);
+    }
+    if (const auto* mem = std::get_if<MemCfg>(&node.config)) {
+      // A read happens whenever the address moves; approximate reads by
+      // address-bit toggles (each toggle forces a new word out).
+      const int addr_bits = ceil_log2(static_cast<std::uint64_t>(mem->words));
+      mem_pj += in_toggles / std::max(1, addr_bits) * c.mem_read_energy;
+    } else {
+      const int w = std::max(1, width_of(node.config));
+      const double ops = in_toggles / w;  // toggled words ~ operations
+      core_pj += ops * element_count(node.config) * c.energy_per_element_op;
+    }
+  }
+
+  const double to_mw = freq_mhz * 1e-3 / cycles;  // pJ/cycle * MHz -> mW
+  r.interconnect_mw = hop_pj * to_mw;
+  r.cluster_mw = core_pj * to_mw;
+  r.memory_mw = mem_pj * to_mw;
+  const double dyn = r.interconnect_mw + r.cluster_mw + r.memory_mw;
+  r.clock_mw = dyn * c.clock_tree_fraction / (1.0 - c.clock_tree_fraction);
+  r.leakage_mw = area.total() * c.leakage_per_area;
+  return r;
+}
+
+}  // namespace dsra::cost

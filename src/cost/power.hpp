@@ -1,0 +1,37 @@
+// Activity-based power model for the domain-specific arrays.
+//
+// Dynamic power is computed from per-net bit-toggle counts measured by the
+// cycle-accurate simulator over a real workload, times the routed hop count
+// of each net; cluster cores contribute energy per active element; memory
+// clusters per read. Leakage scales with occupied area.
+#pragma once
+
+#include "core/netlist.hpp"
+#include "core/sim.hpp"
+#include "cost/area.hpp"
+#include "mapper/route.hpp"
+
+namespace dsra::cost {
+
+struct PowerReport {
+  double interconnect_mw = 0.0;
+  double cluster_mw = 0.0;
+  double memory_mw = 0.0;
+  double clock_mw = 0.0;
+  double leakage_mw = 0.0;
+
+  [[nodiscard]] double total() const {
+    return interconnect_mw + cluster_mw + memory_mw + clock_mw + leakage_mw;
+  }
+};
+
+/// Power of a mapped design whose activity was measured by running @p sim
+/// for sim.cycle() cycles, clocked at @p freq_mhz. @p routes supplies real
+/// per-net hop counts (null => 2-hop estimate). @p area supplies the
+/// leakage base.
+[[nodiscard]] PowerReport domain_power(const Netlist& netlist, const Simulator& sim,
+                                       const map::RouteResult* routes, double freq_mhz,
+                                       const AreaReport& area,
+                                       const DomainCost& c = domain_cost());
+
+}  // namespace dsra::cost

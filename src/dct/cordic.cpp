@@ -1,0 +1,48 @@
+#include "dct/cordic.hpp"
+
+#include <cmath>
+
+namespace dsra::dct {
+
+double cordic_gain(int iterations) {
+  double k = 1.0;
+  for (int i = 0; i < iterations; ++i) k *= std::sqrt(1.0 + std::ldexp(1.0, -2 * i));
+  return k;
+}
+
+std::pair<double, double> cordic_rotate(double x, double y, double angle, int iterations) {
+  double z = angle;
+  for (int i = 0; i < iterations; ++i) {
+    const double d = z >= 0.0 ? 1.0 : -1.0;
+    const double xs = std::ldexp(x, -i);
+    const double ys = std::ldexp(y, -i);
+    const double nx = x - d * ys;
+    const double ny = y + d * xs;
+    z -= d * std::atan(std::ldexp(1.0, -i));
+    x = nx;
+    y = ny;
+  }
+  const double k = cordic_gain(iterations);
+  return {x / k, y / k};
+}
+
+std::pair<std::int64_t, std::int64_t> cordic_rotate_fixed(std::int64_t x, std::int64_t y,
+                                                          double angle, int iterations,
+                                                          int frac_bits) {
+  // Angle accumulator in Q(frac_bits).
+  auto to_fix = [frac_bits](double v) {
+    return static_cast<std::int64_t>(std::llround(std::ldexp(v, frac_bits)));
+  };
+  std::int64_t z = to_fix(angle);
+  for (int i = 0; i < iterations; ++i) {
+    const std::int64_t d = z >= 0 ? 1 : -1;
+    const std::int64_t nx = x - d * (y >> i);
+    const std::int64_t ny = y + d * (x >> i);
+    z -= d * to_fix(std::atan(std::ldexp(1.0, -i)));
+    x = nx;
+    y = ny;
+  }
+  return {x, y};
+}
+
+}  // namespace dsra::dct

@@ -1,0 +1,28 @@
+// CORDIC rotation primitive (COordinate Rotation DIgital Computer).
+//
+// The paper's CORDIC-based DCT implementations (sections 3.3-3.4) realise
+// Givens rotations with ROMs + shift-accumulators in the DA fashion. This
+// header provides the classic iterative shift-add CORDIC as well, used by
+// tests and benches to show that each rotator's ROM contents correspond to
+// a plane rotation the iterative algorithm converges to.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+namespace dsra::dct {
+
+/// Gain K(n) = prod sqrt(1 + 2^-2i) of an n-iteration CORDIC.
+[[nodiscard]] double cordic_gain(int iterations);
+
+/// Rotate (x, y) by @p angle (radians, |angle| <= ~1.74) using @p
+/// iterations shift-add steps; the gain is compensated. Returns (x', y').
+[[nodiscard]] std::pair<double, double> cordic_rotate(double x, double y, double angle,
+                                                      int iterations);
+
+/// Fixed-point CORDIC in Q(frac_bits): rotates integer (x, y); gain is NOT
+/// compensated (hardware folds it into downstream scaling).
+[[nodiscard]] std::pair<std::int64_t, std::int64_t> cordic_rotate_fixed(
+    std::int64_t x, std::int64_t y, double angle, int iterations, int frac_bits);
+
+}  // namespace dsra::dct

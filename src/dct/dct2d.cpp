@@ -1,0 +1,56 @@
+#include "dct/dct2d.hpp"
+
+#include <cmath>
+
+#include "common/ints.hpp"
+
+namespace dsra::dct {
+
+Block8x8 forward_2d(const DctImplementation& impl, const PixelBlock& block,
+                    int pass2_extra_bits) {
+  const double pass2_scale = static_cast<double>(1 << pass2_extra_bits);
+  const int in_bits = impl.precision().input_bits;
+
+  // Pass 1: rows.
+  Block8x8 inter{};
+  for (int r = 0; r < kN; ++r) {
+    IVec8 row{};
+    for (int c = 0; c < kN; ++c)
+      row[static_cast<std::size_t>(c)] = block[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)];
+    const Vec8 y = impl.transform_real(row);
+    for (int c = 0; c < kN; ++c) inter[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)] = y[static_cast<std::size_t>(c)];
+  }
+
+  // Transpose buffer: store with pass2_extra_bits fraction bits, saturated
+  // to the implementation's input width (as the RAM-mode Mem cluster does).
+  Block8x8 out{};
+  for (int c = 0; c < kN; ++c) {
+    IVec8 col{};
+    for (int r = 0; r < kN; ++r) {
+      const auto q = static_cast<std::int64_t>(
+          std::llround(inter[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)] * pass2_scale));
+      col[static_cast<std::size_t>(r)] = saturate_to_width(q, in_bits);
+    }
+    const Vec8 y = impl.transform_real(col);
+    for (int r = 0; r < kN; ++r)
+      out[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)] =
+          y[static_cast<std::size_t>(r)] / pass2_scale;
+  }
+  return out;
+}
+
+int cycles_for_block(const DctImplementation& impl) {
+  // 8 row transforms + 8 column transforms + 8 transpose-buffer writes.
+  return 16 * impl.cycles_per_transform() + kN;
+}
+
+Block8x8 forward_2d_reference(const PixelBlock& block) {
+  Block8x8 b{};
+  for (int r = 0; r < kN; ++r)
+    for (int c = 0; c < kN; ++c)
+      b[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)] =
+          static_cast<double>(block[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)]);
+  return dct8x8(b);
+}
+
+}  // namespace dsra::dct

@@ -1,0 +1,29 @@
+// 2-D 8x8 DCT by rows then columns through any 1-D array implementation.
+//
+// Mirrors the hardware organisation: the first pass writes to a transpose
+// buffer (a Mem cluster in RAM mode on the array; modelled here as the
+// intermediate matrix), the second pass transforms columns. First-pass
+// outputs are re-quantised to the implementation's input width with
+// @p pass2_extra_bits additional fraction bits, exactly as a 16-bit
+// transpose memory would store them.
+#pragma once
+
+#include "dct/impl.hpp"
+
+namespace dsra::dct {
+
+/// 8x8 pixel block (integer samples, e.g. level-shifted luma in [-128,127]).
+using PixelBlock = std::array<std::array<int, kN>, kN>;
+
+/// Real-valued 2-D DCT coefficients computed through @p impl.
+[[nodiscard]] Block8x8 forward_2d(const DctImplementation& impl, const PixelBlock& block,
+                                  int pass2_extra_bits = 2);
+
+/// Array cycles for one 8x8 block: 16 one-dimensional transforms plus the
+/// transpose-buffer writeback.
+[[nodiscard]] int cycles_for_block(const DctImplementation& impl);
+
+/// Reference 2-D DCT of a pixel block (double precision, for comparisons).
+[[nodiscard]] Block8x8 forward_2d_reference(const PixelBlock& block);
+
+}  // namespace dsra::dct

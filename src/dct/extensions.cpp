@@ -1,0 +1,135 @@
+#include "dct/extensions.hpp"
+
+#include <stdexcept>
+
+#include "common/ints.hpp"
+
+namespace dsra::dct {
+
+// --- DaIdct ----------------------------------------------------------------
+
+DaIdct::DaIdct(DaPrecision precision) : prec_(precision) {
+  const Mat8& m = dct8_matrix();
+  for (int i = 0; i < kN; ++i) {
+    std::vector<double> col;
+    col.reserve(kN);
+    for (int u = 0; u < kN; ++u) col.push_back(m[u][i]);  // transposed row
+    luts_[static_cast<std::size_t>(i)] =
+        build_da_lut(quantize_row(col, prec_.coeff_frac_bits), prec_.rom_width);
+  }
+}
+
+IVec8 DaIdct::inverse(const IVec8& coeffs) const {
+  const int ws = serial_width();
+  IVec8 serial{};
+  for (int u = 0; u < kN; ++u)
+    serial[static_cast<std::size_t>(u)] = wrap_to_width(coeffs[static_cast<std::size_t>(u)], ws);
+  IVec8 out{};
+  for (int i = 0; i < kN; ++i)
+    out[static_cast<std::size_t>(i)] =
+        da_eval(luts_[static_cast<std::size_t>(i)], serial, ws, prec_.acc_bits);
+  return out;
+}
+
+Netlist DaIdct::build_netlist() const {
+  Netlist nl("idct_da");
+  const DaControls ctl = add_da_controls(nl);
+  const int ws = serial_width();
+  std::vector<NetId> bits;
+  for (int u = 0; u < kN; ++u) {
+    const NetId x = nl.add_input("X" + std::to_string(u), ws);
+    bits.push_back(add_shift_reg(nl, "sr" + std::to_string(u), x, ws, ctl.load, ctl.en));
+  }
+  for (int i = 0; i < kN; ++i) {
+    const NetId y = add_da_unit(nl, "col" + std::to_string(i), bits,
+                                luts_[static_cast<std::size_t>(i)], prec_.rom_width,
+                                prec_.acc_bits, ctl.load, ctl.en, ctl.sub);
+    nl.add_output("x" + std::to_string(i), y);
+  }
+  return nl;
+}
+
+// --- DaFirFilter -------------------------------------------------------------
+
+DaFirFilter::DaFirFilter(std::vector<double> taps, DaPrecision precision) : prec_(precision) {
+  if (taps.empty() || taps.size() > 8)
+    throw std::invalid_argument("DA FIR supports 1..8 taps (LUT address width)");
+  qtaps_ = quantize_row(taps, prec_.coeff_frac_bits);
+  lut_ = build_da_lut(qtaps_, prec_.rom_width);
+}
+
+std::vector<std::int64_t> DaFirFilter::filter(std::span<const std::int64_t> x) const {
+  const int ws = serial_width();
+  std::vector<std::int64_t> delay(qtaps_.size(), 0);
+  std::vector<std::int64_t> out;
+  out.reserve(x.size());
+  for (const std::int64_t sample : x) {
+    // Shift the tap delay line, newest sample first.
+    for (std::size_t k = delay.size(); k > 1; --k) delay[k - 1] = delay[k - 2];
+    delay[0] = wrap_to_width(sample, ws);
+    out.push_back(da_eval(lut_, delay, ws, prec_.acc_bits));
+  }
+  return out;
+}
+
+Netlist DaFirFilter::build_netlist() const {
+  // Per-sample schedule (the controller's): pulse `advance` (delay line
+  // shifts the new sample in), then pulse `load` (P2S registers latch the
+  // tap values, accumulator clears), then serial_width accumulate cycles.
+  Netlist nl("fir_da" + std::to_string(tap_count()) + "tap");
+  const DaControls ctl = add_da_controls(nl);
+  const NetId advance = nl.add_input("advance", 1);
+  const int ws = serial_width();
+  const NetId x = nl.add_input("x", ws);
+
+  // Tap delay line z1..zK: MuxReg hold registers advancing on `advance`.
+  std::vector<NetId> tap_values;
+  NetId prev = x;
+  for (int k = 0; k < tap_count(); ++k) {
+    const NodeId reg = nl.add_node("z" + std::to_string(k + 1), MuxRegCfg{ws, true});
+    const NetId out = nl.output_net(reg, "y");
+    nl.connect_input(reg, "b", prev);   // sel=1 (advance): take upstream
+    nl.connect_input(reg, "a", out);    // sel=0: hold
+    nl.connect_input(reg, "sel", advance);
+    tap_values.push_back(out);
+    prev = out;
+  }
+
+  std::vector<NetId> bits;
+  for (int k = 0; k < tap_count(); ++k)
+    bits.push_back(add_shift_reg(nl, "sr" + std::to_string(k), tap_values[static_cast<std::size_t>(k)],
+                                 ws, ctl.load, ctl.en));
+  const NetId y = add_da_unit(nl, "mac", bits, lut_, prec_.rom_width, prec_.acc_bits, ctl.load,
+                              ctl.en, ctl.sub);
+  nl.add_output("y", y);
+  return nl;
+}
+
+// --- Haar stage --------------------------------------------------------------
+
+Netlist build_haar_stage_netlist(int width) {
+  Netlist nl("haar_stage");
+  const NetId a = nl.add_input("a", width);
+  const NetId b = nl.add_input("b", width);
+
+  const NodeId sum = nl.add_node("sum", AddShiftCfg{width, AddShiftOp::kAdd, 0, false});
+  nl.connect_input(sum, "a", a);
+  nl.connect_input(sum, "b", b);
+  const NodeId half = nl.add_node("half", AddShiftCfg{width, AddShiftOp::kShiftRight, 1, false});
+  nl.connect_input(half, "a", nl.output_net(sum, "y"));
+  nl.add_output("s", nl.output_net(half, "y"));
+
+  const NodeId diff = nl.add_node("diff", AddShiftCfg{width, AddShiftOp::kSub, 0, false});
+  nl.connect_input(diff, "a", a);
+  nl.connect_input(diff, "b", b);
+  nl.add_output("d", nl.output_net(diff, "y"));
+  return nl;
+}
+
+std::pair<std::int64_t, std::int64_t> haar_stage(std::int64_t a, std::int64_t b, int width) {
+  const std::int64_t s = wrap_to_width(a + b, width) >> 1;
+  const std::int64_t d = wrap_to_width(a - b, width);
+  return {s, d};
+}
+
+}  // namespace dsra::dct

@@ -1,0 +1,46 @@
+#include "dct/impl.hpp"
+
+#include <cmath>
+
+namespace dsra::dct {
+
+std::array<int, kN> DctImplementation::output_frac_bits() const {
+  std::array<int, kN> f{};
+  f.fill(prec_.coeff_frac_bits);
+  return f;
+}
+
+std::array<double, kN> DctImplementation::output_scale() const {
+  std::array<double, kN> g{};
+  g.fill(1.0);
+  return g;
+}
+
+double DctImplementation::to_real(int u, std::int64_t raw) const {
+  const auto frac = output_frac_bits();
+  const auto scale = output_scale();
+  return static_cast<double>(raw) /
+         static_cast<double>(1ll << frac[static_cast<std::size_t>(u)]) /
+         scale[static_cast<std::size_t>(u)];
+}
+
+Vec8 DctImplementation::transform_real(const IVec8& x) const {
+  const IVec8 raw = transform(x);
+  Vec8 out{};
+  for (int u = 0; u < kN; ++u)
+    out[static_cast<std::size_t>(u)] = to_real(u, raw[static_cast<std::size_t>(u)]);
+  return out;
+}
+
+std::vector<std::unique_ptr<DctImplementation>> all_implementations(DaPrecision p) {
+  std::vector<std::unique_ptr<DctImplementation>> v;
+  v.push_back(make_da_basic(p));
+  v.push_back(make_mixed_rom(p));
+  v.push_back(make_cordic1(p));
+  v.push_back(make_cordic2(p));
+  v.push_back(make_scc_even_odd(p));
+  v.push_back(make_scc_full(p));
+  return v;
+}
+
+}  // namespace dsra::dct

@@ -1,0 +1,95 @@
+// Common interface of the paper's DCT implementations (sections 3.1-3.5).
+//
+// Each implementation provides:
+//  * a bit-accurate functional model (transform), exactly mirroring the
+//    arithmetic of its mapped netlist - the integration tests require
+//    simulate(build_netlist()) == transform() bit for bit;
+//  * a netlist generator targeting the DA array (build_netlist), whose
+//    cluster census reproduces its Table 1 column;
+//  * scaling metadata to convert raw accumulator words to real DCT values
+//    (CORDIC #2 is a *scaled* DCT; its factors fold into quantisation).
+#pragma once
+
+#include <array>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dct/da_common.hpp"
+
+namespace dsra::dct {
+
+class DctImplementation {
+ public:
+  explicit DctImplementation(DaPrecision precision) : prec_(precision) {}
+  virtual ~DctImplementation() = default;
+
+  DctImplementation(const DctImplementation&) = delete;
+  DctImplementation& operator=(const DctImplementation&) = delete;
+
+  /// Short identifier ("mixed_rom", "cordic1", ...).
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Which paper figure this reproduces ("Fig 4", ...).
+  [[nodiscard]] virtual std::string paper_figure() const = 0;
+
+  /// One-line description for reports.
+  [[nodiscard]] virtual std::string description() const = 0;
+
+  /// Bit-accurate 8-point transform (raw fixed-point output words).
+  [[nodiscard]] virtual IVec8 transform(const IVec8& x) const = 0;
+
+  /// Cluster netlist targeting the DA array (ports x0..x7, X0..X7,
+  /// controls load/en/sub).
+  [[nodiscard]] virtual Netlist build_netlist() const = 0;
+
+  /// Width of the serialised values (= serial cycles per transform).
+  [[nodiscard]] virtual int serial_width() const = 0;
+
+  /// Clock cycles for one 8-point transform on the array.
+  [[nodiscard]] int cycles_per_transform() const { return serial_width() + 1; }
+
+  /// Per-output fraction bits of the raw words (defaults to the ROM
+  /// coefficient fraction; combinational bypass outputs report 0).
+  [[nodiscard]] virtual std::array<int, kN> output_frac_bits() const;
+
+  /// Per-output scale factor g: X_true = raw / 2^frac / g. Identity for
+  /// exact implementations; CORDIC #2 returns its folded scale vector.
+  [[nodiscard]] virtual std::array<double, kN> output_scale() const;
+
+  /// Convert a raw output word to a real DCT coefficient.
+  [[nodiscard]] virtual double to_real(int u, std::int64_t raw) const;
+
+  /// Drive any implementation-specific constant inputs (e.g. CORDIC #2's
+  /// rounding constants). Called once before run_da_transform.
+  virtual void drive_constants(Simulator& sim) const { (void)sim; }
+
+  /// Functional transform returning real-valued coefficients.
+  [[nodiscard]] Vec8 transform_real(const IVec8& x) const;
+
+  [[nodiscard]] const DaPrecision& precision() const { return prec_; }
+
+ protected:
+  DaPrecision prec_;
+};
+
+/// Factory helpers, one per paper figure.
+[[nodiscard]] std::unique_ptr<DctImplementation> make_da_basic(DaPrecision p = DaPrecision::wide());
+[[nodiscard]] std::unique_ptr<DctImplementation> make_mixed_rom(DaPrecision p = DaPrecision::wide());
+[[nodiscard]] std::unique_ptr<DctImplementation> make_cordic1(DaPrecision p = DaPrecision::wide());
+[[nodiscard]] std::unique_ptr<DctImplementation> make_cordic2(DaPrecision p = DaPrecision::wide());
+[[nodiscard]] std::unique_ptr<DctImplementation> make_scc_even_odd(DaPrecision p = DaPrecision::wide());
+[[nodiscard]] std::unique_ptr<DctImplementation> make_scc_full(DaPrecision p = DaPrecision::wide());
+
+/// All six implementations (Figs 4-9) in paper order.
+[[nodiscard]] std::vector<std::unique_ptr<DctImplementation>> all_implementations(
+    DaPrecision p = DaPrecision::wide());
+
+/// Fig 4 with its *exact* hardware labels: 12-bit inputs, 256-word x 8-bit
+/// ROMs and 16-bit right-shifting (truncating) accumulators, built from
+/// the kShiftRegLsb / kShiftAccTrunc cluster modes. Same cluster budget as
+/// make_da_basic; the output carries the LSB-first datapath's scaling and
+/// truncation noise (quantified in bench_fig4_da_dct).
+[[nodiscard]] std::unique_ptr<DctImplementation> make_da_basic_fig4_exact();
+
+}  // namespace dsra::dct

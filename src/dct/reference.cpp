@@ -1,0 +1,123 @@
+#include "dct/reference.hpp"
+
+#include <cmath>
+
+#include "common/fixed.hpp"
+
+namespace dsra::dct {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+}
+
+const Mat8& dct8_matrix() {
+  static const Mat8 m = [] {
+    Mat8 mm{};
+    for (int u = 0; u < kN; ++u) {
+      const double cu = u == 0 ? std::sqrt(1.0 / kN) : std::sqrt(2.0 / kN);
+      for (int i = 0; i < kN; ++i)
+        mm[u][i] = cu * std::cos((2 * i + 1) * u * kPi / (2.0 * kN));
+    }
+    return mm;
+  }();
+  return m;
+}
+
+std::vector<double> dct_1d(const std::vector<double>& x) {
+  const int n = static_cast<int>(x.size());
+  std::vector<double> out(x.size(), 0.0);
+  for (int u = 0; u < n; ++u) {
+    const double cu = u == 0 ? std::sqrt(1.0 / n) : std::sqrt(2.0 / n);
+    double acc = 0.0;
+    for (int i = 0; i < n; ++i)
+      acc += x[static_cast<std::size_t>(i)] * std::cos((2 * i + 1) * u * kPi / (2.0 * n));
+    out[static_cast<std::size_t>(u)] = cu * acc;
+  }
+  return out;
+}
+
+std::vector<double> idct_1d(const std::vector<double>& X) {
+  const int n = static_cast<int>(X.size());
+  std::vector<double> out(X.size(), 0.0);
+  for (int i = 0; i < n; ++i) {
+    double acc = 0.0;
+    for (int u = 0; u < n; ++u) {
+      const double cu = u == 0 ? std::sqrt(1.0 / n) : std::sqrt(2.0 / n);
+      acc += cu * X[static_cast<std::size_t>(u)] * std::cos((2 * i + 1) * u * kPi / (2.0 * n));
+    }
+    out[static_cast<std::size_t>(i)] = acc;
+  }
+  return out;
+}
+
+Vec8 dct8(const Vec8& x) {
+  const Mat8& m = dct8_matrix();
+  Vec8 out{};
+  for (int u = 0; u < kN; ++u) {
+    double acc = 0.0;
+    for (int i = 0; i < kN; ++i) acc += m[u][i] * x[static_cast<std::size_t>(i)];
+    out[static_cast<std::size_t>(u)] = acc;
+  }
+  return out;
+}
+
+Vec8 idct8(const Vec8& X) {
+  const Mat8& m = dct8_matrix();
+  Vec8 out{};
+  for (int i = 0; i < kN; ++i) {
+    double acc = 0.0;
+    for (int u = 0; u < kN; ++u) acc += m[u][i] * X[static_cast<std::size_t>(u)];
+    out[static_cast<std::size_t>(i)] = acc;
+  }
+  return out;
+}
+
+Block8x8 dct8x8(const Block8x8& x) {
+  Block8x8 tmp{};
+  for (int r = 0; r < kN; ++r) {
+    Vec8 row{};
+    for (int c = 0; c < kN; ++c) row[static_cast<std::size_t>(c)] = x[r][c];
+    const Vec8 t = dct8(row);
+    for (int c = 0; c < kN; ++c) tmp[r][c] = t[static_cast<std::size_t>(c)];
+  }
+  Block8x8 out{};
+  for (int c = 0; c < kN; ++c) {
+    Vec8 col{};
+    for (int r = 0; r < kN; ++r) col[static_cast<std::size_t>(r)] = tmp[r][c];
+    const Vec8 t = dct8(col);
+    for (int r = 0; r < kN; ++r) out[r][c] = t[static_cast<std::size_t>(r)];
+  }
+  return out;
+}
+
+Block8x8 idct8x8(const Block8x8& X) {
+  Block8x8 tmp{};
+  for (int c = 0; c < kN; ++c) {
+    Vec8 col{};
+    for (int r = 0; r < kN; ++r) col[static_cast<std::size_t>(r)] = X[r][c];
+    const Vec8 t = idct8(col);
+    for (int r = 0; r < kN; ++r) tmp[r][c] = t[static_cast<std::size_t>(r)];
+  }
+  Block8x8 out{};
+  for (int r = 0; r < kN; ++r) {
+    Vec8 row{};
+    for (int c = 0; c < kN; ++c) row[static_cast<std::size_t>(c)] = tmp[r][c];
+    const Vec8 t = idct8(row);
+    for (int c = 0; c < kN; ++c) out[r][c] = t[static_cast<std::size_t>(c)];
+  }
+  return out;
+}
+
+IVec8 dct8_fixed(const IVec8& x, int frac_bits) {
+  const Mat8& m = dct8_matrix();
+  IVec8 out{};
+  for (int u = 0; u < kN; ++u) {
+    std::int64_t acc = 0;
+    for (int i = 0; i < kN; ++i)
+      acc += to_fixed(m[u][i], frac_bits) * x[static_cast<std::size_t>(i)];
+    out[static_cast<std::size_t>(u)] = acc;
+  }
+  return out;
+}
+
+}  // namespace dsra::dct

@@ -1,0 +1,44 @@
+// Reference DCT-II / inverse DCT (double precision and exact fixed point).
+//
+// Every array implementation in this library is verified against these:
+// the orthonormal DCT-II matrix (paper section 3.1 equation) in double
+// precision, and an exact integer matrix product with identically
+// quantised coefficients for bit-exactness proofs.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace dsra::dct {
+
+inline constexpr int kN = 8;  ///< transform size used throughout the paper
+
+using Vec8 = std::array<double, kN>;
+using IVec8 = std::array<std::int64_t, kN>;
+using Mat8 = std::array<std::array<double, kN>, kN>;
+
+/// Orthonormal DCT-II matrix: M[u][i] = c(u) cos((2i+1)u pi / 16),
+/// c(0) = sqrt(1/8), c(u>0) = 1/2. M * M^T = I.
+[[nodiscard]] const Mat8& dct8_matrix();
+
+/// 1-D forward DCT-II (orthonormal) of arbitrary length.
+[[nodiscard]] std::vector<double> dct_1d(const std::vector<double>& x);
+
+/// 1-D inverse DCT (orthonormal).
+[[nodiscard]] std::vector<double> idct_1d(const std::vector<double>& X);
+
+/// 8-point forward / inverse shortcuts.
+[[nodiscard]] Vec8 dct8(const Vec8& x);
+[[nodiscard]] Vec8 idct8(const Vec8& X);
+
+/// 8x8 2-D DCT by rows then columns (and its inverse).
+using Block8x8 = std::array<std::array<double, kN>, kN>;
+[[nodiscard]] Block8x8 dct8x8(const Block8x8& x);
+[[nodiscard]] Block8x8 idct8x8(const Block8x8& X);
+
+/// Exact integer reference: Y[u] = sum_i round(M[u][i] * 2^frac) * x[i].
+/// This is what a bit-exact Distributed-Arithmetic datapath must produce.
+[[nodiscard]] IVec8 dct8_fixed(const IVec8& x, int frac_bits);
+
+}  // namespace dsra::dct

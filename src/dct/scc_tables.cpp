@@ -1,0 +1,122 @@
+#include "dct/scc_tables.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace dsra::dct {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+/// Find (a, sign) with residue == sign * 3^a (mod modulus), a in [0, n).
+void residue_to_power(int residue, int modulus, int n, int& a_out, int& sign_out) {
+  int p = 1;
+  for (int a = 0; a < n; ++a) {
+    if (p % modulus == residue % modulus) {
+      a_out = a;
+      sign_out = 1;
+      return;
+    }
+    if ((modulus - p % modulus) % modulus == residue % modulus) {
+      a_out = a;
+      sign_out = -1;
+      return;
+    }
+    p = (p * 3) % modulus;
+  }
+  throw std::logic_error("residue is not +/- a power of 3");
+}
+
+}  // namespace
+
+const Scc4Tables& scc4_tables() {
+  static const Scc4Tables t = [] {
+    Scc4Tables tt{};
+    // Inputs: d_i carries coefficient cos((2i+1)u pi/16); map 2i+1 mod 16.
+    for (int i = 0; i < 4; ++i) {
+      int a = 0, sign = 0;
+      residue_to_power(2 * i + 1, 16, 4, a, sign);
+      tt.a_of_input[static_cast<std::size_t>(i)] = a;
+      tt.input_of_a[static_cast<std::size_t>(a)] = i;
+    }
+    // Kernel h_b = cos(3^b pi/16), exponent arithmetic done mod 32 where
+    // the cosine argument lives.
+    int p = 1;
+    for (int b = 0; b < 4; ++b) {
+      tt.kernel[static_cast<std::size_t>(b)] = std::cos(p * kPi / 16.0);
+      p = (p * 3) % 32;
+    }
+    // Rows: convolution row j produces the odd output whose exponent is j.
+    for (int j = 0; j < 4; ++j) {
+      for (int u = 1; u < 8; u += 2) {
+        int a = 0, sign = 0;
+        residue_to_power(u, 16, 4, a, sign);
+        if (a == j) tt.odd_u_of_row[static_cast<std::size_t>(j)] = u;
+      }
+    }
+    // Extract the separable signs numerically: the true coefficient
+    // cos((2i+1)u pi/16) must equal sign_out(j) * sign_in(a) * negacyclic.
+    auto s_of = [&tt](int j, int a) {
+      const int u = tt.odd_u_of_row[static_cast<std::size_t>(j)];
+      const int i = tt.input_of_a[static_cast<std::size_t>(a)];
+      const double truth = std::cos((2 * i + 1) * u * kPi / 16.0);
+      const double h = tt.negacyclic(j, a);
+      const double ratio = truth / h;
+      assert(std::fabs(std::fabs(ratio) - 1.0) < 1e-9);
+      return ratio > 0 ? 1 : -1;
+    };
+    for (int a = 0; a < 4; ++a) tt.sign_in[static_cast<std::size_t>(a)] = s_of(0, a);
+    for (int j = 0; j < 4; ++j)
+      tt.sign_out[static_cast<std::size_t>(j)] =
+          s_of(j, 0) / tt.sign_in[0];
+    // Separability check over the whole matrix.
+    for (int j = 0; j < 4; ++j)
+      for (int a = 0; a < 4; ++a)
+        if (s_of(j, a) != tt.sign_out[static_cast<std::size_t>(j)] *
+                              tt.sign_in[static_cast<std::size_t>(a)])
+          throw std::logic_error("SCC4 signs are not separable");
+    return tt;
+  }();
+  return t;
+}
+
+const Scc8Tables& scc8_tables() {
+  static const Scc8Tables t = [] {
+    Scc8Tables tt{};
+    for (int i = 0; i < 8; ++i) {
+      int a = 0, sign = 0;
+      residue_to_power(2 * i + 1, 32, 8, a, sign);
+      tt.a_of_input[static_cast<std::size_t>(i)] = a;
+      tt.input_of_a[static_cast<std::size_t>(a)] = i;
+    }
+    int p = 1;
+    for (int b = 0; b < 8; ++b) {
+      tt.kernel[static_cast<std::size_t>(b)] = std::cos(p * kPi / 16.0);
+      p = (p * 3) % 32;
+    }
+    for (int k = 0; k < 4; ++k) {
+      const int u = 2 * k + 1;
+      int a = 0, sign = 0;
+      residue_to_power(u, 32, 8, a, sign);
+      tt.a_of_odd_u[static_cast<std::size_t>(k)] = a;
+    }
+    // Self-check: pure circulant with no sign corrections.
+    for (int k = 0; k < 4; ++k) {
+      const int u = 2 * k + 1;
+      for (int i = 0; i < 8; ++i) {
+        const double truth = std::cos((2 * i + 1) * u * kPi / 16.0);
+        const double h = tt.circulant(tt.a_of_odd_u[static_cast<std::size_t>(k)],
+                                      tt.a_of_input[static_cast<std::size_t>(i)]);
+        if (std::fabs(truth - h) > 1e-9)
+          throw std::logic_error("SCC8 circulant identity failed");
+      }
+    }
+    return tt;
+  }();
+  return t;
+}
+
+}  // namespace dsra::dct

@@ -1,0 +1,58 @@
+// Index-mapping tables for Li's skew-circular-convolution DCT [10][11].
+//
+// The odd-indexed DCT outputs become a convolution once input/output
+// indices are mapped through powers of 3:
+//
+//  * length-4 (even/odd split, Fig 8): odd residues mod 16 are +/-3^a;
+//    because 3^(a+4) = 3^a + 16 (mod 32) the cosine flips sign with
+//    period 4 -> a *skew-circular* (negacyclic) length-4 convolution with
+//    kernel h_b = cos(3^b pi/16) and separable per-index signs.
+//
+//  * length-8 (full form, Fig 9): odd residues mod 32 are +/-3^a with 3 of
+//    order 8, products reduce exactly mod 32, and cos(-x) = cos(x) absorbs
+//    the signs -> a *pure circulant* length-8 convolution with kernel
+//    C_b = cos(3^b pi/16), exactly the circulant matrix printed in the
+//    paper.
+//
+// The tables are constructed from first principles (residue search) and
+// the separability of the length-4 signs is asserted numerically.
+#pragma once
+
+#include <array>
+
+namespace dsra::dct {
+
+/// Tables for the length-4 negacyclic odd part (Fig 8).
+struct Scc4Tables {
+  std::array<int, 4> a_of_input;    ///< exponent a for input index i (d_i)
+  std::array<int, 4> input_of_a;    ///< inverse permutation
+  std::array<int, 4> sign_in;      ///< per-input sign (folded into ROMs)
+  std::array<int, 4> odd_u_of_row;  ///< DCT output index of convolution row j
+  std::array<int, 4> sign_out;     ///< per-row sign (folded into ROMs)
+  std::array<double, 4> kernel;     ///< h_b = cos(3^b pi/16), b = 0..3
+
+  /// Negacyclic kernel element h_{(p+q) mod 4} * (-1)^((p+q)/4 wraps).
+  [[nodiscard]] double negacyclic(int p, int q) const {
+    const int b = p + q;
+    const double v = kernel[static_cast<std::size_t>(b % 4)];
+    return (b / 4) % 2 == 0 ? v : -v;
+  }
+};
+
+/// Tables for the length-8 circulant full form (Fig 9).
+struct Scc8Tables {
+  std::array<int, 8> a_of_input;   ///< exponent a for input index i (x_i)
+  std::array<int, 8> input_of_a;   ///< inverse permutation (paper's reordering)
+  std::array<int, 4> a_of_odd_u;   ///< exponent for odd outputs 1,3,5,7
+  std::array<double, 8> kernel;    ///< C_b = cos(3^b pi/16), b = 0..7
+
+  [[nodiscard]] double circulant(int p, int q) const {
+    return kernel[static_cast<std::size_t>((p + q) % 8)];
+  }
+};
+
+/// Construct (and internally self-check) the tables.
+[[nodiscard]] const Scc4Tables& scc4_tables();
+[[nodiscard]] const Scc8Tables& scc8_tables();
+
+}  // namespace dsra::dct

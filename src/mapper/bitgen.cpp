@@ -1,0 +1,222 @@
+#include "mapper/bitgen.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/bitpack.hpp"
+#include "common/ints.hpp"
+#include "core/config_codec.hpp"
+
+namespace dsra::map {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x44535241;  // "DSRA"
+constexpr int kVersion = 1;
+
+void write_string(BitWriter& w, const std::string& s) {
+  w.write(s.size(), 16);
+  for (const char c : s) w.write(static_cast<std::uint8_t>(c), 8);
+}
+
+std::string read_string(BitReader& r) {
+  const auto len = r.read(16);
+  std::string s;
+  s.reserve(len);
+  for (std::uint64_t i = 0; i < len; ++i) s.push_back(static_cast<char>(r.read(8)));
+  return s;
+}
+
+std::uint32_t arch_signature(const ArrayArch& arch) {
+  std::vector<std::uint8_t> bytes(arch.name().begin(), arch.name().end());
+  bytes.push_back(static_cast<std::uint8_t>(arch.width()));
+  bytes.push_back(static_cast<std::uint8_t>(arch.height()));
+  return crc32(bytes);
+}
+
+/// Bits needed for one routing-resource node id of @p arch's graph
+/// (mirrors the RRGraph numbering: two layers of H + V channel segments).
+int rr_node_id_bits(const ArrayArch& arch) {
+  const int w = arch.width(), h = arch.height();
+  const int per_layer = w * (h + 1) + (w + 1) * h;
+  return std::max(1, ceil_log2(static_cast<std::uint64_t>(2 * per_layer)));
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> generate_bitstream(const Netlist& netlist, const ArrayArch& arch,
+                                             const Placement& placement,
+                                             const RouteResult* routes) {
+  BitWriter w;
+  w.write_u32(kMagic);
+  w.write(kVersion, 8);
+  write_string(w, netlist.name());
+  w.write_u32(arch_signature(arch));
+  w.write(static_cast<std::uint64_t>(arch.width()), 16);
+  w.write(static_cast<std::uint64_t>(arch.height()), 16);
+
+  w.write(netlist.nets().size(), 32);
+  for (const auto& net : netlist.nets()) {
+    write_string(w, net.name);
+    w.write(static_cast<std::uint64_t>(net.width), 8);
+  }
+
+  w.write(netlist.nodes().size(), 32);
+  for (std::size_t i = 0; i < netlist.nodes().size(); ++i) {
+    const Node& node = netlist.nodes()[i];
+    const TileCoord t = placement.node_tile[i];
+    write_string(w, node.name);
+    w.write(static_cast<std::uint64_t>(t.x), 16);
+    w.write(static_cast<std::uint64_t>(t.y), 16);
+    encode_config(node.config, w);
+    w.write(node.pins.size(), 8);
+    for (const NetId pin : node.pins) {
+      w.write(pin == kInvalidId ? 0 : 1, 1);
+      if (pin != kInvalidId) w.write(static_cast<std::uint64_t>(pin), 32);
+    }
+  }
+
+  w.write(netlist.inputs().size(), 16);
+  for (std::size_t i = 0; i < netlist.inputs().size(); ++i) {
+    const auto& pi = netlist.inputs()[i];
+    write_string(w, pi.name);
+    w.write(static_cast<std::uint64_t>(pi.net), 32);
+    w.write(static_cast<std::uint64_t>(placement.input_pad[i].tile.x), 16);
+    w.write(static_cast<std::uint64_t>(placement.input_pad[i].tile.y), 16);
+  }
+  w.write(netlist.outputs().size(), 16);
+  for (std::size_t i = 0; i < netlist.outputs().size(); ++i) {
+    const auto& po = netlist.outputs()[i];
+    write_string(w, po.name);
+    w.write(static_cast<std::uint64_t>(po.net), 32);
+    w.write(static_cast<std::uint64_t>(placement.output_pad[i].tile.x), 16);
+    w.write(static_cast<std::uint64_t>(placement.output_pad[i].tile.y), 16);
+  }
+
+  // Routed channel trees. Channel-node ids are sized to the architecture's
+  // routing-resource graph so route descriptors stay compact.
+  w.write(routes != nullptr ? 1 : 0, 1);
+  if (routes != nullptr) {
+    const int id_bits = rr_node_id_bits(arch);
+    for (const auto& rn : routes->nets) {
+      w.write(rn.tree.size(), 24);
+      for (const RRNodeId n : rn.tree) w.write(static_cast<std::uint64_t>(n), id_bits);
+    }
+  }
+
+  w.align_to_byte();
+  std::vector<std::uint8_t> bytes = w.bytes();
+  const std::uint32_t crc = crc32(bytes);
+  BitWriter tail;
+  tail.write_u32(crc);
+  for (const std::uint8_t b : tail.bytes()) bytes.push_back(b);
+  return bytes;
+}
+
+ExtractedDesign extract_design(const ArrayArch& arch, const std::vector<std::uint8_t>& bytes) {
+  if (bytes.size() < 8) throw std::runtime_error("bitstream: truncated");
+  std::vector<std::uint8_t> body(bytes.begin(), bytes.end() - 4);
+  std::vector<std::uint8_t> tail(bytes.end() - 4, bytes.end());
+  BitReader tail_r(tail);
+  if (crc32(body) != tail_r.read_u32()) throw std::runtime_error("bitstream: CRC mismatch");
+
+  BitReader r(body);
+  if (r.read_u32() != kMagic) throw std::runtime_error("bitstream: bad magic");
+  if (r.read(8) != kVersion) throw std::runtime_error("bitstream: unsupported version");
+  const std::string name = read_string(r);
+  if (r.read_u32() != arch_signature(arch))
+    throw std::runtime_error("bitstream: architecture signature mismatch");
+  const int aw = static_cast<int>(r.read(16));
+  const int ah = static_cast<int>(r.read(16));
+  if (aw != arch.width() || ah != arch.height())
+    throw std::runtime_error("bitstream: architecture dimensions mismatch");
+
+  ExtractedDesign out{Netlist(name), Placement{}, {}};
+
+  const auto net_count = r.read(32);
+  std::vector<int> net_widths;
+  for (std::uint64_t i = 0; i < net_count; ++i) {
+    const std::string net_name = read_string(r);
+    const int width = static_cast<int>(r.read(8));
+    net_widths.push_back(width);
+    out.netlist.add_net(net_name, width);
+  }
+
+  const auto node_count = r.read(32);
+  out.placement.node_tile.resize(node_count);
+  struct PendingPin {
+    NodeId node;
+    int port;
+    NetId net;
+  };
+  std::vector<PendingPin> pins;
+  for (std::uint64_t i = 0; i < node_count; ++i) {
+    const std::string node_name = read_string(r);
+    TileCoord t;
+    t.x = static_cast<int>(r.read(16));
+    t.y = static_cast<int>(r.read(16));
+    ClusterConfig cfg = decode_config(r);
+    if (t.x < 0 || t.x >= arch.width() || t.y < 0 || t.y >= arch.height())
+      throw std::runtime_error("bitstream: tile out of bounds");
+    if (arch.kind_at(t) != kind_of(cfg))
+      throw std::runtime_error("bitstream: cluster kind does not match site kind at tile (" +
+                               std::to_string(t.x) + "," + std::to_string(t.y) + ")");
+    const NodeId id = out.netlist.add_node(node_name, std::move(cfg));
+    out.placement.node_tile[static_cast<std::size_t>(id)] = t;
+    const auto pin_count = r.read(8);
+    for (std::uint64_t p = 0; p < pin_count; ++p) {
+      if (r.read(1) != 0) {
+        const auto net = static_cast<NetId>(r.read(32));
+        pins.push_back({id, static_cast<int>(p), net});
+      }
+    }
+  }
+  // Connect pins now that all nets exist.
+  for (const auto& pin : pins) {
+    const auto& node = out.netlist.node(pin.node);
+    const auto ports = ports_of(node.config);
+    const auto& spec = ports.at(static_cast<std::size_t>(pin.port));
+    if (spec.dir == PortDir::kOut)
+      out.netlist.connect_output(pin.node, spec.name, pin.net);
+    else
+      out.netlist.connect_input(pin.node, spec.name, pin.net);
+  }
+
+  const auto pi_count = r.read(16);
+  for (std::uint64_t i = 0; i < pi_count; ++i) {
+    const std::string pi_name = read_string(r);
+    const auto net = static_cast<NetId>(r.read(32));
+    PadPos pad;
+    pad.tile.x = static_cast<int>(r.read(16));
+    pad.tile.y = static_cast<int>(r.read(16));
+    out.netlist.bind_input(pi_name, net);
+    out.placement.input_pad.push_back(pad);
+  }
+  const auto po_count = r.read(16);
+  for (std::uint64_t i = 0; i < po_count; ++i) {
+    const std::string po_name = read_string(r);
+    const auto net = static_cast<NetId>(r.read(32));
+    PadPos pad;
+    pad.tile.x = static_cast<int>(r.read(16));
+    pad.tile.y = static_cast<int>(r.read(16));
+    out.netlist.add_output(po_name, net);
+    out.placement.output_pad.push_back(pad);
+  }
+
+  if (r.read(1) != 0) {
+    const int id_bits = rr_node_id_bits(arch);
+    out.route_trees.resize(net_count);
+    for (std::uint64_t i = 0; i < net_count; ++i) {
+      const auto tree_size = r.read(24);
+      auto& tree = out.route_trees[i];
+      tree.reserve(tree_size);
+      for (std::uint64_t k = 0; k < tree_size; ++k)
+        tree.push_back(static_cast<RRNodeId>(r.read(id_bits)));
+    }
+  }
+
+  if (!r.ok()) throw std::runtime_error("bitstream: truncated body");
+  return out;
+}
+
+}  // namespace dsra::map

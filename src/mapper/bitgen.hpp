@@ -1,0 +1,46 @@
+// Device bitstream generation and read-back.
+//
+// The bitstream is the persistent form of a mapped implementation: the
+// reconfiguration manager stores one per implementation and switches
+// between them at runtime (paper conclusion). It contains every occupied
+// tile's cluster programming, pad assignments, net connectivity and the
+// routed channel trees, protected by a CRC-32.
+//
+// extract_design() reconstructs a simulatable netlist plus placement from
+// bytes alone, enabling the strongest integration check in the test suite:
+// simulate(original) must equal simulate(extracted) bit for bit.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mapper/route.hpp"
+
+namespace dsra::map {
+
+/// Serialise a placed (and optionally routed) design for @p arch.
+/// @p routes may be null for a placement-only stream.
+[[nodiscard]] std::vector<std::uint8_t> generate_bitstream(const Netlist& netlist,
+                                                           const ArrayArch& arch,
+                                                           const Placement& placement,
+                                                           const RouteResult* routes);
+
+struct ExtractedDesign {
+  Netlist netlist;
+  Placement placement;
+  std::vector<std::vector<RRNodeId>> route_trees;  ///< per net (may be empty)
+};
+
+/// Parse a bitstream produced by generate_bitstream. Verifies the CRC, the
+/// architecture signature and that every tile's configured kind matches the
+/// architecture's site kind. Throws std::runtime_error on any mismatch.
+[[nodiscard]] ExtractedDesign extract_design(const ArrayArch& arch,
+                                             const std::vector<std::uint8_t>& bytes);
+
+/// Size in configuration bits (used for reconfiguration-latency estimates:
+/// the SoC loads the stream over a fixed-width configuration port).
+[[nodiscard]] inline std::int64_t bitstream_bits(const std::vector<std::uint8_t>& b) {
+  return static_cast<std::int64_t>(b.size()) * 8;
+}
+
+}  // namespace dsra::map

@@ -1,0 +1,29 @@
+#include "mapper/flow.hpp"
+
+#include <stdexcept>
+
+namespace dsra::map {
+
+CompiledDesign compile(const Netlist& netlist, const ArrayArch& arch, const FlowParams& params) {
+  const std::string err = netlist.validate();
+  if (!err.empty())
+    throw std::runtime_error("flow: invalid netlist '" + netlist.name() + "': " + err);
+
+  CompiledDesign out;
+  PlaceResult placed = place(netlist, arch, params.place);
+  out.placement = std::move(placed.placement);
+  out.placement_wirelength = placed.final_wirelength;
+
+  const RRGraph graph(arch);
+  out.routes = route(netlist, out.placement, graph, params.route);
+  if (!out.routes.success)
+    throw std::runtime_error("flow: routing failed to converge on '" + netlist.name() +
+                             "' (overused channels: " + std::to_string(out.routes.overused_nodes) +
+                             "); increase channel tracks or array size");
+
+  out.timing = analyze_timing(netlist, out.placement, &out.routes, params.delay);
+  out.bitstream = generate_bitstream(netlist, arch, out.placement, &out.routes);
+  return out;
+}
+
+}  // namespace dsra::map

@@ -1,0 +1,41 @@
+// End-to-end mapping flow: place -> route -> timing -> bitstream.
+//
+// This is the "software flow" the paper describes for creating and mapping
+// implementations onto the domain-specific arrays. One call takes a cluster
+// netlist and an array architecture to a loadable bitstream with quality
+// metrics.
+#pragma once
+
+#include <string>
+
+#include "mapper/bitgen.hpp"
+#include "mapper/place.hpp"
+#include "mapper/route.hpp"
+#include "mapper/sta.hpp"
+
+namespace dsra::map {
+
+struct FlowParams {
+  PlaceParams place;
+  RouteParams route;
+  DelayModel delay;
+};
+
+struct CompiledDesign {
+  Placement placement;
+  RouteResult routes;
+  TimingReport timing;
+  std::vector<std::uint8_t> bitstream;
+  double placement_wirelength = 0.0;
+
+  [[nodiscard]] std::int64_t bitstream_size_bits() const {
+    return bitstream_bits(bitstream);
+  }
+};
+
+/// Map @p netlist onto @p arch. Throws std::runtime_error when the netlist
+/// does not fit (site shortage) or routing fails to converge.
+[[nodiscard]] CompiledDesign compile(const Netlist& netlist, const ArrayArch& arch,
+                                     const FlowParams& params = {});
+
+}  // namespace dsra::map

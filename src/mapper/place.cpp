@@ -1,0 +1,201 @@
+#include "mapper/place.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+namespace dsra::map {
+
+namespace {
+
+/// Pin position contributed to a net's bounding box.
+struct PinXY {
+  double x, y;
+};
+
+PinXY pin_position(const Placement& pl, const PinRef& pin, bool is_driver) {
+  if (pin.node != kInvalidId)
+    return {static_cast<double>(pl.tile_of(pin.node).x), static_cast<double>(pl.tile_of(pin.node).y)};
+  // Netlist-level port: driver => primary input pad, sink => output pad.
+  const PadPos& pad = is_driver ? pl.input_pad[static_cast<std::size_t>(pin.port)]
+                                : pl.output_pad[static_cast<std::size_t>(pin.port)];
+  return {static_cast<double>(pad.tile.x), static_cast<double>(pad.tile.y)};
+}
+
+double net_hpwl(const Placement& pl, const Net& net) {
+  if (net.sinks.empty()) return 0.0;
+  const PinXY d = pin_position(pl, net.driver, /*is_driver=*/true);
+  double min_x = d.x, max_x = d.x, min_y = d.y, max_y = d.y;
+  for (const auto& s : net.sinks) {
+    const PinXY p = pin_position(pl, s, /*is_driver=*/false);
+    min_x = std::min(min_x, p.x);
+    max_x = std::max(max_x, p.x);
+    min_y = std::min(min_y, p.y);
+    max_y = std::max(max_y, p.y);
+  }
+  // Weight wide nets by their bus-track demand so the router sees less
+  // pressure where the placer already paid attention.
+  const double weight = net.width <= 1 ? 0.5 : static_cast<double>((net.width + 7) / 8);
+  return weight * ((max_x - min_x) + (max_y - min_y));
+}
+
+}  // namespace
+
+double wirelength(const Netlist& netlist, const Placement& placement) {
+  double total = 0.0;
+  for (const auto& net : netlist.nets()) total += net_hpwl(placement, net);
+  return total;
+}
+
+PlaceResult place(const Netlist& netlist, const ArrayArch& arch, const PlaceParams& params) {
+  Rng rng(params.seed);
+  const auto& nodes = netlist.nodes();
+
+  // Group nodes and sites by kind.
+  std::map<ClusterKind, std::vector<NodeId>> nodes_by_kind;
+  for (std::size_t i = 0; i < nodes.size(); ++i)
+    nodes_by_kind[kind_of(nodes[i].config)].push_back(static_cast<NodeId>(i));
+
+  Placement pl;
+  pl.node_tile.assign(nodes.size(), TileCoord{0, 0});
+
+  // site_pool[kind] = all tiles of that kind; node i occupies slot_of[i].
+  std::map<ClusterKind, std::vector<TileCoord>> site_pool;
+  // occupant[kind][site_idx] = NodeId or kInvalidId.
+  std::map<ClusterKind, std::vector<NodeId>> occupant;
+  std::vector<int> slot_of(nodes.size(), -1);
+
+  for (const auto& [kind, kind_nodes] : nodes_by_kind) {
+    auto sites = arch.sites_of(kind);
+    if (sites.size() < kind_nodes.size())
+      throw std::runtime_error(std::string("architecture '") + arch.name() + "' provides " +
+                               std::to_string(sites.size()) + " " + to_string(kind) +
+                               " sites but netlist '" + netlist.name() + "' needs " +
+                               std::to_string(kind_nodes.size()));
+    // Deterministic random initial assignment.
+    for (std::size_t i = sites.size(); i > 1; --i)
+      std::swap(sites[i - 1], sites[rng.next_below(i)]);
+    occupant[kind].assign(sites.size(), kInvalidId);
+    for (std::size_t i = 0; i < kind_nodes.size(); ++i) {
+      pl.node_tile[static_cast<std::size_t>(kind_nodes[i])] = sites[i];
+      occupant[kind][i] = kind_nodes[i];
+      slot_of[static_cast<std::size_t>(kind_nodes[i])] = static_cast<int>(i);
+    }
+    site_pool[kind] = std::move(sites);
+  }
+
+  // Pads: inputs along the west edge then north edge, outputs along east
+  // then south, spread evenly. Deterministic.
+  const int w = arch.width(), h = arch.height();
+  auto spread = [&](std::size_t count, bool inputs) {
+    std::vector<PadPos> pads(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      const double f = count == 1 ? 0.5 : static_cast<double>(i) / static_cast<double>(count - 1);
+      if (inputs) {
+        // West edge from south to north, wrapping onto the north edge.
+        const int pos = static_cast<int>(f * static_cast<double>(h + w - 2));
+        pads[i].tile = pos < h ? TileCoord{0, pos} : TileCoord{pos - h + 1, h - 1};
+      } else {
+        const int pos = static_cast<int>(f * static_cast<double>(h + w - 2));
+        pads[i].tile = pos < h ? TileCoord{w - 1, pos} : TileCoord{pos - h + 1, 0};
+      }
+    }
+    return pads;
+  };
+  pl.input_pad = spread(netlist.inputs().size(), true);
+  pl.output_pad = spread(netlist.outputs().size(), false);
+
+  PlaceResult result;
+  result.initial_wirelength = wirelength(netlist, pl);
+
+  // Nets touching each node, for incremental cost evaluation.
+  std::vector<std::vector<NetId>> nets_of_node(nodes.size());
+  for (std::size_t ni = 0; ni < netlist.nets().size(); ++ni) {
+    const Net& net = netlist.nets()[ni];
+    if (net.driver.node != kInvalidId)
+      nets_of_node[static_cast<std::size_t>(net.driver.node)].push_back(static_cast<NetId>(ni));
+    for (const auto& s : net.sinks)
+      if (s.node != kInvalidId)
+        nets_of_node[static_cast<std::size_t>(s.node)].push_back(static_cast<NetId>(ni));
+  }
+  auto local_cost = [&](NodeId a, NodeId b) {
+    double c = 0.0;
+    for (const NetId n : nets_of_node[static_cast<std::size_t>(a)])
+      c += net_hpwl(pl, netlist.net(n));
+    if (b != kInvalidId && b != a)
+      for (const NetId n : nets_of_node[static_cast<std::size_t>(b)])
+        c += net_hpwl(pl, netlist.net(n));
+    return c;
+  };
+
+  // Collect movable kinds (those with more than zero nodes).
+  std::vector<ClusterKind> kinds;
+  for (const auto& [kind, kn] : nodes_by_kind)
+    if (!kn.empty()) kinds.push_back(kind);
+  if (kinds.empty()) {
+    result.placement = pl;
+    result.final_wirelength = result.initial_wirelength;
+    return result;
+  }
+
+  // One move: pick a node, pick a random site of its kind; swap/displace.
+  struct MoveOutcome {
+    bool applied = false;
+    double delta = 0.0;
+  };
+  auto propose = [&](bool accept_all, double temp) -> MoveOutcome {
+    const ClusterKind kind = kinds[rng.next_below(kinds.size())];
+    const auto& kn = nodes_by_kind[kind];
+    const NodeId node = kn[rng.next_below(kn.size())];
+    auto& occ = occupant[kind];
+    const int to_slot = static_cast<int>(rng.next_below(occ.size()));
+    const int from_slot = slot_of[static_cast<std::size_t>(node)];
+    if (to_slot == from_slot) return {};
+    const NodeId other = occ[static_cast<std::size_t>(to_slot)];
+
+    const double before = local_cost(node, other);
+    const TileCoord from_tile = site_pool[kind][static_cast<std::size_t>(from_slot)];
+    const TileCoord to_tile = site_pool[kind][static_cast<std::size_t>(to_slot)];
+    pl.node_tile[static_cast<std::size_t>(node)] = to_tile;
+    if (other != kInvalidId) pl.node_tile[static_cast<std::size_t>(other)] = from_tile;
+    const double after = local_cost(node, other);
+    const double delta = after - before;
+
+    const bool accept =
+        accept_all || delta <= 0.0 || rng.next_double() < std::exp(-delta / temp);
+    if (accept) {
+      occ[static_cast<std::size_t>(to_slot)] = node;
+      occ[static_cast<std::size_t>(from_slot)] = other;
+      slot_of[static_cast<std::size_t>(node)] = to_slot;
+      if (other != kInvalidId) slot_of[static_cast<std::size_t>(other)] = from_slot;
+      return {true, delta};
+    }
+    pl.node_tile[static_cast<std::size_t>(node)] = from_tile;
+    if (other != kInvalidId) pl.node_tile[static_cast<std::size_t>(other)] = to_tile;
+    return {};
+  };
+
+  // Probe phase to set the initial temperature from the move-delta scale.
+  double abs_delta_sum = 0.0;
+  const int probes = std::max<int>(32, static_cast<int>(nodes.size()));
+  for (int i = 0; i < probes; ++i) abs_delta_sum += std::fabs(propose(true, 1.0).delta);
+  double temp = params.initial_temp_factor * (abs_delta_sum / probes + 1e-6);
+
+  const int moves_per_temp =
+      std::max<int>(16, params.moves_per_node_per_temp * static_cast<int>(nodes.size()));
+  while (temp > params.exit_temp) {
+    for (int m = 0; m < moves_per_temp; ++m) {
+      ++result.moves_attempted;
+      if (propose(false, temp).applied) ++result.moves_accepted;
+    }
+    ++result.temperature_steps;
+    temp *= params.cooling;
+  }
+
+  result.placement = std::move(pl);
+  result.final_wirelength = wirelength(netlist, result.placement);
+  return result;
+}
+
+}  // namespace dsra::map

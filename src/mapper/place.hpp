@@ -1,0 +1,59 @@
+// Simulated-annealing placement.
+//
+// Assigns every netlist node to a kind-compatible tile and every primary
+// input/output to an edge pad position, minimising total half-perimeter
+// wirelength. Deterministic for a given seed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/arch.hpp"
+#include "core/netlist.hpp"
+
+namespace dsra::map {
+
+/// Edge pad location of a primary input/output. Pads sit on the array
+/// boundary; their nets enter the mesh through the adjacent channel.
+struct PadPos {
+  TileCoord tile;  ///< boundary tile whose channels the pad connects to
+};
+
+struct Placement {
+  std::vector<TileCoord> node_tile;  ///< per NodeId
+  std::vector<PadPos> input_pad;     ///< per primary input
+  std::vector<PadPos> output_pad;    ///< per primary output
+
+  [[nodiscard]] TileCoord tile_of(NodeId n) const {
+    return node_tile[static_cast<std::size_t>(n)];
+  }
+};
+
+struct PlaceParams {
+  std::uint64_t seed = 1;
+  double initial_temp_factor = 20.0;  ///< T0 = factor * mean |delta| of probes
+  double cooling = 0.92;
+  int moves_per_node_per_temp = 12;
+  double exit_temp = 0.005;
+};
+
+struct PlaceResult {
+  Placement placement;
+  double initial_wirelength = 0.0;
+  double final_wirelength = 0.0;
+  int temperature_steps = 0;
+  long long moves_attempted = 0;
+  long long moves_accepted = 0;
+};
+
+/// Total half-perimeter wirelength of a placement (used as SA cost; also a
+/// quality metric in the mapper ablation bench).
+[[nodiscard]] double wirelength(const Netlist& netlist, const Placement& placement);
+
+/// Place @p netlist onto @p arch. Throws std::runtime_error when the
+/// architecture has fewer sites of some kind than the netlist demands.
+[[nodiscard]] PlaceResult place(const Netlist& netlist, const ArrayArch& arch,
+                                const PlaceParams& params = {});
+
+}  // namespace dsra::map

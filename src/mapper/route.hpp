@@ -1,0 +1,47 @@
+// Negotiated-congestion routing (PathFinder).
+//
+// Routes every net of a placed netlist through the channel-level
+// routing-resource graph. Congested channels acquire history cost across
+// iterations until every channel's track demand fits its capacity.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mapper/place.hpp"
+#include "mapper/rrgraph.hpp"
+
+namespace dsra::map {
+
+struct RouteParams {
+  int max_iterations = 48;
+  double present_factor = 0.6;        ///< initial overuse penalty factor
+  double present_factor_growth = 1.5; ///< multiplied each iteration
+  double history_factor = 0.8;        ///< history accumulation per overuse unit
+};
+
+/// One routed net: the set of channel nodes its route tree occupies plus
+/// per-sink path hop counts (for timing).
+struct RoutedNet {
+  NetId net = kInvalidId;
+  Layer layer = Layer::kBus;
+  int demand = 1;                    ///< capacity units consumed per node
+  std::vector<RRNodeId> tree;        ///< unique channel nodes of the route tree
+  std::vector<int> sink_hops;        ///< per sink: channel hops driver->sink
+};
+
+struct RouteResult {
+  bool success = false;
+  int iterations = 0;
+  std::vector<RoutedNet> nets;       ///< indexed like netlist nets (empty tree for sink-less)
+  int overused_nodes = 0;            ///< channels above capacity (0 when success)
+  std::int64_t total_usage = 0;      ///< sum over nodes of capacity units used
+  int max_channel_usage = 0;         ///< peak capacity units on any channel
+  double wirelength = 0.0;           ///< sum of tree sizes weighted by demand
+};
+
+/// Route all nets. Deterministic.
+[[nodiscard]] RouteResult route(const Netlist& netlist, const Placement& placement,
+                                const RRGraph& graph, const RouteParams& params = {});
+
+}  // namespace dsra::map

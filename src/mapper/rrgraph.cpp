@@ -1,0 +1,87 @@
+#include "mapper/rrgraph.hpp"
+
+#include "common/ints.hpp"
+
+namespace dsra::map {
+
+RRGraph::RRGraph(const ArrayArch& arch)
+    : arch_(&arch), width_(arch.width()), height_(arch.height()) {
+  h_count_ = width_ * (height_ + 1);
+  const int v_count = (width_ + 1) * height_;
+  per_layer_ = h_count_ + v_count;
+  node_count_ = 2 * per_layer_;
+  adj_.resize(static_cast<std::size_t>(node_count_));
+
+  // Build one layer's adjacency, then copy with an offset for the other.
+  auto connect = [this](int a, int b) {
+    adj_[static_cast<std::size_t>(a)].push_back(b);
+    adj_[static_cast<std::size_t>(b)].push_back(a);
+  };
+
+  for (const Layer layer : {Layer::kBus, Layer::kBit}) {
+    const int off = layer_offset(layer);
+    // Horizontal-horizontal along each channel row.
+    for (int y = 0; y <= height_; ++y)
+      for (int x = 0; x + 1 < width_; ++x)
+        connect(off + h_index(x, y), off + h_index(x + 1, y));
+    // Vertical-vertical along each channel column.
+    for (int x = 0; x <= width_; ++x)
+      for (int y = 0; y + 1 < height_; ++y)
+        connect(off + v_index(x, y), off + v_index(x, y + 1));
+    // Corner switches: H(x,y) meets V at both endpoints.
+    for (int y = 0; y <= height_; ++y) {
+      for (int x = 0; x < width_; ++x) {
+        const int h = off + h_index(x, y);
+        // Corner (x, y): vertical segments below and above it.
+        if (y < height_) connect(h, off + v_index(x, y));
+        if (y > 0) connect(h, off + v_index(x, y - 1));
+        // Corner (x+1, y).
+        if (y < height_) connect(h, off + v_index(x + 1, y));
+        if (y > 0) connect(h, off + v_index(x + 1, y - 1));
+      }
+    }
+  }
+}
+
+int RRGraph::capacity(RRNodeId n) const {
+  return layer_of(n) == Layer::kBus ? arch_->channels().bus_tracks
+                                    : arch_->channels().bit_tracks;
+}
+
+Layer RRGraph::layer_of(RRNodeId n) const {
+  return n < per_layer_ ? Layer::kBus : Layer::kBit;
+}
+
+std::vector<RRNodeId> RRGraph::tile_access(TileCoord t, Layer layer) const {
+  const int off = layer_offset(layer);
+  return {
+      off + h_index(t.x, t.y),      // south channel
+      off + h_index(t.x, t.y + 1),  // north channel
+      off + v_index(t.x, t.y),      // west channel
+      off + v_index(t.x + 1, t.y),  // east channel
+  };
+}
+
+std::pair<double, double> RRGraph::position(RRNodeId n) const {
+  const int local = n % per_layer_;
+  if (local < h_count_) {
+    const int x = local % width_;
+    const int y = local / width_;
+    return {x + 0.5, static_cast<double>(y)};
+  }
+  const int v = local - h_count_;
+  const int x = v % (width_ + 1);
+  const int y = v / (width_ + 1);
+  return {static_cast<double>(x), y + 0.5};
+}
+
+int RRGraph::demand_units(int width) {
+  if (width <= 1) return 1;
+  return static_cast<int>(ceil_div(width, 8));
+}
+
+Layer RRGraph::layer_for_width(int width) {
+  return width <= 1 ? Layer::kBit : Layer::kBus;
+}
+
+}  // namespace dsra::map

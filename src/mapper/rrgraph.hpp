@@ -1,0 +1,77 @@
+// Routing-resource graph over the array's mesh interconnect.
+//
+// The paper's mesh carries a combination of 8-bit bus tracks and 1-bit
+// control tracks (section 2). We model congestion at channel granularity:
+// each channel segment (one tile span, horizontal or vertical, one layer)
+// is a node whose capacity is the number of tracks of that layer. A net of
+// width w consumes ceil(w/8) capacity units on the bus layer, or one unit
+// on the bit layer when w == 1. Switch- and configuration-bit counts for
+// the area model are computed separately at track granularity
+// (cost/area.hpp); the coarse graph is only used for negotiated-congestion
+// routing.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/arch.hpp"
+
+namespace dsra::map {
+
+/// Interconnect layer selected by net width.
+enum class Layer : std::uint8_t { kBus, kBit };
+
+/// Channel-node index within the routing-resource graph.
+using RRNodeId = int;
+
+class RRGraph {
+ public:
+  explicit RRGraph(const ArrayArch& arch);
+
+  [[nodiscard]] int node_count() const { return node_count_; }
+
+  /// Capacity (track count) of a node.
+  [[nodiscard]] int capacity(RRNodeId n) const;
+
+  /// Adjacent channel nodes (same layer).
+  [[nodiscard]] const std::vector<RRNodeId>& neighbors(RRNodeId n) const {
+    return adj_[static_cast<std::size_t>(n)];
+  }
+
+  /// The (up to 4) channel nodes bordering tile @p t on layer @p layer.
+  [[nodiscard]] std::vector<RRNodeId> tile_access(TileCoord t, Layer layer) const;
+
+  /// Layer of a node.
+  [[nodiscard]] Layer layer_of(RRNodeId n) const;
+
+  /// Manhattan-style position of a node's midpoint, for A*-free debugging
+  /// and wirelength reports (units of tile pitch).
+  [[nodiscard]] std::pair<double, double> position(RRNodeId n) const;
+
+  [[nodiscard]] const ArrayArch& arch() const { return *arch_; }
+
+  /// Capacity units demanded by a net of width @p width.
+  [[nodiscard]] static int demand_units(int width);
+
+  /// Layer used by a net of width @p width.
+  [[nodiscard]] static Layer layer_for_width(int width);
+
+ private:
+  // Node numbering: layer-major; within a layer, horizontal segments first
+  // (x in [0,W), y in [0,H]), then vertical (x in [0,W], y in [0,H)).
+  [[nodiscard]] int h_index(int x, int y) const { return y * width_ + x; }
+  [[nodiscard]] int v_index(int x, int y) const { return h_count_ + y * (width_ + 1) + x; }
+  [[nodiscard]] int layer_offset(Layer l) const {
+    return l == Layer::kBus ? 0 : per_layer_;
+  }
+
+  const ArrayArch* arch_;
+  int width_;
+  int height_;
+  int h_count_;
+  int per_layer_;
+  int node_count_;
+  std::vector<std::vector<RRNodeId>> adj_;
+};
+
+}  // namespace dsra::map

@@ -1,0 +1,196 @@
+#include "mapper/sta.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <stdexcept>
+
+namespace dsra::map {
+
+double DelayModel::cluster_delay(const ClusterConfig& cfg) const {
+  const int w = width_of(cfg);
+  switch (kind_of(cfg)) {
+    case ClusterKind::kMuxReg: return mux_base + mux_per_bit * w;
+    case ClusterKind::kAbsDiff: return absdiff_base + absdiff_per_bit * w;
+    case ClusterKind::kAddAcc: return addacc_base + addacc_per_bit * w;
+    case ClusterKind::kComp: return comp_base + comp_per_bit * w;
+    case ClusterKind::kAddShift: return addshift_base + addshift_per_bit * w;
+    case ClusterKind::kMem: {
+      const auto& m = std::get<MemCfg>(cfg);
+      return mem_base + mem_per_addr_bit * ceil_log2(static_cast<std::uint64_t>(m.words));
+    }
+  }
+  return 0.0;
+}
+
+namespace {
+
+/// Wire delay of net @p net_id to sink index @p sink_i.
+double wire_delay(const Netlist& nl, const Placement& pl, const RouteResult* routes,
+                  const DelayModel& m, NetId net_id, std::size_t sink_i) {
+  const Net& net = nl.net(net_id);
+  const double hop = net.width <= 1 ? m.hop_bit : m.hop_bus;
+  if (routes != nullptr) {
+    const auto& rn = routes->nets[static_cast<std::size_t>(net_id)];
+    const int hops = sink_i < rn.sink_hops.size() ? rn.sink_hops[sink_i] : 1;
+    return 2.0 * m.conn_box + hop * hops;
+  }
+  // Pre-route: Manhattan estimate between driver and sink tiles.
+  auto tile_of_pin = [&](const PinRef& pin, bool is_driver) {
+    if (pin.node != kInvalidId) return pl.tile_of(pin.node);
+    return is_driver ? pl.input_pad[static_cast<std::size_t>(pin.port)].tile
+                     : pl.output_pad[static_cast<std::size_t>(pin.port)].tile;
+  };
+  const TileCoord a = tile_of_pin(net.driver, true);
+  const TileCoord b = tile_of_pin(net.sinks[sink_i], false);
+  const int dist = std::abs(a.x - b.x) + std::abs(a.y - b.y) + 1;
+  return 2.0 * m.conn_box + hop * dist;
+}
+
+}  // namespace
+
+TimingReport analyze_timing(const Netlist& netlist, const Placement& placement,
+                            const RouteResult* routes, const DelayModel& model) {
+  const auto& nodes = netlist.nodes();
+  const std::size_t n = nodes.size();
+
+  // Topological order over combinational arcs (same rule as the simulator).
+  std::vector<std::vector<PortSpec>> specs(n);
+  for (std::size_t i = 0; i < n; ++i) specs[i] = ports_of(nodes[i].config);
+
+  std::vector<std::vector<int>> adj(n);
+  std::vector<int> indeg(n, 0);
+  for (std::size_t sink = 0; sink < n; ++sink) {
+    for (std::size_t p = 0; p < specs[sink].size(); ++p) {
+      const auto& spec = specs[sink][p];
+      if (spec.dir != PortDir::kIn || spec.sequential) continue;
+      const NetId net = nodes[sink].pins[p];
+      if (net == kInvalidId) continue;
+      const PinRef drv = netlist.net(net).driver;
+      if (drv.node == kInvalidId) continue;
+      if (specs[static_cast<std::size_t>(drv.node)][static_cast<std::size_t>(drv.port)].sequential)
+        continue;
+      adj[static_cast<std::size_t>(drv.node)].push_back(static_cast<int>(sink));
+      ++indeg[sink];
+    }
+  }
+  std::vector<int> order;
+  order.reserve(n);
+  std::queue<int> ready;
+  for (std::size_t i = 0; i < n; ++i)
+    if (indeg[i] == 0) ready.push(static_cast<int>(i));
+  while (!ready.empty()) {
+    const int u = ready.front();
+    ready.pop();
+    order.push_back(u);
+    for (const int v : adj[static_cast<std::size_t>(u)])
+      if (--indeg[static_cast<std::size_t>(v)] == 0) ready.push(v);
+  }
+  if (order.size() != n) throw std::runtime_error("STA: combinational loop");
+
+  // arrival[node] = worst data arrival at the node's combinational output.
+  // launch points: registered outputs (clk_to_q) and primary inputs (0).
+  std::vector<double> arrival(n, 0.0);
+  std::vector<int> levels(n, 0);
+  std::vector<std::string> origin(n);
+
+  TimingReport report;
+  auto consider_endpoint = [&](double t, int lvl, const std::string& from, const std::string& to) {
+    if (t > report.critical_path_ns) {
+      report.critical_path_ns = t;
+      report.critical_logic_levels = lvl;
+      report.critical_from = from;
+      report.critical_to = to;
+    }
+  };
+
+  // Arrival of the value on a net at a given sink.
+  auto net_arrival = [&](NetId net_id, std::size_t sink_i, double launch,
+                         const PinRef& drv) -> double {
+    double t = launch;
+    if (drv.node != kInvalidId) {
+      const auto& dspec = specs[static_cast<std::size_t>(drv.node)][static_cast<std::size_t>(drv.port)];
+      if (dspec.sequential) {
+        t = model.clk_to_q;
+      } else {
+        t = arrival[static_cast<std::size_t>(drv.node)];
+      }
+    }
+    return t + wire_delay(netlist, placement, routes, model, net_id, sink_i);
+  };
+
+  for (const int u : order) {
+    const Node& node = nodes[static_cast<std::size_t>(u)];
+    double worst_in = 0.0;
+    int worst_lvl = 0;
+    std::string worst_origin = "pad";
+    for (std::size_t p = 0; p < specs[static_cast<std::size_t>(u)].size(); ++p) {
+      const auto& spec = specs[static_cast<std::size_t>(u)][p];
+      if (spec.dir != PortDir::kIn) continue;
+      const NetId net_id = node.pins[p];
+      if (net_id == kInvalidId) continue;
+      const Net& net = netlist.net(net_id);
+      // Which sink index are we?
+      std::size_t sink_i = 0;
+      for (std::size_t s = 0; s < net.sinks.size(); ++s)
+        if (net.sinks[s].node == u && net.sinks[s].port == static_cast<int>(p)) sink_i = s;
+      const double t = net_arrival(net_id, sink_i, 0.0, net.driver);
+      int lvl = 0;
+      std::string org = "pad";
+      if (net.driver.node != kInvalidId) {
+        const auto& dspec =
+            specs[static_cast<std::size_t>(net.driver.node)][static_cast<std::size_t>(net.driver.port)];
+        if (dspec.sequential) {
+          org = nodes[static_cast<std::size_t>(net.driver.node)].name + " (reg)";
+        } else {
+          lvl = levels[static_cast<std::size_t>(net.driver.node)];
+          org = origin[static_cast<std::size_t>(net.driver.node)];
+        }
+      }
+      if (spec.sequential) {
+        // Path ends at this sequential input: register setup.
+        consider_endpoint(t + model.setup, lvl, org, node.name + " (setup)");
+        continue;
+      }
+      if (t > worst_in) {
+        worst_in = t;
+        worst_lvl = lvl;
+        worst_origin = org;
+      }
+    }
+    arrival[static_cast<std::size_t>(u)] = worst_in + model.cluster_delay(node.config);
+    levels[static_cast<std::size_t>(u)] = worst_lvl + 1;
+    origin[static_cast<std::size_t>(u)] = worst_origin;
+    // Combinational output may also end at a primary output pad.
+  }
+
+  // Primary outputs as endpoints.
+  for (std::size_t o = 0; o < netlist.outputs().size(); ++o) {
+    const NetId net_id = netlist.outputs()[o].net;
+    const Net& net = netlist.net(net_id);
+    std::size_t sink_i = 0;
+    for (std::size_t s = 0; s < net.sinks.size(); ++s)
+      if (net.sinks[s].node == kInvalidId && net.sinks[s].port == static_cast<int>(o)) sink_i = s;
+    double t = wire_delay(netlist, placement, routes, model, net_id, sink_i);
+    int lvl = 0;
+    std::string org = "pad";
+    if (net.driver.node != kInvalidId) {
+      const auto& dspec =
+          specs[static_cast<std::size_t>(net.driver.node)][static_cast<std::size_t>(net.driver.port)];
+      if (dspec.sequential) {
+        t += model.clk_to_q;
+      } else {
+        t += arrival[static_cast<std::size_t>(net.driver.node)];
+        lvl = levels[static_cast<std::size_t>(net.driver.node)];
+      }
+      org = nodes[static_cast<std::size_t>(net.driver.node)].name;
+    }
+    consider_endpoint(t, lvl, org, "output '" + netlist.outputs()[o].name + "'");
+  }
+
+  if (report.critical_path_ns > 0.0)
+    report.fmax_mhz = 1000.0 / report.critical_path_ns;
+  return report;
+}
+
+}  // namespace dsra::map

@@ -1,0 +1,60 @@
+// Static timing analysis over a (routed) netlist.
+//
+// Computes the critical register-to-register / pad-to-register path through
+// cluster combinational delays and routed-wire delays, reporting Fmax. Used
+// for the paper's timing comparison (the ME array improved timing by 23 %
+// over a generic FPGA) and by the flow's quality reports.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mapper/route.hpp"
+
+namespace dsra::map {
+
+/// Delay constants for the domain-specific array, loosely calibrated to a
+/// 0.13um standard-cell process (the paper's implementation technology).
+/// All values in nanoseconds.
+struct DelayModel {
+  double clk_to_q = 0.30;
+  double setup = 0.25;
+  // Per-kind combinational base delay plus per-bit ripple term. Datapath
+  // clusters are hard macros with fast carry; memory clusters are wide
+  // configurable-geometry macros with slow decoded reads (the mechanism
+  // behind the DA array's Fmax deficit vs FPGAs, paper [2]).
+  double mux_base = 0.20, mux_per_bit = 0.00;
+  double absdiff_base = 0.55, absdiff_per_bit = 0.075;
+  double addacc_base = 0.40, addacc_per_bit = 0.055;
+  double comp_base = 0.50, comp_per_bit = 0.050;
+  double addshift_base = 0.40, addshift_per_bit = 0.045;
+  double mem_base = 2.60, mem_per_addr_bit = 0.50;
+  // Interconnect: connection box (pin to channel) and per-channel-hop wire
+  // (buffered 8-bit bus highways switch whole buses per configuration
+  // point, so per-hop delay is low).
+  double conn_box = 0.18;
+  double hop_bus = 0.16;
+  double hop_bit = 0.13;
+
+  /// Combinational delay through a configured cluster (0 for registered
+  /// outputs, which launch new paths instead).
+  [[nodiscard]] double cluster_delay(const ClusterConfig& cfg) const;
+};
+
+struct TimingReport {
+  double critical_path_ns = 0.0;
+  double fmax_mhz = 0.0;
+  /// Human-readable endpoints of the critical path.
+  std::string critical_from;
+  std::string critical_to;
+  int critical_logic_levels = 0;
+};
+
+/// Analyse timing. When @p routes is null, wire delays are estimated from
+/// placed Manhattan distance (pre-route mode); with routes, per-sink hop
+/// counts from the router are used.
+[[nodiscard]] TimingReport analyze_timing(const Netlist& netlist, const Placement& placement,
+                                          const RouteResult* routes,
+                                          const DelayModel& model = {});
+
+}  // namespace dsra::map

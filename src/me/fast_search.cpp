@@ -1,0 +1,137 @@
+#include "me/fast_search.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/ints.hpp"
+#include "video/metrics.hpp"
+
+namespace dsra::me {
+
+namespace {
+
+/// Evaluate a round of candidates (deduplicated, clamped to the window),
+/// updating the best result; returns cycles for the round assuming
+/// `modules` candidates run concurrently, `block` cycles per batch.
+std::uint64_t evaluate_round(const Frame& cur, const Frame& ref, int bx, int by, int n,
+                             int range, const std::vector<MotionVector>& cands,
+                             std::set<std::pair<int, int>>& visited, MotionSearchResult& best,
+                             const SystolicParams& params) {
+  int evaluated = 0;
+  for (const MotionVector mv : cands) {
+    if (std::abs(mv.dx) > range || std::abs(mv.dy) > range) continue;
+    if (!visited.insert({mv.dx, mv.dy}).second) continue;
+    const std::int64_t sad = video::block_sad(cur, ref, bx, by, n, mv.dx, mv.dy);
+    ++evaluated;
+    ++best.candidates_evaluated;
+    if (best.sad < 0 || sad < best.sad) {
+      best.sad = sad;
+      best.mv = mv;
+    }
+  }
+  return static_cast<std::uint64_t>(ceil_div(evaluated, params.modules)) *
+         static_cast<std::uint64_t>(n);
+}
+
+}  // namespace
+
+MotionSearchResult three_step_search(const Frame& cur, const Frame& ref, int bx, int by, int n,
+                                     int range, const SystolicParams& params) {
+  MotionSearchResult best;
+  best.sad = -1;
+  std::set<std::pair<int, int>> visited;
+
+  int step = 1;
+  while (step * 2 <= range) step *= 2;
+
+  MotionVector center{0, 0};
+  (void)evaluate_round(cur, ref, bx, by, n, range, {center}, visited, best, params);
+  best.array_cycles += n;
+
+  while (step >= 1) {
+    std::vector<MotionVector> cands;
+    for (int dy = -1; dy <= 1; ++dy)
+      for (int dx = -1; dx <= 1; ++dx)
+        if (dx != 0 || dy != 0) cands.push_back({center.dx + dx * step, center.dy + dy * step});
+    best.array_cycles += evaluate_round(cur, ref, bx, by, n, range, cands, visited, best, params);
+    center = best.mv;
+    step /= 2;
+  }
+  return best;
+}
+
+MotionSearchResult diamond_search(const Frame& cur, const Frame& ref, int bx, int by, int n,
+                                  int range, const SystolicParams& params) {
+  MotionSearchResult best;
+  best.sad = -1;
+  std::set<std::pair<int, int>> visited;
+
+  MotionVector center{0, 0};
+  (void)evaluate_round(cur, ref, bx, by, n, range, {center}, visited, best, params);
+  best.array_cycles += n;
+
+  // Large diamond search pattern around the centre until it stays put.
+  const std::vector<MotionVector> ldsp_off = {{0, -2}, {-1, -1}, {1, -1}, {-2, 0}, {2, 0},
+                                              {-1, 1},  {1, 1},  {0, 2}};
+  for (int iter = 0; iter < 32; ++iter) {
+    std::vector<MotionVector> cands;
+    for (const MotionVector off : ldsp_off)
+      cands.push_back({center.dx + off.dx, center.dy + off.dy});
+    best.array_cycles += evaluate_round(cur, ref, bx, by, n, range, cands, visited, best, params);
+    if (best.mv == center) break;
+    center = best.mv;
+  }
+  // Small diamond refinement.
+  const std::vector<MotionVector> sdsp_off = {{0, -1}, {-1, 0}, {1, 0}, {0, 1}};
+  std::vector<MotionVector> cands;
+  for (const MotionVector off : sdsp_off)
+    cands.push_back({center.dx + off.dx, center.dy + off.dy});
+  best.array_cycles += evaluate_round(cur, ref, bx, by, n, range, cands, visited, best, params);
+  return best;
+}
+
+SuspendedSearchResult suspended_full_search(const Frame& cur, const Frame& ref, int bx, int by,
+                                            int n, int range, const SystolicParams& params) {
+  SuspendedSearchResult out;
+  MotionSearchResult best;
+  best.sad = -1;
+  for (const MotionVector mv : full_search_order(range)) {
+    ++best.candidates_evaluated;
+    std::int64_t partial = 0;
+    int rows = 0;
+    for (int y = 0; y < n; ++y) {
+      for (int x = 0; x < n; ++x)
+        partial += std::abs(static_cast<int>(cur.clamped_at(bx + x, by + y)) -
+                            static_cast<int>(ref.clamped_at(bx + mv.dx + x, by + mv.dy + y)));
+      ++rows;
+      // Computation suspension: once the partial SAD exceeds the best,
+      // this candidate cannot win - abort the remaining rows.
+      if (best.sad >= 0 && partial > best.sad) break;
+    }
+    out.rows_evaluated += static_cast<std::uint64_t>(rows);
+    out.rows_total += static_cast<std::uint64_t>(n);
+    if (rows == n && (best.sad < 0 || partial < best.sad)) {
+      best.sad = partial;
+      best.mv = mv;
+    }
+  }
+  // One row per cycle per module on the fabric.
+  best.array_cycles = ceil_div(static_cast<std::int64_t>(out.rows_evaluated), params.modules);
+  out.result = best;
+  return out;
+}
+
+video::MotionSearchFn three_step_search_fn(const SystolicParams& params) {
+  return [params](const Frame& cur, const Frame& ref, int bx, int by, int n, int range) {
+    return three_step_search(cur, ref, bx, by, n, range, params);
+  };
+}
+
+video::MotionSearchFn diamond_search_fn(const SystolicParams& params) {
+  return [params](const Frame& cur, const Frame& ref, int bx, int by, int n, int range) {
+    return diamond_search(cur, ref, bx, by, n, range, params);
+  };
+}
+
+}  // namespace dsra::me

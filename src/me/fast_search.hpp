@@ -1,0 +1,51 @@
+// Fast / suspended motion-estimation algorithms.
+//
+// The paper's premise is that the reconfigurable fabric supports *several*
+// implementations with different quality/power trade-offs and can switch
+// between them at runtime (conclusion: low-battery conditions). These
+// algorithms run as alternative schedules on the same PE resources:
+//
+//  * three_step_search  - classic TSS: 3 refinement rounds of 9 candidates
+//  * diamond_search     - LDSP/SDSP diamond search
+//  * suspended_full_search - full search with computation suspension
+//    (early SAD abort, after [17]): identical motion vectors to the
+//    exhaustive search with a fraction of the PE operations.
+#pragma once
+
+#include "me/systolic.hpp"
+
+namespace dsra::me {
+
+/// Three-step search. Cycle estimate assumes candidates of one round run
+/// `modules` at a time on the systolic fabric (rounds are sequential).
+[[nodiscard]] MotionSearchResult three_step_search(const Frame& cur, const Frame& ref, int bx,
+                                                   int by, int n, int range,
+                                                   const SystolicParams& params = {});
+
+/// Diamond search (large diamond until the centre wins, then small).
+[[nodiscard]] MotionSearchResult diamond_search(const Frame& cur, const Frame& ref, int bx,
+                                                int by, int n, int range,
+                                                const SystolicParams& params = {});
+
+struct SuspendedSearchResult {
+  MotionSearchResult result;
+  std::uint64_t rows_evaluated = 0;   ///< block rows actually computed
+  std::uint64_t rows_total = 0;       ///< rows an exhaustive search computes
+  [[nodiscard]] double saved_fraction() const {
+    return rows_total == 0 ? 0.0
+                           : 1.0 - static_cast<double>(rows_evaluated) /
+                                       static_cast<double>(rows_total);
+  }
+};
+
+/// Full search with per-row partial-SAD abort. Returns exactly the
+/// exhaustive search's motion vector.
+[[nodiscard]] SuspendedSearchResult suspended_full_search(const Frame& cur, const Frame& ref,
+                                                          int bx, int by, int n, int range,
+                                                          const SystolicParams& params = {});
+
+/// MotionSearchFn adapters for the codec.
+[[nodiscard]] video::MotionSearchFn three_step_search_fn(const SystolicParams& params = {});
+[[nodiscard]] video::MotionSearchFn diamond_search_fn(const SystolicParams& params = {});
+
+}  // namespace dsra::me

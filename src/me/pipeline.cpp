@@ -1,0 +1,44 @@
+#include "me/pipeline.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dsra::me {
+
+FieldStats field_stats(const MotionField& field) {
+  FieldStats s;
+  s.blocks = static_cast<int>(field.blocks.size());
+  for (const auto& b : field.blocks) {
+    s.mean_sad += static_cast<double>(b.sad);
+    s.mean_abs_mv += std::abs(b.mv.dx) + std::abs(b.mv.dy);
+    s.total_cycles += b.array_cycles;
+    s.total_candidates += static_cast<std::uint64_t>(b.candidates_evaluated);
+  }
+  if (s.blocks > 0) {
+    s.mean_sad /= s.blocks;
+    s.mean_abs_mv /= s.blocks;
+  }
+  return s;
+}
+
+FieldComparison compare_fields(const MotionField& field, const MotionField& golden) {
+  if (field.blocks.size() != golden.blocks.size())
+    throw std::invalid_argument("compare_fields: field size mismatch");
+  FieldComparison c;
+  c.blocks = static_cast<int>(field.blocks.size());
+  double sad_sum = 0.0, golden_sad_sum = 0.0;
+  std::uint64_t cycles = 0, golden_cycles = 0;
+  for (std::size_t i = 0; i < field.blocks.size(); ++i) {
+    if (field.blocks[i].mv == golden.blocks[i].mv) ++c.identical_mvs;
+    sad_sum += static_cast<double>(field.blocks[i].sad);
+    golden_sad_sum += static_cast<double>(golden.blocks[i].sad);
+    cycles += field.blocks[i].array_cycles;
+    golden_cycles += golden.blocks[i].array_cycles;
+  }
+  c.mean_sad_ratio = golden_sad_sum > 0.0 ? sad_sum / golden_sad_sum : 1.0;
+  c.cycles_ratio =
+      golden_cycles > 0 ? static_cast<double>(cycles) / static_cast<double>(golden_cycles) : 0.0;
+  return c;
+}
+
+}  // namespace dsra::me

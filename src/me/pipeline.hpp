@@ -1,0 +1,33 @@
+// Frame-pair motion-estimation pipeline statistics.
+//
+// Aggregates a motion field into the numbers the benches report: mean SAD,
+// mean |MV|, total array cycles, and agreement with the exhaustive golden
+// field (fast algorithms trade exactness for cycles - quantified here).
+#pragma once
+
+#include "me/reference.hpp"
+
+namespace dsra::me {
+
+struct FieldStats {
+  int blocks = 0;
+  double mean_sad = 0.0;
+  double mean_abs_mv = 0.0;
+  std::uint64_t total_cycles = 0;
+  std::uint64_t total_candidates = 0;
+};
+
+[[nodiscard]] FieldStats field_stats(const MotionField& field);
+
+struct FieldComparison {
+  int blocks = 0;
+  int identical_mvs = 0;        ///< same vector as the golden field
+  double mean_sad_ratio = 0.0;  ///< field SAD / golden SAD (>= 1.0)
+  double cycles_ratio = 0.0;    ///< field cycles / golden cycles
+};
+
+/// Compare a (fast) field against the exhaustive golden field.
+[[nodiscard]] FieldComparison compare_fields(const MotionField& field,
+                                             const MotionField& golden);
+
+}  // namespace dsra::me

@@ -1,0 +1,43 @@
+#include "me/reference.hpp"
+
+#include "video/metrics.hpp"
+
+namespace dsra::me {
+
+std::vector<MotionVector> full_search_order(int range) {
+  std::vector<MotionVector> order;
+  order.reserve(static_cast<std::size_t>((2 * range + 1) * (2 * range + 1)));
+  for (int dy = -range; dy <= range; ++dy)
+    for (int dx = -range; dx <= range; ++dx) order.push_back({dx, dy});
+  return order;
+}
+
+MotionSearchResult full_search(const Frame& cur, const Frame& ref, int bx, int by, int n,
+                               int range) {
+  MotionSearchResult best;
+  best.sad = -1;
+  for (const MotionVector mv : full_search_order(range)) {
+    const std::int64_t sad = video::block_sad(cur, ref, bx, by, n, mv.dx, mv.dy);
+    ++best.candidates_evaluated;
+    if (best.sad < 0 || sad < best.sad) {
+      best.sad = sad;
+      best.mv = mv;
+    }
+  }
+  return best;
+}
+
+MotionField motion_field(const Frame& cur, const Frame& ref, int n, int range,
+                         const video::MotionSearchFn& search) {
+  MotionField field;
+  field.block = n;
+  field.blocks_x = (cur.width() + n - 1) / n;
+  field.blocks_y = (cur.height() + n - 1) / n;
+  field.blocks.reserve(static_cast<std::size_t>(field.blocks_x * field.blocks_y));
+  for (int by = 0; by < field.blocks_y; ++by)
+    for (int bx = 0; bx < field.blocks_x; ++bx)
+      field.blocks.push_back(search(cur, ref, bx * n, by * n, n, range));
+  return field;
+}
+
+}  // namespace dsra::me

@@ -1,0 +1,35 @@
+// Golden full-search block-matching motion estimation (paper section 4).
+//
+// SAD_N(dx,dy) = sum |I_k(m,n) - I_{k-1}(m+dx, n+dy)| over the NxN block;
+// the motion vector minimises SAD over the +/-range search window, with
+// raster-scan tie-breaking (first minimum wins) - the same order the
+// systolic array's running-minimum comparator sees candidates in.
+#pragma once
+
+#include "video/motion.hpp"
+
+namespace dsra::me {
+
+using video::Frame;
+using video::MotionSearchResult;
+using video::MotionVector;
+
+/// Candidate visit order of the full search: raster over dy then dx.
+/// Exposed so that the systolic model and the comparator-index decoding
+/// agree with the golden order.
+[[nodiscard]] std::vector<MotionVector> full_search_order(int range);
+
+/// Exhaustive search; optimal SAD, raster tie-break.
+[[nodiscard]] MotionSearchResult full_search(const Frame& cur, const Frame& ref, int bx, int by,
+                                             int n, int range);
+
+/// Dense motion field over @p cur with block size @p n.
+struct MotionField {
+  int block = 16;
+  int blocks_x = 0, blocks_y = 0;
+  std::vector<MotionSearchResult> blocks;  ///< row-major
+};
+[[nodiscard]] MotionField motion_field(const Frame& cur, const Frame& ref, int n, int range,
+                                       const video::MotionSearchFn& search);
+
+}  // namespace dsra::me

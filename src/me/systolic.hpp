@@ -1,0 +1,74 @@
+// Cycle-accurate model of the low-power 2-D systolic ME array (Figs 10-11)
+// plus its cluster-netlist generator for the ME fabric (Fig 2).
+//
+// Organisation (paper section 4): `modules` rows of `block` PEs. Each PE
+// module evaluates one candidate displacement; the four modules process
+// four vertically adjacent candidates concurrently, so the search-area
+// pixel columns they need overlap (block + modules - 1 rows instead of
+// modules * block) - this is the memory-bandwidth reduction the
+// Register-Multiplexer distribution network provides. One candidate takes
+// `block` cycles in steady state ("The first round of SAD calculations
+// would take 16 clock cycles"); a running-minimum comparator per module
+// tracks the best SAD and its candidate index, from which the controller
+// decodes the motion vector.
+#pragma once
+
+#include <cstdint>
+
+#include "core/netlist.hpp"
+#include "core/sim.hpp"
+#include "me/reference.hpp"
+
+namespace dsra::me {
+
+struct SystolicParams {
+  int block = 16;    ///< N: PEs per module == block size
+  int modules = 4;   ///< concurrent candidates (paper: 4 x 16 = 64 PEs)
+  int pixel_bits = 8;
+};
+
+struct SystolicRun {
+  MotionSearchResult result;
+  std::uint64_t cycles = 0;
+  std::uint64_t pe_ops = 0;          ///< absolute-difference operations
+  double pe_utilization = 0.0;       ///< pe_ops / (PE count * cycles)
+  std::uint64_t cur_pixels_fetched = 0;
+  std::uint64_t ref_pixels_fetched = 0;        ///< with inter-module reuse
+  std::uint64_t ref_pixels_fetched_naive = 0;  ///< without reuse
+  std::vector<std::int64_t> all_sads;          ///< full_search_order order
+};
+
+/// Cycle-accurate search for the block at (bx, by).
+[[nodiscard]] SystolicRun systolic_search(const Frame& cur, const Frame& ref, int bx, int by,
+                                          int range, const SystolicParams& params = {});
+
+/// Steady-state cycle count for one macroblock at the given search range.
+[[nodiscard]] std::uint64_t systolic_cycles_per_block(int range, const SystolicParams& params = {});
+
+/// video::MotionSearchFn adapter (cycle counts filled from the model).
+[[nodiscard]] video::MotionSearchFn systolic_search_fn(const SystolicParams& params = {});
+
+/// --- array netlist ------------------------------------------------------
+
+/// Cluster netlist of the PE array for the ME fabric: per module `block`
+/// MuxReg pixel registers, `block` AbsDiff PEs, a registered adder tree,
+/// a SAD accumulator and a running-min comparator (Fig 10 / Fig 11).
+///
+/// Ports: cur<i> (shared pixel column), ref<m>_<i> (per module), controls
+/// pixel_hold, acc_clr, acc_en, min_reset, min_en; outputs sad<m>,
+/// best<m>, best_idx<m>.
+[[nodiscard]] Netlist build_systolic_netlist(const SystolicParams& params);
+
+/// Drives a simulator holding the systolic netlist through a full search
+/// and returns the winning candidate index per module plus SADs; used by
+/// integration tests to show the ME fabric computes real motion vectors.
+struct NetlistSearchResult {
+  MotionVector mv;
+  std::int64_t sad = 0;
+  std::uint64_t cycles = 0;
+};
+[[nodiscard]] NetlistSearchResult run_systolic_netlist(Simulator& sim, const Frame& cur,
+                                                       const Frame& ref, int bx, int by,
+                                                       int range, const SystolicParams& params);
+
+}  // namespace dsra::me

@@ -1,0 +1,28 @@
+#include "soc/bus.hpp"
+
+#include "common/ints.hpp"
+
+namespace dsra::soc {
+
+std::uint64_t Bus::transfer_cycles(std::uint64_t bits) const {
+  if (bits == 0) return 0;
+  const auto words = static_cast<std::uint64_t>(
+      ceil_div(static_cast<std::int64_t>(bits), config_.data_width_bits));
+  const auto bursts = static_cast<std::uint64_t>(
+      ceil_div(static_cast<std::int64_t>(words), config_.burst_words));
+  return words + bursts * static_cast<std::uint64_t>(config_.arbitration_latency);
+}
+
+std::uint64_t Bus::transfer(std::uint64_t bits) {
+  const std::uint64_t cycles = transfer_cycles(bits);
+  total_cycles_ += cycles;
+  total_bits_ += bits;
+  return cycles;
+}
+
+void Bus::reset_stats() {
+  total_cycles_ = 0;
+  total_bits_ = 0;
+}
+
+}  // namespace dsra::soc

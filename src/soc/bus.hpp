@@ -1,0 +1,41 @@
+// System-on-chip bus model (Fig 1).
+//
+// The arrays communicate with the processor and frame memories over a
+// shared bus; this model charges per-transfer arbitration latency plus one
+// cycle per data word and keeps aggregate traffic statistics, enough to
+// expose the memory-bandwidth differences between implementations.
+#pragma once
+
+#include <cstdint>
+
+namespace dsra::soc {
+
+struct BusConfig {
+  int data_width_bits = 32;
+  int arbitration_latency = 2;  ///< cycles per burst
+  int burst_words = 8;          ///< max words per burst
+};
+
+class Bus {
+ public:
+  explicit Bus(BusConfig config = {}) : config_(config) {}
+
+  /// Cycles to move @p bits of payload (bursts of burst_words words).
+  [[nodiscard]] std::uint64_t transfer_cycles(std::uint64_t bits) const;
+
+  /// Record a transfer and return its cycle cost.
+  std::uint64_t transfer(std::uint64_t bits);
+
+  [[nodiscard]] std::uint64_t total_cycles() const { return total_cycles_; }
+  [[nodiscard]] std::uint64_t total_bits() const { return total_bits_; }
+  [[nodiscard]] const BusConfig& config() const { return config_; }
+
+  void reset_stats();
+
+ private:
+  BusConfig config_;
+  std::uint64_t total_cycles_ = 0;
+  std::uint64_t total_bits_ = 0;
+};
+
+}  // namespace dsra::soc

@@ -1,0 +1,30 @@
+#include "soc/controller.hpp"
+
+#include <algorithm>
+
+namespace dsra::soc {
+
+std::vector<DaControlWord> da_schedule(int serial_width) {
+  std::vector<DaControlWord> words;
+  words.reserve(static_cast<std::size_t>(serial_width) + 1);
+  words.push_back({true, false, false});
+  for (int k = 0; k < serial_width; ++k) words.push_back({false, true, k == 0});
+  return words;
+}
+
+std::vector<BlockAddress> block_raster(int frame_width, int frame_height, int block) {
+  std::vector<BlockAddress> out;
+  for (int y = 0; y < frame_height; y += block)
+    for (int x = 0; x < frame_width; x += block) out.push_back({x, y});
+  return out;
+}
+
+std::vector<MeBatch> me_batch_schedule(int range, int modules) {
+  std::vector<MeBatch> out;
+  for (int dy_base = -range; dy_base <= range; dy_base += modules)
+    for (int dx = -range; dx <= range; ++dx)
+      out.push_back({dx, dy_base, std::min(modules, range - dy_base + 1)});
+  return out;
+}
+
+}  // namespace dsra::soc

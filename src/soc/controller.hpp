@@ -1,0 +1,44 @@
+// Processor-side controller / address generator (Fig 1).
+//
+// "A controller in the processor is used to integrate and generate the
+// addresses for these array structures" - the arrays themselves carry no
+// sequencing logic; this component produces the block-scan addresses, the
+// DA control words (load / en / sub) and the systolic batch schedules the
+// testbenches and the platform replay into the fabrics.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace dsra::soc {
+
+/// One cycle of Distributed-Arithmetic control (paper section 3.1).
+struct DaControlWord {
+  bool load = false;
+  bool en = false;
+  bool sub = false;
+};
+
+/// Control sequence for one bit-serial transform of @p serial_width bits:
+/// one load cycle, then serial_width accumulate cycles (sign on the MSB).
+[[nodiscard]] std::vector<DaControlWord> da_schedule(int serial_width);
+
+/// Raster scan of block origins over a frame.
+struct BlockAddress {
+  int x = 0;
+  int y = 0;
+};
+[[nodiscard]] std::vector<BlockAddress> block_raster(int frame_width, int frame_height,
+                                                     int block);
+
+/// Candidate batch schedule for the systolic ME array: bands of `modules`
+/// vertically adjacent displacements, dx sweeping inside a band (matches
+/// me::systolic_search).
+struct MeBatch {
+  int dx = 0;
+  int dy_base = 0;   ///< module m evaluates (dx, dy_base + m)
+  int active = 0;    ///< modules with dy inside the window
+};
+[[nodiscard]] std::vector<MeBatch> me_batch_schedule(int range, int modules);
+
+}  // namespace dsra::soc

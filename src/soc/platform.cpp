@@ -1,0 +1,72 @@
+#include "soc/platform.hpp"
+
+#include "common/ints.hpp"
+#include "dct/dct2d.hpp"
+
+namespace dsra::soc {
+
+Platform::Platform(PlatformConfig config)
+    : config_(config),
+      da_array_(ArrayArch::distributed_arithmetic(config.da_array_width,
+                                                  config.da_array_height)),
+      me_array_(ArrayArch::motion_estimation(config.me_pe_cols, config.me_pe_rows,
+                                             ChannelSpec{6, 12})),
+      bus_(config.bus),
+      reconfig_(config.reconfig_port) {}
+
+int Platform::build_dct_library() {
+  impls_ = dct::all_implementations(config_.precision);
+  int mapped = 0;
+  for (const auto& impl : impls_) {
+    const Netlist nl = impl->build_netlist();
+    map::FlowParams params;
+    params.place.seed = 17;
+    map::CompiledDesign design = map::compile(nl, da_array_, params);
+    reconfig_.store(impl->name(), design.bitstream);
+    designs_.emplace(impl->name(), std::move(design));
+    ++mapped;
+  }
+  return mapped;
+}
+
+std::uint64_t Platform::reconfigure_dct(const std::string& impl_name) {
+  return reconfig_.activate(impl_name);
+}
+
+const dct::DctImplementation* Platform::active_dct() const {
+  if (!reconfig_.active()) return nullptr;
+  for (const auto& impl : impls_)
+    if (impl->name() == *reconfig_.active()) return impl.get();
+  return nullptr;
+}
+
+const map::CompiledDesign* Platform::design_of(const std::string& impl_name) const {
+  const auto it = designs_.find(impl_name);
+  return it == designs_.end() ? nullptr : &it->second;
+}
+
+FrameTiming Platform::estimate_inter_frame(int width, int height, int me_range) const {
+  FrameTiming t;
+  const dct::DctImplementation* impl = active_dct();
+
+  // Motion estimation: one systolic search per 16x16 macroblock.
+  const me::SystolicParams me_params;
+  const auto macroblocks = static_cast<std::uint64_t>(ceil_div(width, 16) * ceil_div(height, 16));
+  t.me_cycles = macroblocks * me::systolic_cycles_per_block(me_range, me_params);
+
+  // DCT: four 8x8 residual blocks per macroblock (luma).
+  if (impl != nullptr) {
+    const auto blocks = macroblocks * 4;
+    t.dct_cycles = blocks * static_cast<std::uint64_t>(dct::cycles_for_block(*impl));
+  }
+
+  // Bus: current macroblock + search window in, residual coefficients out.
+  const std::uint64_t pixels_in =
+      macroblocks * (16 * 16 + static_cast<std::uint64_t>(16 + 2 * me_range) * (16 + 2 * me_range));
+  const std::uint64_t coeff_out = macroblocks * 4 * 64;
+  t.bus_cycles =
+      bus_.transfer_cycles(pixels_in * 8) + bus_.transfer_cycles(coeff_out * 16);
+  return t;
+}
+
+}  // namespace dsra::soc

@@ -1,0 +1,74 @@
+// Reconfigurable System-on-Chip platform assembly (Fig 1).
+//
+// Owns the two domain-specific fabrics, compiles every DCT implementation
+// onto the DA array, stores the bitstreams in the reconfiguration manager
+// and estimates full-frame pipeline timing (bus traffic + ME array + DCT
+// array + reconfiguration charges). This is the component the SoC-level
+// bench and the dynamic-reconfiguration example drive.
+#pragma once
+
+#include <memory>
+
+#include "dct/impl.hpp"
+#include "mapper/flow.hpp"
+#include "me/systolic.hpp"
+#include "soc/bus.hpp"
+#include "soc/reconfig.hpp"
+
+namespace dsra::soc {
+
+struct PlatformConfig {
+  int da_array_width = 12;
+  int da_array_height = 8;
+  int me_pe_cols = 6;   ///< scaled-down ME fabric for simulation speed
+  int me_pe_rows = 4;
+  BusConfig bus;
+  ReconfigPortConfig reconfig_port;
+  dct::DaPrecision precision = dct::DaPrecision::wide();
+};
+
+/// Frame-level timing estimate for one inter frame.
+struct FrameTiming {
+  std::uint64_t me_cycles = 0;
+  std::uint64_t dct_cycles = 0;
+  std::uint64_t bus_cycles = 0;
+  std::uint64_t reconfig_cycles = 0;
+  [[nodiscard]] std::uint64_t total() const {
+    return me_cycles + dct_cycles + bus_cycles + reconfig_cycles;
+  }
+};
+
+class Platform {
+ public:
+  explicit Platform(PlatformConfig config = {});
+
+  /// Compile all six DCT implementations onto the DA fabric and store
+  /// their bitstreams. Returns the number of implementations mapped.
+  int build_dct_library();
+
+  /// Switch the DA fabric to @p impl_name; returns reconfiguration cycles.
+  std::uint64_t reconfigure_dct(const std::string& impl_name);
+
+  /// Estimate pipeline timing of one inter frame of @p width x @p height
+  /// with the currently active DCT implementation and the systolic ME
+  /// schedule at the given search range.
+  [[nodiscard]] FrameTiming estimate_inter_frame(int width, int height, int me_range) const;
+
+  [[nodiscard]] const ArrayArch& da_array() const { return da_array_; }
+  [[nodiscard]] const ArrayArch& me_array() const { return me_array_; }
+  [[nodiscard]] ReconfigManager& reconfig() { return reconfig_; }
+  [[nodiscard]] Bus& bus() { return bus_; }
+  [[nodiscard]] const dct::DctImplementation* active_dct() const;
+  [[nodiscard]] const map::CompiledDesign* design_of(const std::string& impl_name) const;
+
+ private:
+  PlatformConfig config_;
+  ArrayArch da_array_;
+  ArrayArch me_array_;
+  Bus bus_;
+  ReconfigManager reconfig_;
+  std::vector<std::unique_ptr<dct::DctImplementation>> impls_;
+  std::map<std::string, map::CompiledDesign> designs_;
+};
+
+}  // namespace dsra::soc

@@ -1,0 +1,50 @@
+#include "soc/reconfig.hpp"
+
+#include <stdexcept>
+
+#include "common/ints.hpp"
+
+namespace dsra::soc {
+
+void ReconfigManager::store(const std::string& name, std::vector<std::uint8_t> bitstream) {
+  store_[name] = std::move(bitstream);
+}
+
+std::vector<std::string> ReconfigManager::names() const {
+  std::vector<std::string> out;
+  out.reserve(store_.size());
+  for (const auto& [name, bits] : store_) out.push_back(name);
+  return out;
+}
+
+std::uint64_t ReconfigManager::switch_cycles(const std::string& name) const {
+  const auto it = store_.find(name);
+  if (it == store_.end()) throw std::invalid_argument("unknown bitstream '" + name + "'");
+  const auto bits = static_cast<std::int64_t>(it->second.size()) * 8;
+  return static_cast<std::uint64_t>(ceil_div(bits, config_.width_bits)) +
+         static_cast<std::uint64_t>(config_.overhead_cycles);
+}
+
+std::uint64_t ReconfigManager::activate(const std::string& name) {
+  if (active_ && *active_ == name) return 0;
+  const std::uint64_t cycles = switch_cycles(name);
+  active_ = name;
+  total_cycles_ += cycles;
+  ++switches_;
+  return cycles;
+}
+
+const std::vector<std::uint8_t>& ReconfigManager::bitstream(const std::string& name) const {
+  const auto it = store_.find(name);
+  if (it == store_.end()) throw std::invalid_argument("unknown bitstream '" + name + "'");
+  return it->second;
+}
+
+std::string select_dct_implementation(const RuntimeCondition& condition) {
+  if (condition.battery_level < 0.25) return "scc_full";  // 24 clusters, least fabric
+  if (condition.channel_quality < 0.5) return "mixed_rom";  // small + exact
+  if (condition.battery_level < 0.6) return "cordic2";      // scaled, 38 clusters
+  return "cordic1";  // highest arithmetic headroom, 48 clusters
+}
+
+}  // namespace dsra::soc

@@ -1,0 +1,66 @@
+// Runtime reconfiguration manager.
+//
+// The conclusion of the paper: "the arrays have the ability to be
+// dynamically reconfigured to support different implementations of the
+// same algorithms for different run-time constraints, such as low-battery
+// conditions and noisy channels". This component stores one verified
+// bitstream per implementation, charges the configuration-port cycles a
+// switch costs, and picks implementations from a runtime policy.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace dsra::soc {
+
+struct ReconfigPortConfig {
+  int width_bits = 32;       ///< configuration port width
+  int overhead_cycles = 64;  ///< handshake + CRC check per load
+};
+
+class ReconfigManager {
+ public:
+  explicit ReconfigManager(ReconfigPortConfig config = {}) : config_(config) {}
+
+  /// Register a bitstream under @p name (e.g. "cordic1").
+  void store(const std::string& name, std::vector<std::uint8_t> bitstream);
+
+  [[nodiscard]] bool has(const std::string& name) const { return store_.count(name) > 0; }
+  [[nodiscard]] std::vector<std::string> names() const;
+
+  /// Cycles to load @p name's bitstream through the configuration port.
+  [[nodiscard]] std::uint64_t switch_cycles(const std::string& name) const;
+
+  /// Switch the fabric to @p name; returns the cycles spent (0 when the
+  /// implementation is already active). Throws on unknown names.
+  std::uint64_t activate(const std::string& name);
+
+  [[nodiscard]] const std::optional<std::string>& active() const { return active_; }
+  [[nodiscard]] const std::vector<std::uint8_t>& bitstream(const std::string& name) const;
+  [[nodiscard]] std::uint64_t total_reconfig_cycles() const { return total_cycles_; }
+  [[nodiscard]] int switches_performed() const { return switches_; }
+
+ private:
+  ReconfigPortConfig config_;
+  std::map<std::string, std::vector<std::uint8_t>> store_;
+  std::optional<std::string> active_;
+  std::uint64_t total_cycles_ = 0;
+  int switches_ = 0;
+};
+
+/// Runtime operating condition (conclusion of the paper).
+struct RuntimeCondition {
+  double battery_level = 1.0;   ///< 0..1
+  double channel_quality = 1.0; ///< 0..1 (noisy channel -> lower)
+};
+
+/// Implementation-selection policy over the paper's DCT variants:
+/// plenty of battery -> highest-precision mapping (cordic1);
+/// low battery      -> smallest/lowest-power mapping (scc_full);
+/// noisy channel    -> robust mid-size mapping (mixed_rom).
+[[nodiscard]] std::string select_dct_implementation(const RuntimeCondition& condition);
+
+}  // namespace dsra::soc

@@ -1,0 +1,146 @@
+#include "video/codec.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dsra::video {
+
+namespace {
+
+using PixelBlock = dct::PixelBlock;
+
+PixelBlock extract_block(const Frame& f, int bx, int by, int offset) {
+  PixelBlock b{};
+  for (int y = 0; y < 8; ++y)
+    for (int x = 0; x < 8; ++x)
+      b[static_cast<std::size_t>(y)][static_cast<std::size_t>(x)] =
+          static_cast<int>(f.clamped_at(bx + x, by + y)) - offset;
+  return b;
+}
+
+PixelBlock residual_block(const Frame& cur, const Frame& pred, int bx, int by) {
+  PixelBlock b{};
+  for (int y = 0; y < 8; ++y)
+    for (int x = 0; x < 8; ++x)
+      b[static_cast<std::size_t>(y)][static_cast<std::size_t>(x)] =
+          static_cast<int>(cur.clamped_at(bx + x, by + y)) -
+          static_cast<int>(pred.clamped_at(bx + x, by + y));
+  return b;
+}
+
+}  // namespace
+
+ToyEncoder::ToyEncoder(const dct::DctImplementation* impl, MotionSearchFn motion_search,
+                       CodecConfig config)
+    : impl_(impl), motion_search_(std::move(motion_search)), config_(config),
+      quant_(config.use_mpeg_matrix ? QuantMatrix::mpeg_intra(config.quantiser_scale)
+                                    : QuantMatrix::flat(config.quantiser_scale)) {}
+
+double ToyEncoder::code_block(const std::array<std::array<int, 8>, 8>& block,
+                              std::array<std::array<int, 8>, 8>& recon_block) const {
+  const dct::Block8x8 coeffs = impl_ != nullptr
+                                   ? dct::forward_2d(*impl_, block)
+                                   : dct::forward_2d_reference(block);
+  const QBlock levels = quantize(coeffs, quant_);
+  const double bits = estimate_block_bits(levels);
+  const RBlock recon_coeffs = dequantize(levels, quant_);
+  const dct::Block8x8 recon_real = dct::idct8x8(recon_coeffs);
+  for (int y = 0; y < 8; ++y)
+    for (int x = 0; x < 8; ++x)
+      recon_block[static_cast<std::size_t>(y)][static_cast<std::size_t>(x)] = static_cast<int>(
+          std::lround(recon_real[static_cast<std::size_t>(y)][static_cast<std::size_t>(x)]));
+  return bits;
+}
+
+FrameStats ToyEncoder::encode_intra(const Frame& frame, Frame& recon) const {
+  FrameStats stats;
+  recon = Frame(frame.width(), frame.height());
+  for (int by = 0; by < frame.height(); by += 8) {
+    for (int bx = 0; bx < frame.width(); bx += 8) {
+      const PixelBlock block = extract_block(frame, bx, by, 128);
+      std::array<std::array<int, 8>, 8> rb{};
+      stats.bits += code_block(block, rb);
+      ++stats.blocks_coded;
+      if (impl_ != nullptr)
+        stats.dct_array_cycles += static_cast<std::uint64_t>(dct::cycles_for_block(*impl_));
+      for (int y = 0; y < 8; ++y)
+        for (int x = 0; x < 8; ++x)
+          if (bx + x < frame.width() && by + y < frame.height())
+            recon.set(bx + x, by + y,
+                      static_cast<std::uint8_t>(std::clamp(
+                          rb[static_cast<std::size_t>(y)][static_cast<std::size_t>(x)] + 128, 0,
+                          255)));
+    }
+  }
+  stats.psnr_db = psnr(frame, recon);
+  return stats;
+}
+
+FrameStats ToyEncoder::encode_inter(const Frame& frame, const Frame& ref_recon,
+                                    Frame& recon) const {
+  FrameStats stats;
+  recon = Frame(frame.width(), frame.height());
+  const int mb = config_.me_block;
+  double abs_mv = 0.0;
+  int mvs = 0;
+
+  for (int by = 0; by < frame.height(); by += mb) {
+    for (int bx = 0; bx < frame.width(); bx += mb) {
+      const MotionSearchResult mr =
+          motion_search_(frame, ref_recon, bx, by, mb, config_.me_range);
+      stats.me_array_cycles += mr.array_cycles;
+      abs_mv += std::abs(mr.mv.dx) + std::abs(mr.mv.dy);
+      ++mvs;
+      stats.bits += 2.0 * (2.0 * std::floor(std::log2(std::abs(mr.mv.dx) + 1.0)) + 1.0 +
+                           2.0 * std::floor(std::log2(std::abs(mr.mv.dy) + 1.0)) + 1.0);
+
+      // Motion-compensated prediction for this macroblock.
+      Frame pred(frame.width(), frame.height());
+      for (int y = 0; y < mb; ++y)
+        for (int x = 0; x < mb; ++x)
+          if (bx + x < frame.width() && by + y < frame.height())
+            pred.set(bx + x, by + y, ref_recon.clamped_at(bx + x + mr.mv.dx, by + y + mr.mv.dy));
+
+      for (int sy = 0; sy < mb; sy += 8) {
+        for (int sx = 0; sx < mb; sx += 8) {
+          const PixelBlock block = residual_block(frame, pred, bx + sx, by + sy);
+          std::array<std::array<int, 8>, 8> rb{};
+          stats.bits += code_block(block, rb);
+          ++stats.blocks_coded;
+          if (impl_ != nullptr)
+            stats.dct_array_cycles += static_cast<std::uint64_t>(dct::cycles_for_block(*impl_));
+          for (int y = 0; y < 8; ++y)
+            for (int x = 0; x < 8; ++x) {
+              const int fx = bx + sx + x, fy = by + sy + y;
+              if (fx < frame.width() && fy < frame.height())
+                recon.set(fx, fy,
+                          static_cast<std::uint8_t>(std::clamp(
+                              static_cast<int>(pred.at(fx, fy)) +
+                                  rb[static_cast<std::size_t>(y)][static_cast<std::size_t>(x)],
+                              0, 255)));
+            }
+        }
+      }
+    }
+  }
+  stats.mean_abs_mv = mvs > 0 ? abs_mv / mvs : 0.0;
+  stats.psnr_db = psnr(frame, recon);
+  return stats;
+}
+
+std::vector<FrameStats> ToyEncoder::encode_sequence(const std::vector<Frame>& frames) const {
+  std::vector<FrameStats> stats;
+  Frame recon;
+  for (std::size_t k = 0; k < frames.size(); ++k) {
+    Frame out;
+    if (k == 0) {
+      stats.push_back(encode_intra(frames[k], out));
+    } else {
+      stats.push_back(encode_inter(frames[k], recon, out));
+    }
+    recon = std::move(out);
+  }
+  return stats;
+}
+
+}  // namespace dsra::video

@@ -1,0 +1,62 @@
+// Toy hybrid video encoder (MPEG-4-simple-profile shaped).
+//
+// Workload generator for the experiments: intra first frame, then
+// motion-compensated inter frames; 8x8 DCT -> quantise -> bit estimate ->
+// dequantise -> inverse DCT -> reconstruct. The 1-D DCT runs through any
+// of the paper's array implementations; motion search is injected
+// (full-search systolic, three-step, ... from the ME library).
+#pragma once
+
+#include <optional>
+
+#include "dct/dct2d.hpp"
+#include "video/metrics.hpp"
+#include "video/motion.hpp"
+#include "video/quant.hpp"
+
+namespace dsra::video {
+
+struct CodecConfig {
+  double quantiser_scale = 8.0;
+  int me_block = 16;
+  int me_range = 8;
+  bool use_mpeg_matrix = true;
+};
+
+struct FrameStats {
+  double psnr_db = 0.0;
+  double bits = 0.0;
+  std::uint64_t dct_array_cycles = 0;
+  std::uint64_t me_array_cycles = 0;
+  int blocks_coded = 0;
+  double mean_abs_mv = 0.0;
+};
+
+class ToyEncoder {
+ public:
+  /// @p impl may be null: the double-precision reference DCT is used.
+  ToyEncoder(const dct::DctImplementation* impl, MotionSearchFn motion_search,
+             CodecConfig config);
+
+  /// Encode an intra frame; returns stats and writes the reconstruction.
+  FrameStats encode_intra(const Frame& frame, Frame& recon) const;
+
+  /// Encode an inter frame against @p ref_recon.
+  FrameStats encode_inter(const Frame& frame, const Frame& ref_recon, Frame& recon) const;
+
+  /// Encode a whole sequence (first frame intra); returns per-frame stats.
+  [[nodiscard]] std::vector<FrameStats> encode_sequence(const std::vector<Frame>& frames) const;
+
+ private:
+  /// Transform, quantise, estimate bits, reconstruct one 8x8 residual
+  /// block located at (bx, by) of @p residual; adds into @p recon.
+  double code_block(const std::array<std::array<int, 8>, 8>& block,
+                    std::array<std::array<int, 8>, 8>& recon_block) const;
+
+  const dct::DctImplementation* impl_;
+  MotionSearchFn motion_search_;
+  CodecConfig config_;
+  QuantMatrix quant_;
+};
+
+}  // namespace dsra::video

@@ -1,0 +1,36 @@
+#include "video/metrics.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace dsra::video {
+
+double mse(const Frame& a, const Frame& b) {
+  if (a.width() != b.width() || a.height() != b.height())
+    throw std::invalid_argument("mse: frame size mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.data().size(); ++i) {
+    const double d = static_cast<double>(a.data()[i]) - static_cast<double>(b.data()[i]);
+    acc += d * d;
+  }
+  return acc / static_cast<double>(a.data().size());
+}
+
+double psnr(const Frame& a, const Frame& b) {
+  const double m = mse(a, b);
+  if (m <= 0.0) return 99.0;
+  return 10.0 * std::log10(255.0 * 255.0 / m);
+}
+
+std::int64_t block_sad(const Frame& cur, const Frame& ref, int bx, int by, int n, int dx,
+                       int dy) {
+  std::int64_t sad = 0;
+  for (int y = 0; y < n; ++y)
+    for (int x = 0; x < n; ++x)
+      sad += std::abs(static_cast<int>(cur.clamped_at(bx + x, by + y)) -
+                      static_cast<int>(ref.clamped_at(bx + dx + x, by + dy + y)));
+  return sad;
+}
+
+}  // namespace dsra::video

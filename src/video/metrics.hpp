@@ -1,0 +1,23 @@
+// Quality metrics: MSE / PSNR between frames, block SAD statistics.
+#pragma once
+
+#include <cstdint>
+
+#include "video/frame.hpp"
+
+namespace dsra::video {
+
+/// Mean squared error between two equally sized frames.
+[[nodiscard]] double mse(const Frame& a, const Frame& b);
+
+/// Peak signal-to-noise ratio in dB (infinity-safe: identical frames
+/// report 99 dB).
+[[nodiscard]] double psnr(const Frame& a, const Frame& b);
+
+/// Sum of absolute differences between an NxN block of @p cur at
+/// (bx, by) and the block of @p ref displaced by (dx, dy); reads are
+/// edge-clamped.
+[[nodiscard]] std::int64_t block_sad(const Frame& cur, const Frame& ref, int bx, int by, int n,
+                                     int dx, int dy);
+
+}  // namespace dsra::video

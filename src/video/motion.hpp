@@ -1,0 +1,34 @@
+// Motion types shared between the video pipeline and the ME library.
+//
+// The codec takes the motion-search algorithm as a function object so that
+// the video layer does not depend on the ME implementations (they are
+// injected by examples/benches - the paper's point is precisely that the
+// same fabric supports several of them).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "video/frame.hpp"
+
+namespace dsra::video {
+
+struct MotionVector {
+  int dx = 0;
+  int dy = 0;
+  bool operator==(const MotionVector&) const = default;
+};
+
+struct MotionSearchResult {
+  MotionVector mv;
+  std::int64_t sad = 0;
+  int candidates_evaluated = 0;
+  std::uint64_t array_cycles = 0;  ///< cycle estimate on the ME array
+};
+
+/// Search for the best match of the NxN block of @p cur at (bx, by)
+/// within +/- range in @p ref.
+using MotionSearchFn = std::function<MotionSearchResult(
+    const Frame& cur, const Frame& ref, int bx, int by, int n, int range)>;
+
+}  // namespace dsra::video

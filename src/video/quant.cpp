@@ -1,0 +1,96 @@
+#include "video/quant.hpp"
+
+#include <cmath>
+
+namespace dsra::video {
+
+QuantMatrix QuantMatrix::flat(double s) {
+  QuantMatrix q;
+  for (auto& row : q.step) row.fill(s);
+  return q;
+}
+
+QuantMatrix QuantMatrix::mpeg_intra(double quantiser_scale) {
+  // Classic MPEG intra weighting (8 at DC rising towards high frequency),
+  // normalised so weight(0,0) == 1.
+  static const int w[8][8] = {
+      {8, 16, 19, 22, 26, 27, 29, 34}, {16, 16, 22, 24, 27, 29, 34, 37},
+      {19, 22, 26, 27, 29, 34, 34, 38}, {22, 22, 26, 27, 29, 34, 37, 40},
+      {22, 26, 27, 29, 32, 35, 40, 48}, {26, 27, 29, 32, 35, 40, 48, 58},
+      {26, 27, 29, 34, 38, 46, 56, 69}, {27, 29, 35, 38, 46, 56, 69, 83}};
+  QuantMatrix q;
+  for (int u = 0; u < 8; ++u)
+    for (int v = 0; v < 8; ++v)
+      q.step[static_cast<std::size_t>(u)][static_cast<std::size_t>(v)] =
+          quantiser_scale * w[u][v] / 8.0;
+  return q;
+}
+
+QuantMatrix QuantMatrix::folded(const std::array<double, 8>& g_row,
+                                const std::array<double, 8>& g_col) const {
+  QuantMatrix q;
+  for (int u = 0; u < 8; ++u)
+    for (int v = 0; v < 8; ++v)
+      q.step[static_cast<std::size_t>(u)][static_cast<std::size_t>(v)] =
+          step[static_cast<std::size_t>(u)][static_cast<std::size_t>(v)] *
+          g_row[static_cast<std::size_t>(u)] * g_col[static_cast<std::size_t>(v)];
+  return q;
+}
+
+QBlock quantize(const RBlock& coeffs, const QuantMatrix& q) {
+  QBlock out{};
+  for (int u = 0; u < 8; ++u)
+    for (int v = 0; v < 8; ++v)
+      out[static_cast<std::size_t>(u)][static_cast<std::size_t>(v)] = static_cast<int>(
+          std::lround(coeffs[static_cast<std::size_t>(u)][static_cast<std::size_t>(v)] /
+                      q.step[static_cast<std::size_t>(u)][static_cast<std::size_t>(v)]));
+  return out;
+}
+
+RBlock dequantize(const QBlock& levels, const QuantMatrix& q) {
+  RBlock out{};
+  for (int u = 0; u < 8; ++u)
+    for (int v = 0; v < 8; ++v)
+      out[static_cast<std::size_t>(u)][static_cast<std::size_t>(v)] =
+          levels[static_cast<std::size_t>(u)][static_cast<std::size_t>(v)] *
+          q.step[static_cast<std::size_t>(u)][static_cast<std::size_t>(v)];
+  return out;
+}
+
+const std::array<std::pair<int, int>, 64>& zigzag_order() {
+  static const auto order = [] {
+    std::array<std::pair<int, int>, 64> o{};
+    int idx = 0;
+    for (int s = 0; s < 15; ++s) {
+      if (s % 2 == 0) {
+        for (int r = std::min(s, 7); r >= 0 && s - r <= 7; --r) o[idx++] = {r, s - r};
+      } else {
+        for (int c = std::min(s, 7); c >= 0 && s - c <= 7; --c) o[idx++] = {s - c, c};
+      }
+    }
+    return o;
+  }();
+  return order;
+}
+
+double estimate_block_bits(const QBlock& levels) {
+  const auto& order = zigzag_order();
+  double bits = 0.0;
+  int run = 0;
+  for (const auto& [r, c] : order) {
+    const int v = levels[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)];
+    if (v == 0) {
+      ++run;
+      continue;
+    }
+    // Exp-Golomb cost of the zero run, then of the magnitude, plus sign.
+    bits += 2.0 * std::floor(std::log2(run + 1.0)) + 1.0;
+    bits += 2.0 * std::floor(std::log2(std::abs(v) + 1.0)) + 1.0;
+    bits += 1.0;
+    run = 0;
+  }
+  bits += 4.0;  // end-of-block marker
+  return bits;
+}
+
+}  // namespace dsra::video

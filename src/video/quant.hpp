@@ -1,0 +1,50 @@
+// Quantisation, zig-zag scan and a bit-cost estimate.
+//
+// Includes the *scale folding* the paper relies on for the CORDIC #2
+// implementation: a scaled DCT's per-output factors are divided into the
+// quantiser step table "without requiring any extra hardware", so the
+// quantised levels equal those of an exact DCT followed by a standard
+// quantiser.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace dsra::video {
+
+using QBlock = std::array<std::array<int, 8>, 8>;
+using RBlock = std::array<std::array<double, 8>, 8>;
+
+/// Per-coefficient quantiser steps.
+struct QuantMatrix {
+  std::array<std::array<double, 8>, 8> step{};
+
+  /// Uniform quantiser with step @p s.
+  [[nodiscard]] static QuantMatrix flat(double s);
+
+  /// MPEG-style intra matrix scaled by quantiser_scale (coarser for high
+  /// frequencies).
+  [[nodiscard]] static QuantMatrix mpeg_intra(double quantiser_scale);
+
+  /// Fold per-row/per-column DCT output scales into the steps: a
+  /// coefficient produced as X[u][v] * g_row[u] * g_col[v] quantised with
+  /// the folded matrix yields the same levels as X quantised with *this.
+  [[nodiscard]] QuantMatrix folded(const std::array<double, 8>& g_row,
+                                   const std::array<double, 8>& g_col) const;
+};
+
+/// Quantise real coefficients (round to nearest).
+[[nodiscard]] QBlock quantize(const RBlock& coeffs, const QuantMatrix& q);
+
+/// Reconstruct real coefficients from levels.
+[[nodiscard]] RBlock dequantize(const QBlock& levels, const QuantMatrix& q);
+
+/// Zig-zag scan order of an 8x8 block: (row, col) pairs.
+[[nodiscard]] const std::array<std::pair<int, int>, 64>& zigzag_order();
+
+/// Exp-Golomb-style bit-cost estimate of an 8x8 level block
+/// (run-length over the zig-zag scan; deterministic, monotone in both
+/// run lengths and magnitudes - a stand-in for real entropy coding).
+[[nodiscard]] double estimate_block_bits(const QBlock& levels);
+
+}  // namespace dsra::video

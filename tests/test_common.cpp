@@ -1,0 +1,194 @@
+// Unit and property tests for the common utilities: width-limited integer
+// arithmetic, fixed point, deterministic RNG, bit packing and CRC.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/bitpack.hpp"
+#include "common/fixed.hpp"
+#include "common/ints.hpp"
+#include "common/report.hpp"
+#include "common/rng.hpp"
+
+namespace dsra {
+namespace {
+
+TEST(Ints, WrapToWidthMatchesTwosComplement) {
+  EXPECT_EQ(wrap_to_width(0, 8), 0);
+  EXPECT_EQ(wrap_to_width(127, 8), 127);
+  EXPECT_EQ(wrap_to_width(128, 8), -128);
+  EXPECT_EQ(wrap_to_width(255, 8), -1);
+  EXPECT_EQ(wrap_to_width(256, 8), 0);
+  EXPECT_EQ(wrap_to_width(-1, 8), -1);
+  EXPECT_EQ(wrap_to_width(-129, 8), 127);
+}
+
+TEST(Ints, WrapIsIdempotent) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = static_cast<std::int64_t>(rng.next_u64());
+    for (const int w : {4, 8, 12, 16, 20, 32}) {
+      const std::int64_t once = wrap_to_width(v, w);
+      EXPECT_EQ(wrap_to_width(once, w), once);
+      EXPECT_TRUE(fits_signed(once, w));
+    }
+  }
+}
+
+TEST(Ints, SaturateClampsToRange) {
+  EXPECT_EQ(saturate_to_width(1000, 8), 127);
+  EXPECT_EQ(saturate_to_width(-1000, 8), -128);
+  EXPECT_EQ(saturate_to_width(5, 8), 5);
+}
+
+TEST(Ints, WidthLegality) {
+  EXPECT_TRUE(is_legal_width(4));
+  EXPECT_TRUE(is_legal_width(32));
+  EXPECT_FALSE(is_legal_width(0));
+  EXPECT_FALSE(is_legal_width(13));
+  EXPECT_FALSE(is_legal_width(36));
+  EXPECT_EQ(round_up_to_element(13), 16);
+  EXPECT_EQ(round_up_to_element(16), 16);
+  EXPECT_EQ(elements_for_width(16), 4);
+}
+
+TEST(Ints, CeilLog2) {
+  EXPECT_EQ(ceil_log2(1), 0);
+  EXPECT_EQ(ceil_log2(2), 1);
+  EXPECT_EQ(ceil_log2(3), 2);
+  EXPECT_EQ(ceil_log2(256), 8);
+}
+
+TEST(Fixed, RoundTripWithinHalfUlp) {
+  Rng rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.next_double() * 2.0 - 1.0;
+    for (const int f : {8, 12, 14}) {
+      const double back = from_fixed(to_fixed(v, f), f);
+      EXPECT_NEAR(back, v, coeff_quant_error(f) + 1e-12);
+    }
+  }
+}
+
+TEST(Fixed, RoundShiftRoundsToNearest) {
+  EXPECT_EQ(round_shift(5 << 4, 4), 5);
+  EXPECT_EQ(round_shift((5 << 4) + 8, 4), 6);  // ties away from zero at .5
+  EXPECT_EQ(round_shift((5 << 4) + 7, 4), 5);
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, RangeIsInclusiveAndCoversEndpoints) {
+  Rng rng(3);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const std::int64_t v = rng.next_range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(4);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.next_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, GaussianMomentsRoughlyStandard) {
+  Rng rng(5);
+  double sum = 0.0, sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.next_gaussian();
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sq / n, 1.0, 0.1);
+}
+
+TEST(BitPack, RoundTripMixedFields) {
+  Rng rng(6);
+  for (int trial = 0; trial < 100; ++trial) {
+    BitWriter w;
+    std::vector<std::pair<std::uint64_t, int>> fields;
+    for (int i = 0; i < 50; ++i) {
+      const int bits = static_cast<int>(rng.next_range(1, 64));
+      const std::uint64_t v = rng.next_u64() & low_mask(bits);
+      fields.emplace_back(v, bits);
+      w.write(v, bits);
+    }
+    BitReader r(w.bytes());
+    for (const auto& [v, bits] : fields) EXPECT_EQ(r.read(bits), v);
+    EXPECT_TRUE(r.ok());
+  }
+}
+
+TEST(BitPack, ReadPastEndFlagsError) {
+  BitWriter w;
+  w.write(0x5, 3);
+  BitReader r(w.bytes());
+  (void)r.read(8);  // within the padded byte
+  (void)r.read(8);  // past the end
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(BitPack, AlignToByte) {
+  BitWriter w;
+  w.write(1, 3);
+  w.align_to_byte();
+  w.write(0xab, 8);
+  EXPECT_EQ(w.bytes().size(), 2u);
+  BitReader r(w.bytes());
+  EXPECT_EQ(r.read(3), 1u);
+  r.align_to_byte();
+  EXPECT_EQ(r.read(8), 0xabu);
+}
+
+TEST(Crc32, KnownVectorAndSensitivity) {
+  // "123456789" -> 0xCBF43926 (standard check value).
+  std::vector<std::uint8_t> check = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  EXPECT_EQ(crc32(check), 0xCBF43926u);
+  check[4] ^= 1;
+  EXPECT_NE(crc32(check), 0xCBF43926u);
+}
+
+TEST(Report, TableRendersAllCells) {
+  ReportTable t("demo");
+  t.set_header({"a", "bb"});
+  t.add_row({"1", "2"});
+  t.add_separator();
+  t.add_row({"333", "4"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("demo"), std::string::npos);
+  EXPECT_NE(s.find("333"), std::string::npos);
+  EXPECT_NE(s.find("bb"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Report, Formatters) {
+  EXPECT_EQ(format_double(1.2345, 2), "1.23");
+  EXPECT_EQ(format_percent(0.756, 1), "75.6%");
+  EXPECT_EQ(format_i64(-42), "-42");
+}
+
+}  // namespace
+}  // namespace dsra

@@ -1,0 +1,126 @@
+// Cost models: area accounting, activity-based power, FPGA baseline
+// decomposition and the fabric comparison mechanics.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "cost/compare.hpp"
+#include "dct/impl.hpp"
+
+namespace dsra::cost {
+namespace {
+
+TEST(Area, ClusterAreaScalesWithWidthAndMemoryBits) {
+  EXPECT_LT(cluster_area(AddShiftCfg{8, AddShiftOp::kAdd, 0, false}),
+            cluster_area(AddShiftCfg{32, AddShiftOp::kAdd, 0, false}));
+  MemCfg small;
+  small.words = 16;
+  small.width = 8;
+  MemCfg big;
+  big.words = 256;
+  big.width = 8;
+  EXPECT_LT(cluster_area(small), cluster_area(big));
+}
+
+TEST(Area, DesignAreaDecomposesAndCountsClusters) {
+  const Netlist nl = dct::make_mixed_rom()->build_netlist();
+  const AreaReport r = domain_design_area(nl, ChannelSpec{4, 8});
+  EXPECT_EQ(r.clusters, 32);  // Table 1 column
+  EXPECT_GT(r.cluster_area, 0.0);
+  EXPECT_GT(r.routing_area, 0.0);
+  EXPECT_GT(r.config_bits, 0);
+  EXPECT_NEAR(r.total(), r.cluster_area + r.routing_area + r.config_area, 1e-9);
+}
+
+TEST(Area, MoreTracksCostMoreArea) {
+  const Netlist nl = dct::make_da_basic()->build_netlist();
+  const AreaReport narrow = domain_design_area(nl, ChannelSpec{2, 4});
+  const AreaReport wide = domain_design_area(nl, ChannelSpec{8, 16});
+  EXPECT_LT(narrow.routing_area, wide.routing_area);
+  EXPECT_LT(narrow.config_bits, wide.config_bits);
+}
+
+TEST(Area, FabricAreaCoversAllSites) {
+  const ArrayArch arch = ArrayArch::distributed_arithmetic(8, 8);
+  const AreaReport fabric = domain_fabric_area(arch);
+  EXPECT_EQ(fabric.clusters, arch.tile_count());
+  EXPECT_GT(fabric.total(), 0.0);
+}
+
+TEST(Fpga, DecompositionTracksOperationComplexity) {
+  // An absolute difference needs more LUTs than a plain adder of the same
+  // width; a 256-word memory more than a 16-word one.
+  const LutDecomposition add = decompose(AddShiftCfg{16, AddShiftOp::kAdd, 0, false});
+  const LutDecomposition ad = decompose(AbsDiffCfg{16, AbsDiffOp::kAbsDiff, false});
+  EXPECT_GT(ad.luts, add.luts);
+  EXPECT_GT(ad.lut_levels, add.lut_levels);
+  // Small ROMs are distributed LUT-ROM; large ones map to block RAM.
+  MemCfg small;
+  small.words = 16;
+  small.width = 8;
+  MemCfg big;
+  big.words = 256;
+  big.width = 8;
+  EXPECT_GT(decompose(small).luts, 0);
+  EXPECT_EQ(decompose(small).bram_bits, 0);
+  EXPECT_TRUE(decompose(big).uses_bram);
+  EXPECT_EQ(decompose(big).bram_bits, 256 * 8);
+  // Constant shifts are free wiring on an FPGA.
+  EXPECT_EQ(decompose(AddShiftCfg{16, AddShiftOp::kShiftLeft, 3, false}).luts, 0);
+}
+
+TEST(Fpga, MappingAggregatesAndPacksClbs) {
+  const Netlist nl = dct::make_cordic1()->build_netlist();
+  const FpgaMapping m = map_to_fpga(nl);
+  EXPECT_GT(m.luts, 0);
+  EXPECT_GT(m.ffs, 0);
+  EXPECT_GE(m.clbs * fpga_cost().luts_per_clb, std::max(m.luts, m.ffs));
+  EXPECT_GT(m.config_bits, 0);
+}
+
+TEST(Power, ScalesWithActivityAndFrequency) {
+  auto impl = dct::make_da_basic();
+  const Netlist nl = impl->build_netlist();
+  Simulator sim(nl);
+  Rng rng(3);
+  dct::IVec8 x{};
+  for (int t = 0; t < 8; ++t) {
+    for (auto& v : x) v = rng.next_range(-2048, 2047);
+    (void)dct::run_da_transform(sim, x, impl->serial_width());
+  }
+  const AreaReport area = domain_design_area(nl, ChannelSpec{4, 8});
+  const PowerReport p100 = domain_power(nl, sim, nullptr, 100.0, area);
+  const PowerReport p200 = domain_power(nl, sim, nullptr, 200.0, area);
+  EXPECT_GT(p100.total(), 0.0);
+  // Dynamic parts double with frequency; leakage does not.
+  EXPECT_NEAR(p200.interconnect_mw, 2.0 * p100.interconnect_mw, 1e-9);
+  EXPECT_NEAR(p200.leakage_mw, p100.leakage_mw, 1e-9);
+
+  // An idle design (no transforms) burns only clock/leakage.
+  Simulator idle(nl);
+  idle.run(100);
+  const PowerReport pi = domain_power(nl, idle, nullptr, 100.0, area);
+  EXPECT_LT(pi.total(), p100.total());
+}
+
+TEST(Compare, DomainArrayBeatsFpgaOnPowerForDctWorkload) {
+  auto impl = dct::make_da_basic();
+  const Netlist nl = impl->build_netlist();
+  const ArrayArch arch = ArrayArch::distributed_arithmetic(12, 8);
+  const map::CompiledDesign design = map::compile(nl, arch, map::FlowParams{});
+
+  Simulator sim(nl);
+  Rng rng(4);
+  dct::IVec8 x{};
+  for (int t = 0; t < 16; ++t) {
+    for (auto& v : x) v = rng.next_range(-2048, 2047);
+    (void)dct::run_da_transform(sim, x, impl->serial_width());
+  }
+  const FabricComparison cmp = compare_fabrics(nl, design, sim, 100.0, arch.channels());
+  EXPECT_GT(cmp.fpga.power_mw, 0.0);
+  EXPECT_GT(cmp.domain.power_mw, 0.0);
+  EXPECT_GT(cmp.power_reduction(), 0.0) << "domain array must use less power";
+  EXPECT_GT(cmp.area_reduction(), 0.0) << "domain array must use less area";
+}
+
+}  // namespace
+}  // namespace dsra::cost

@@ -1,0 +1,100 @@
+// Integration: the systolic PE netlist simulated on the ME fabric computes
+// the same motion vectors as the golden full search, and the netlist
+// places-and-routes onto the Fig 2 architecture.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "me/systolic.hpp"
+#include "mapper/flow.hpp"
+#include "video/synthetic.hpp"
+
+namespace dsra::me {
+namespace {
+
+SystolicParams small_params() {
+  SystolicParams p;
+  p.block = 4;
+  p.modules = 2;
+  return p;
+}
+
+TEST(MeNetlist, ValidAndMatchesFig10Structure) {
+  const SystolicParams p = small_params();
+  const Netlist nl = build_systolic_netlist(p);
+  EXPECT_EQ(nl.validate(), "");
+  const ClusterCensus c = nl.census();
+  // Per module: block cur regs (shared once) are counted globally.
+  EXPECT_EQ(c.mux_regs, p.block + p.modules * p.block);
+  EXPECT_EQ(c.abs_diffs, p.modules * p.block);
+  // Tree (block-1 adders) + SAD accumulator per module.
+  EXPECT_EQ(c.adders, p.modules * (p.block - 1));
+  EXPECT_EQ(c.accumulators, p.modules);
+  EXPECT_EQ(c.comparators, p.modules);
+}
+
+TEST(MeNetlist, FullSizePaperArrayCensus) {
+  // The paper's 4 x 16 array: 64 PEs.
+  SystolicParams p;
+  const Netlist nl = build_systolic_netlist(p);
+  const ClusterCensus c = nl.census();
+  EXPECT_EQ(c.abs_diffs, 64);
+  EXPECT_EQ(c.mux_regs, 16 + 64);
+  EXPECT_EQ(c.adders, 4 * 15);
+  EXPECT_EQ(c.accumulators, 4);
+  EXPECT_EQ(c.comparators, 4);
+}
+
+TEST(MeNetlist, SimulatedSearchMatchesGolden) {
+  const SystolicParams p = small_params();
+  const Netlist nl = build_systolic_netlist(p);
+  Simulator sim(nl);
+
+  video::SyntheticConfig cfg;
+  cfg.width = 32;
+  cfg.height = 32;
+  cfg.frames = 2;
+  cfg.pan_x = 1;
+  cfg.pan_y = 1;
+  cfg.noise_sigma = 0.5;
+  const auto frames = video::generate_sequence(cfg);
+
+  for (int bx = 8; bx <= 16; bx += 4) {
+    const NetlistSearchResult got =
+        run_systolic_netlist(sim, frames[1], frames[0], bx, 12, 2, p);
+    const MotionSearchResult want = full_search(frames[1], frames[0], bx, 12, p.block, 2);
+    EXPECT_EQ(got.mv, want.mv) << "block x " << bx;
+    EXPECT_EQ(got.sad, want.sad);
+    EXPECT_GT(got.cycles, 0u);
+  }
+}
+
+TEST(MeNetlist, CompilesOntoMotionEstimationFabric) {
+  const SystolicParams p = small_params();
+  const Netlist nl = build_systolic_netlist(p);
+  const ArrayArch arch = ArrayArch::motion_estimation(6, 4, ChannelSpec{6, 12});
+  map::FlowParams params;
+  params.place.seed = 11;
+  const map::CompiledDesign design = map::compile(nl, arch, params);
+  EXPECT_TRUE(design.routes.success);
+  EXPECT_GT(design.timing.fmax_mhz, 0.0);
+
+  // Extracted design still finds correct motion vectors.
+  const map::ExtractedDesign ex = map::extract_design(arch, design.bitstream);
+  Simulator sim(ex.netlist);
+  video::SyntheticConfig cfg;
+  cfg.width = 32;
+  cfg.height = 32;
+  cfg.frames = 2;
+  cfg.pan_x = -1;
+  cfg.pan_y = 2;
+  cfg.noise_sigma = 0.0;
+  cfg.objects.clear();
+  const auto frames = video::generate_sequence(cfg);
+  const NetlistSearchResult got = run_systolic_netlist(sim, frames[1], frames[0], 12, 12, 2, p);
+  const MotionSearchResult want = full_search(frames[1], frames[0], 12, 12, p.block, 2);
+  EXPECT_EQ(got.mv, want.mv);
+  EXPECT_EQ(got.sad, want.sad);
+}
+
+}  // namespace
+}  // namespace dsra::me

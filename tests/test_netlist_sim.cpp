@@ -1,0 +1,188 @@
+// Netlist construction / validation and the cycle-accurate simulator:
+// levelisation, combinational-loop detection, register feedback, activity
+// counting.
+#include <gtest/gtest.h>
+
+#include "core/sim.hpp"
+
+namespace dsra {
+namespace {
+
+TEST(Netlist, BuildAndCensus) {
+  Netlist nl("t");
+  const NetId a = nl.add_input("a", 16);
+  const NetId b = nl.add_input("b", 16);
+  const NodeId add = nl.add_node("add", AddShiftCfg{16, AddShiftOp::kAdd, 0, false});
+  nl.connect_input(add, "a", a);
+  nl.connect_input(add, "b", b);
+  nl.add_output("y", nl.output_net(add, "y"));
+
+  EXPECT_EQ(nl.validate(), "");
+  EXPECT_EQ(nl.census().adders, 1);
+  EXPECT_EQ(nl.census().total(), 1);
+  EXPECT_TRUE(nl.find_input("a").has_value());
+  EXPECT_TRUE(nl.find_output("y").has_value());
+  EXPECT_FALSE(nl.find_input("zzz").has_value());
+}
+
+TEST(Netlist, ValidationFindsUndrivenNetsAndWidthMismatch) {
+  Netlist nl("t");
+  const NetId floating = nl.add_net("floating", 8);
+  const NodeId add = nl.add_node("add", AddShiftCfg{16, AddShiftOp::kAdd, 0, false});
+  nl.connect_input(add, "a", floating);
+  EXPECT_NE(nl.validate(), "");
+
+  Netlist nl2("t2");
+  const NetId wide = nl2.add_input("wide", 32);
+  const NodeId add2 = nl2.add_node("add", AddShiftCfg{8, AddShiftOp::kAdd, 0, false});
+  nl2.connect_input(add2, "a", wide);  // 8-bit port reading 32-bit net
+  EXPECT_NE(nl2.validate(), "");
+}
+
+TEST(Netlist, UnknownPortThrows) {
+  Netlist nl("t");
+  const NodeId add = nl.add_node("add", AddShiftCfg{16, AddShiftOp::kAdd, 0, false});
+  EXPECT_THROW(nl.connect_input(add, "nope", nl.add_input("a", 16)), std::invalid_argument);
+}
+
+TEST(Sim, CombinationalChainSettlesInOneEval) {
+  // y = (a + b) - c through two clusters.
+  Netlist nl("chain");
+  const NetId a = nl.add_input("a", 16);
+  const NetId b = nl.add_input("b", 16);
+  const NetId c = nl.add_input("c", 16);
+  const NodeId add = nl.add_node("add", AddShiftCfg{16, AddShiftOp::kAdd, 0, false});
+  nl.connect_input(add, "a", a);
+  nl.connect_input(add, "b", b);
+  const NodeId sub = nl.add_node("sub", AddShiftCfg{16, AddShiftOp::kSub, 0, false});
+  nl.connect_input(sub, "a", nl.output_net(add, "y"));
+  nl.connect_input(sub, "b", c);
+  nl.add_output("y", nl.output_net(sub, "y"));
+
+  Simulator sim(nl);
+  sim.set_input("a", 10);
+  sim.set_input("b", 20);
+  sim.set_input("c", 5);
+  sim.eval();
+  EXPECT_EQ(sim.output("y"), 25);
+  // Changing an input re-settles without a clock.
+  sim.set_input("c", -5);
+  sim.eval();
+  EXPECT_EQ(sim.output("y"), 35);
+  EXPECT_EQ(sim.cycle(), 0u);
+}
+
+TEST(Sim, CombinationalLoopIsRejected) {
+  Netlist nl("loop");
+  const NodeId a = nl.add_node("a", AddShiftCfg{16, AddShiftOp::kAdd, 0, false});
+  const NodeId b = nl.add_node("b", AddShiftCfg{16, AddShiftOp::kAdd, 0, false});
+  const NetId ay = nl.output_net(a, "y");
+  const NetId by = nl.output_net(b, "y");
+  nl.connect_input(a, "a", by);
+  nl.connect_input(b, "a", ay);
+  nl.connect_input(a, "b", nl.add_input("x", 16));
+  nl.connect_input(b, "b", nl.add_input("z", 16));
+  EXPECT_THROW(Simulator sim(nl), CombLoopError);
+}
+
+TEST(Sim, RegisteredFeedbackIsLegalAndBehaves) {
+  // Accumulator built from a registered adder looping back on itself.
+  Netlist nl("acc");
+  const NetId x = nl.add_input("x", 16);
+  const NodeId add = nl.add_node("add", AddShiftCfg{16, AddShiftOp::kAdd, 0, true});
+  const NetId y = nl.output_net(add, "y");
+  nl.connect_input(add, "a", x);
+  nl.connect_input(add, "b", y);
+  nl.add_output("y", y);
+
+  Simulator sim(nl);
+  sim.set_input("x", 3);
+  sim.step();
+  sim.step();
+  sim.step();
+  EXPECT_EQ(sim.output("y"), 9);
+}
+
+TEST(Sim, ResetClearsStateAndActivity) {
+  Netlist nl("acc");
+  const NetId x = nl.add_input("x", 16);
+  const NodeId acc = nl.add_node("acc", AddAccCfg{16, AddAccOp::kAccumulate, false});
+  nl.connect_input(acc, "a", x);
+  nl.connect_input(acc, "clr", nl.add_input("clr", 1));
+  nl.connect_input(acc, "en", nl.add_input("en", 1));
+  nl.add_output("y", nl.output_net(acc, "y"));
+
+  Simulator sim(nl);
+  sim.set_input("x", 7);
+  sim.set_input("en", 1);
+  sim.run(3);
+  EXPECT_EQ(sim.output("y"), 21);
+  EXPECT_GT(sim.total_toggles(), 0u);
+  sim.reset();
+  EXPECT_EQ(sim.cycle(), 0u);
+  EXPECT_EQ(sim.total_toggles(), 0u);
+  sim.eval();
+  EXPECT_EQ(sim.output("y"), 0);
+}
+
+TEST(Sim, ActivityCountsBitTogglesPerNet) {
+  Netlist nl("t");
+  const NetId x = nl.add_input("x", 8);
+  nl.add_output("y", x);
+  Simulator sim(nl);
+  sim.set_input("x", 0);
+  sim.step();
+  sim.set_input("x", 0b1111);  // 4 bits toggle
+  sim.step();
+  sim.set_input("x", 0b1100);  // 2 bits toggle
+  sim.step();
+  EXPECT_EQ(sim.net_toggles()[static_cast<std::size_t>(x)], 6u);
+}
+
+TEST(Sim, UnconnectedInputsReadAsZero) {
+  Netlist nl("t");
+  const NetId a = nl.add_input("a", 16);
+  const NodeId add = nl.add_node("add", AddShiftCfg{16, AddShiftOp::kAdd, 0, false});
+  nl.connect_input(add, "a", a);
+  // "b" left unconnected.
+  nl.add_output("y", nl.output_net(add, "y"));
+  Simulator sim(nl);
+  sim.set_input("a", 42);
+  sim.eval();
+  EXPECT_EQ(sim.output("y"), 42);
+}
+
+TEST(Sim, MultiSinkNetFansOut) {
+  Netlist nl("t");
+  const NetId x = nl.add_input("x", 16);
+  const NodeId a = nl.add_node("a", AddShiftCfg{16, AddShiftOp::kAdd, 0, false});
+  nl.connect_input(a, "a", x);
+  nl.connect_input(a, "b", x);
+  const NodeId b = nl.add_node("b", AddShiftCfg{16, AddShiftOp::kShiftLeft, 1, false});
+  nl.connect_input(b, "a", x);
+  nl.add_output("double1", nl.output_net(a, "y"));
+  nl.add_output("double2", nl.output_net(b, "y"));
+  Simulator sim(nl);
+  sim.set_input("x", 21);
+  sim.eval();
+  EXPECT_EQ(sim.output("double1"), 42);
+  EXPECT_EQ(sim.output("double2"), 42);
+}
+
+TEST(Sim, WhiteboxStateAccess) {
+  Netlist nl("t");
+  const NetId x = nl.add_input("x", 8);
+  const NodeId sr = nl.add_node("sr", AddShiftCfg{8, AddShiftOp::kShiftReg, 0, false});
+  nl.connect_input(sr, "d", x);
+  nl.connect_input(sr, "load", nl.add_input("load", 1));
+  nl.connect_input(sr, "en", nl.add_input("en", 1));
+  nl.add_output("q", nl.output_net(sr, "q"));
+  Simulator sim(nl);
+  sim.set_input("x", 0b0101);
+  sim.set_input("load", 1);
+  sim.step();
+  EXPECT_EQ(sim.state(sr).reg, 0b0101);
+}
+
+}  // namespace
+}  // namespace dsra

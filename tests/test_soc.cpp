@@ -1,0 +1,117 @@
+// SoC platform: bus cost model, controller schedules, reconfiguration
+// manager and the platform assembly (Fig 1), including dynamic switching
+// between DCT implementations under runtime constraints.
+#include <gtest/gtest.h>
+
+#include "soc/controller.hpp"
+#include "soc/platform.hpp"
+
+namespace dsra::soc {
+namespace {
+
+TEST(Bus, TransferCyclesModelBurstsAndWidth) {
+  Bus bus(BusConfig{32, 2, 8});
+  EXPECT_EQ(bus.transfer_cycles(0), 0u);
+  EXPECT_EQ(bus.transfer_cycles(32), 1u + 2u);        // 1 word + 1 burst
+  EXPECT_EQ(bus.transfer_cycles(8 * 32), 8u + 2u);    // exactly one burst
+  EXPECT_EQ(bus.transfer_cycles(9 * 32), 9u + 4u);    // spills into a second
+  bus.transfer(64);
+  bus.transfer(64);
+  EXPECT_EQ(bus.total_bits(), 128u);
+  EXPECT_GT(bus.total_cycles(), 0u);
+  bus.reset_stats();
+  EXPECT_EQ(bus.total_bits(), 0u);
+}
+
+TEST(Controller, DaScheduleShape) {
+  const auto words = da_schedule(12);
+  ASSERT_EQ(words.size(), 13u);
+  EXPECT_TRUE(words[0].load);
+  EXPECT_FALSE(words[0].en);
+  EXPECT_TRUE(words[1].en);
+  EXPECT_TRUE(words[1].sub);  // MSB cycle subtracts
+  for (std::size_t k = 2; k < words.size(); ++k) {
+    EXPECT_TRUE(words[k].en);
+    EXPECT_FALSE(words[k].sub);
+    EXPECT_FALSE(words[k].load);
+  }
+}
+
+TEST(Controller, BlockRasterCoversTheFrame) {
+  const auto blocks = block_raster(48, 32, 16);
+  EXPECT_EQ(blocks.size(), 3u * 2u);
+  EXPECT_EQ(blocks[0].x, 0);
+  EXPECT_EQ(blocks.back().x, 32);
+  EXPECT_EQ(blocks.back().y, 16);
+}
+
+TEST(Controller, MeBatchScheduleMatchesSystolicModel) {
+  const auto batches = me_batch_schedule(8, 4);
+  // ceil(17/4) bands * 17 dx values.
+  EXPECT_EQ(batches.size(), 5u * 17u);
+  // Last band has a single active module (17 = 4*4 + 1).
+  EXPECT_EQ(batches.back().active, 1);
+  EXPECT_EQ(batches.front().active, 4);
+}
+
+TEST(Reconfig, SwitchCostsTrackBitstreamSize) {
+  ReconfigManager mgr(ReconfigPortConfig{32, 64});
+  mgr.store("small", std::vector<std::uint8_t>(100, 0));
+  mgr.store("large", std::vector<std::uint8_t>(10000, 0));
+  EXPECT_LT(mgr.switch_cycles("small"), mgr.switch_cycles("large"));
+  EXPECT_EQ(mgr.switch_cycles("small"), 100u * 8u / 32u + 64u);
+
+  EXPECT_EQ(mgr.activate("small"), mgr.switch_cycles("small"));
+  EXPECT_EQ(mgr.activate("small"), 0u) << "already active";
+  EXPECT_GT(mgr.activate("large"), 0u);
+  EXPECT_EQ(mgr.switches_performed(), 2);
+  EXPECT_THROW((void)mgr.activate("unknown"), std::invalid_argument);
+}
+
+TEST(Reconfig, PolicySelectsByRuntimeCondition) {
+  EXPECT_EQ(select_dct_implementation({1.0, 1.0}), "cordic1");
+  EXPECT_EQ(select_dct_implementation({0.1, 1.0}), "scc_full");
+  EXPECT_EQ(select_dct_implementation({0.9, 0.3}), "mixed_rom");
+  EXPECT_EQ(select_dct_implementation({0.5, 0.9}), "cordic2");
+}
+
+TEST(Platform, BuildsAllSixImplementationsAndSwitches) {
+  Platform platform;
+  EXPECT_EQ(platform.build_dct_library(), 6);
+  EXPECT_EQ(platform.reconfig().names().size(), 6u);
+
+  // Fewest clusters -> smallest bitstream? Not necessarily (ROM contents
+  // dominate), but scc_full (256-word ROMs) must be the largest stream.
+  std::uint64_t scc_full_cycles = platform.reconfig().switch_cycles("scc_full");
+  for (const auto& name : platform.reconfig().names())
+    EXPECT_LE(platform.reconfig().switch_cycles(name), scc_full_cycles) << name;
+
+  const std::uint64_t cycles = platform.reconfigure_dct("cordic1");
+  EXPECT_GT(cycles, 0u);
+  ASSERT_NE(platform.active_dct(), nullptr);
+  EXPECT_EQ(platform.active_dct()->name(), "cordic1");
+  ASSERT_NE(platform.design_of("cordic1"), nullptr);
+  EXPECT_TRUE(platform.design_of("cordic1")->routes.success);
+
+  // Dynamic switch driven by a low-battery condition.
+  const std::string low_power = select_dct_implementation({0.1, 1.0});
+  EXPECT_GT(platform.reconfigure_dct(low_power), 0u);
+  EXPECT_EQ(platform.active_dct()->name(), "scc_full");
+}
+
+TEST(Platform, FrameTimingDecomposes) {
+  Platform platform;
+  platform.build_dct_library();
+  platform.reconfigure_dct("da_basic");
+  const FrameTiming t = platform.estimate_inter_frame(64, 64, 8);
+  EXPECT_GT(t.me_cycles, 0u);
+  EXPECT_GT(t.dct_cycles, 0u);
+  EXPECT_GT(t.bus_cycles, 0u);
+  EXPECT_EQ(t.total(), t.me_cycles + t.dct_cycles + t.bus_cycles + t.reconfig_cycles);
+
+  // Larger search range costs more ME cycles.
+  EXPECT_GT(platform.estimate_inter_frame(64, 64, 16).me_cycles, t.me_cycles);
+}
+
+}  // namespace
+}  // namespace dsra::soc

@@ -1,0 +1,157 @@
+// Static timing analysis and device bitstream generation / read-back.
+#include <gtest/gtest.h>
+
+#include "dct/impl.hpp"
+#include "mapper/flow.hpp"
+
+namespace dsra::map {
+namespace {
+
+Netlist comb_chain(int depth) {
+  Netlist nl("chain");
+  NetId prev = nl.add_input("x", 16);
+  for (int i = 0; i < depth; ++i) {
+    const NodeId n = nl.add_node("n" + std::to_string(i),
+                                 AddShiftCfg{16, AddShiftOp::kAdd, 0, false});
+    nl.connect_input(n, "a", prev);
+    prev = nl.output_net(n, "y");
+  }
+  nl.add_output("y", prev);
+  return nl;
+}
+
+TEST(Sta, LongerCombChainsAreSlower) {
+  const ArrayArch arch = ArrayArch::homogeneous(ClusterKind::kAddShift, 10, 10);
+  double prev_critical = 0.0;
+  for (const int depth : {1, 3, 6, 10}) {
+    const Netlist nl = comb_chain(depth);
+    const PlaceResult placed = place(nl, arch, PlaceParams{});
+    const TimingReport t = analyze_timing(nl, placed.placement, nullptr);
+    EXPECT_GT(t.critical_path_ns, prev_critical) << "depth " << depth;
+    EXPECT_GT(t.fmax_mhz, 0.0);
+    EXPECT_EQ(t.critical_logic_levels, depth);
+    prev_critical = t.critical_path_ns;
+  }
+}
+
+TEST(Sta, RegisteredPipelineBreaksThePath) {
+  // Same depth, but a registered middle stage cuts the critical path.
+  auto build = [](bool registered) {
+    Netlist nl("p");
+    NetId prev = nl.add_input("x", 16);
+    for (int i = 0; i < 6; ++i) {
+      const NodeId n = nl.add_node(
+          "n" + std::to_string(i),
+          AddShiftCfg{16, AddShiftOp::kAdd, 0, registered && i == 3});
+      nl.connect_input(n, "a", prev);
+      prev = nl.output_net(n, "y");
+    }
+    nl.add_output("y", prev);
+    return nl;
+  };
+  const ArrayArch arch = ArrayArch::homogeneous(ClusterKind::kAddShift, 10, 10);
+  const Netlist comb = build(false);
+  const Netlist piped = build(true);
+  const PlaceResult p1 = place(comb, arch, PlaceParams{});
+  const PlaceResult p2 = place(piped, arch, PlaceParams{});
+  EXPECT_LT(analyze_timing(piped, p2.placement, nullptr).critical_path_ns,
+            analyze_timing(comb, p1.placement, nullptr).critical_path_ns);
+}
+
+TEST(Sta, RoutedDelaysUsedWhenAvailable) {
+  const Netlist nl = comb_chain(4);
+  const ArrayArch arch = ArrayArch::homogeneous(ClusterKind::kAddShift, 10, 10);
+  FlowParams params;
+  const CompiledDesign design = compile(nl, arch, params);
+  const TimingReport pre = analyze_timing(nl, design.placement, nullptr);
+  const TimingReport post = analyze_timing(nl, design.placement, &design.routes);
+  EXPECT_GT(post.critical_path_ns, 0.0);
+  EXPECT_GT(pre.critical_path_ns, 0.0);
+  EXPECT_EQ(post.critical_path_ns, design.timing.critical_path_ns);
+}
+
+TEST(Sta, MemoryClustersAreSlowerThanAdders) {
+  const DelayModel m;
+  MemCfg mem;
+  mem.words = 256;
+  mem.width = 8;
+  EXPECT_GT(m.cluster_delay(mem), m.cluster_delay(AddShiftCfg{16, AddShiftOp::kAdd, 0, false}));
+}
+
+TEST(Bitgen, RoundTripPreservesEverything) {
+  auto impl = dct::make_mixed_rom();
+  const Netlist nl = impl->build_netlist();
+  const ArrayArch arch = ArrayArch::distributed_arithmetic(12, 8);
+  FlowParams params;
+  const CompiledDesign design = compile(nl, arch, params);
+
+  const ExtractedDesign ex = extract_design(arch, design.bitstream);
+  EXPECT_EQ(ex.netlist.name(), nl.name());
+  ASSERT_EQ(ex.netlist.nodes().size(), nl.nodes().size());
+  ASSERT_EQ(ex.netlist.nets().size(), nl.nets().size());
+  for (std::size_t i = 0; i < nl.nodes().size(); ++i) {
+    EXPECT_EQ(ex.netlist.nodes()[i].name, nl.nodes()[i].name);
+    EXPECT_EQ(ex.netlist.nodes()[i].config, nl.nodes()[i].config);
+    EXPECT_EQ(ex.netlist.nodes()[i].pins, nl.nodes()[i].pins);
+    EXPECT_EQ(ex.placement.node_tile[i], design.placement.node_tile[i]);
+  }
+  for (std::size_t i = 0; i < nl.nets().size(); ++i) {
+    EXPECT_EQ(ex.netlist.nets()[i].width, nl.nets()[i].width);
+    EXPECT_EQ(ex.route_trees[i], design.routes.nets[i].tree);
+  }
+}
+
+TEST(Bitgen, CorruptionIsDetected) {
+  auto impl = dct::make_da_basic();
+  const Netlist nl = impl->build_netlist();
+  const ArrayArch arch = ArrayArch::distributed_arithmetic(12, 8);
+  const CompiledDesign design = compile(nl, arch, FlowParams{});
+
+  auto corrupted = design.bitstream;
+  corrupted[corrupted.size() / 2] ^= 0x10;
+  EXPECT_THROW((void)extract_design(arch, corrupted), std::runtime_error);
+
+  auto truncated = design.bitstream;
+  truncated.resize(truncated.size() - 8);
+  EXPECT_THROW((void)extract_design(arch, truncated), std::runtime_error);
+}
+
+TEST(Bitgen, WrongArchitectureIsRejected) {
+  auto impl = dct::make_da_basic();
+  const Netlist nl = impl->build_netlist();
+  const ArrayArch arch = ArrayArch::distributed_arithmetic(12, 8);
+  const CompiledDesign design = compile(nl, arch, FlowParams{});
+  const ArrayArch other = ArrayArch::distributed_arithmetic(16, 8);
+  EXPECT_THROW((void)extract_design(other, design.bitstream), std::runtime_error);
+}
+
+TEST(Bitgen, BitstreamSizeTracksRomContents) {
+  // Fig 9's 256-word ROMs hold 16x the memory bits of Fig 8's 16-word ROMs
+  // (asserted exactly on the netlists); the serialised streams also order
+  // accordingly, though route descriptors and names dilute the ratio.
+  const ArrayArch arch = ArrayArch::distributed_arithmetic(12, 8);
+  const Netlist full_nl = dct::make_scc_full()->build_netlist();
+  const Netlist eo_nl = dct::make_scc_even_odd()->build_netlist();
+  EXPECT_EQ(full_nl.rom_bits(), 16 * eo_nl.rom_bits());
+  const CompiledDesign full = compile(full_nl, arch, FlowParams{});
+  const CompiledDesign eo = compile(eo_nl, arch, FlowParams{});
+  EXPECT_GT(full.bitstream_size_bits(), eo.bitstream_size_bits());
+
+  // Configuration-bit accounting (the hardware-meaningful number) is
+  // dominated by the memory contents.
+  std::int64_t full_bits = 0, eo_bits = 0;
+  for (const auto& node : full_nl.nodes()) full_bits += config_bit_count(node.config);
+  for (const auto& node : eo_nl.nodes()) eo_bits += config_bit_count(node.config);
+  EXPECT_GT(full_bits, 4 * eo_bits);
+}
+
+TEST(Flow, InvalidNetlistIsRejected) {
+  Netlist nl("bad");
+  const NodeId n = nl.add_node("n", AddShiftCfg{16, AddShiftOp::kAdd, 0, false});
+  nl.connect_input(n, "a", nl.add_net("undriven", 16));
+  const ArrayArch arch = ArrayArch::homogeneous(ClusterKind::kAddShift, 4, 4);
+  EXPECT_THROW((void)compile(nl, arch, FlowParams{}), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace dsra::map
