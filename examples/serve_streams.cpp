@@ -1,0 +1,68 @@
+// Multi-stream serving demo.
+//
+// A base station serves several phones at once. Each phone reports its
+// runtime condition (battery, channel quality); the SoC policy assigns it
+// a DCT bitstream, and the multi-stream scheduler time-multiplexes all of
+// the encode work over a small pool of reconfigurable fabrics, batching
+// streams that share a configuration so the fabric switches bitstreams as
+// rarely as fairness allows.
+#include <cstdio>
+
+#include "runtime/scheduler.hpp"
+
+int main() {
+  using namespace dsra;
+  using namespace dsra::runtime;
+
+  std::printf("compiling the shared DCT library...\n");
+  const DctLibrary library;
+
+  struct Caller {
+    const char* label;
+    soc::RuntimeCondition condition;
+  };
+  const Caller callers[] = {
+      {"phone-1: full battery, clean channel", {1.00, 0.95}},
+      {"phone-2: half battery", {0.50, 0.95}},
+      {"phone-3: entering a tunnel", {0.90, 0.30}},
+      {"phone-4: battery nearly flat", {0.12, 0.80}},
+      {"phone-5: full battery, clean channel", {0.97, 0.92}},
+      {"phone-6: noisy channel", {0.85, 0.20}},
+  };
+
+  std::vector<StreamJob> jobs;
+  int id = 0;
+  for (const Caller& caller : callers) {
+    StreamConfig cfg;
+    cfg.name = "phone-" + std::to_string(id + 1);
+    cfg.width = 64;
+    cfg.height = 64;
+    cfg.frame_budget = 6;
+    cfg.condition = caller.condition;
+    cfg.codec.me_range = 4;
+    cfg.seed = 77 + static_cast<std::uint64_t>(id) * 13;
+    jobs.push_back(make_synthetic_job(id, cfg));
+    std::printf("  %-40s -> %s\n", caller.label, jobs.back().impl_name.c_str());
+    ++id;
+  }
+
+  SchedulerConfig cfg;
+  cfg.fabrics = 2;
+  cfg.queue.policy = SchedulingPolicy::kAffinityBatched;
+  cfg.fabric.context_capacity_bytes = library.total_bytes() / 2;
+
+  std::printf("\nserving %zu streams on %d fabrics...\n\n", jobs.size(), cfg.fabrics);
+  const RunReport report = MultiStreamScheduler(library, cfg).run(jobs);
+
+  stream_table(report).print();
+  std::printf("\naggregate: %.1f frames/s, %d bitstream switches, "
+              "%llu reconfig cycles, cache %llu hits / %llu misses / %llu evictions\n",
+              report.frames_per_second, report.total_switches,
+              static_cast<unsigned long long>(report.total_reconfig_cycles),
+              static_cast<unsigned long long>(report.cache.hits),
+              static_cast<unsigned long long>(report.cache.misses),
+              static_cast<unsigned long long>(report.cache.evictions));
+  std::printf("the fabrics stay the same silicon; the scheduler just chooses when to "
+              "pay the configuration port.\n");
+  return 0;
+}

@@ -1,0 +1,53 @@
+#include "runtime/context_cache.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace dsra::runtime {
+
+ContextCache::ContextCache(soc::ReconfigManager& manager, soc::Bus& bus, FetchFn fetch,
+                           ContextCacheConfig config)
+    : manager_(manager), bus_(bus), fetch_(std::move(fetch)), config_(config) {
+  // Pre-existing contexts (e.g. a manager seeded by hand) count as resident
+  // in arbitrary recency order.
+  for (const auto& name : manager_.names()) lru_.push_back(name);
+  manager_.set_eviction_hook(
+      [this](const std::string& name, std::size_t) { on_eviction(name); });
+}
+
+ContextCache::~ContextCache() { manager_.set_eviction_hook(nullptr); }
+
+std::uint64_t ContextCache::touch(const std::string& name) {
+  if (manager_.has(name)) {
+    ++stats_.hits;
+    lru_.remove(name);
+    lru_.push_back(name);
+    return 0;
+  }
+
+  ++stats_.misses;
+  const std::vector<std::uint8_t>& bits = fetch_(name);
+  if (config_.capacity_bytes > 0) {
+    while (!lru_.empty() &&
+           manager_.stored_bytes() + bits.size() > config_.capacity_bytes) {
+      manager_.evict(lru_.front());  // hook removes it from lru_
+    }
+  }
+  const std::uint64_t cycles = bus_.transfer(bits.size() * 8);
+  stats_.bytes_fetched += bits.size();
+  stats_.fetch_cycles += cycles;
+  manager_.store(name, bits);
+  lru_.push_back(name);
+  return cycles;
+}
+
+std::vector<std::string> ContextCache::lru_order() const {
+  return {lru_.begin(), lru_.end()};
+}
+
+void ContextCache::on_eviction(const std::string& name) {
+  ++stats_.evictions;
+  lru_.remove(name);
+}
+
+}  // namespace dsra::runtime

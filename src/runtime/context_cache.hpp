@@ -1,0 +1,84 @@
+// Bounded bitstream context cache.
+//
+// A fabric's configuration store is small on-chip memory; the full library
+// of compiled bitstreams lives behind the SoC bus in main memory. This
+// cache keeps the most recently used contexts resident in the fabric's
+// ReconfigManager, charges bus cycles to fetch a missing stream, and
+// evicts least-recently-used contexts to stay under a byte capacity. The
+// multi-stream scheduler's config-affinity batching exists precisely to
+// keep this cache (and the active configuration) hot.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <string>
+#include <vector>
+
+#include "soc/bus.hpp"
+#include "soc/reconfig.hpp"
+
+namespace dsra::runtime {
+
+struct ContextCacheConfig {
+  std::size_t capacity_bytes = 0;  ///< 0 = unbounded
+};
+
+struct ContextCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t bytes_fetched = 0;
+  std::uint64_t fetch_cycles = 0;  ///< bus cycles spent on misses
+
+  ContextCacheStats& operator+=(const ContextCacheStats& o) {
+    hits += o.hits;
+    misses += o.misses;
+    evictions += o.evictions;
+    bytes_fetched += o.bytes_fetched;
+    fetch_cycles += o.fetch_cycles;
+    return *this;
+  }
+};
+
+class ContextCache {
+ public:
+  /// Resolves a bitstream by name from the backing store (the compiled
+  /// library); the returned reference only needs to live for the call.
+  using FetchFn = std::function<const std::vector<std::uint8_t>&(const std::string&)>;
+
+  /// Installs itself as @p manager's eviction hook so external evictions
+  /// keep the recency list consistent.
+  ContextCache(soc::ReconfigManager& manager, soc::Bus& bus, FetchFn fetch,
+               ContextCacheConfig config = {});
+  ~ContextCache();
+
+  ContextCache(const ContextCache&) = delete;
+  ContextCache& operator=(const ContextCache&) = delete;
+
+  /// Make @p name resident in the manager's store, evicting LRU contexts
+  /// as needed (a stream larger than the whole capacity still loads — the
+  /// working context must exist somewhere). Returns the bus cycles charged
+  /// for the fetch; 0 on a hit.
+  std::uint64_t touch(const std::string& name);
+
+  [[nodiscard]] bool resident(const std::string& name) const { return manager_.has(name); }
+  [[nodiscard]] const ContextCacheStats& stats() const { return stats_; }
+  [[nodiscard]] const ContextCacheConfig& config() const { return config_; }
+
+  /// Resident contexts, least-recently-used first.
+  [[nodiscard]] std::vector<std::string> lru_order() const;
+
+ private:
+  void on_eviction(const std::string& name);
+
+  soc::ReconfigManager& manager_;
+  soc::Bus& bus_;
+  FetchFn fetch_;
+  ContextCacheConfig config_;
+  std::list<std::string> lru_;  ///< front = LRU, back = MRU
+  ContextCacheStats stats_;
+};
+
+}  // namespace dsra::runtime

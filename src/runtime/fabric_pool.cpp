@@ -1,0 +1,95 @@
+#include "runtime/fabric_pool.hpp"
+
+#include <stdexcept>
+
+#include "core/arch.hpp"
+#include "mapper/flow.hpp"
+
+namespace dsra::runtime {
+
+DctLibrary::DctLibrary(DctLibraryConfig config) {
+  const ArrayArch array =
+      ArrayArch::distributed_arithmetic(config.array_width, config.array_height);
+  impls_ = dct::all_implementations(config.precision);
+  for (const auto& impl : impls_) {
+    const Netlist nl = impl->build_netlist();
+    map::FlowParams params;
+    params.place.seed = 17;
+    map::CompiledDesign design = map::compile(nl, array, params);
+    bitstreams_.emplace(impl->name(), std::move(design.bitstream));
+  }
+}
+
+const dct::DctImplementation* DctLibrary::impl(const std::string& name) const {
+  for (const auto& impl : impls_)
+    if (impl->name() == name) return impl.get();
+  return nullptr;
+}
+
+const std::vector<std::uint8_t>& DctLibrary::bitstream(const std::string& name) const {
+  const auto it = bitstreams_.find(name);
+  if (it == bitstreams_.end())
+    throw std::invalid_argument("unknown implementation '" + name + "'");
+  return it->second;
+}
+
+std::vector<std::string> DctLibrary::names() const {
+  std::vector<std::string> out;
+  out.reserve(bitstreams_.size());
+  for (const auto& [name, bits] : bitstreams_) out.push_back(name);
+  return out;
+}
+
+std::size_t DctLibrary::total_bytes() const {
+  std::size_t total = 0;
+  for (const auto& [name, bits] : bitstreams_) total += bits.size();
+  return total;
+}
+
+Fabric::Fabric(int id, const DctLibrary& library, const FabricConfig& config)
+    : id_(id),
+      library_(library),
+      reconfig_(config.reconfig_port),
+      bus_(config.bus),
+      cache_(
+          reconfig_, bus_,
+          [this](const std::string& name) -> const std::vector<std::uint8_t>& {
+            return library_.bitstream(name);
+          },
+          ContextCacheConfig{config.context_capacity_bytes}) {}
+
+std::uint64_t Fabric::prepare(const std::string& impl_name) {
+  const std::uint64_t fetch_cycles = cache_.touch(impl_name);
+  return fetch_cycles + reconfig_.activate(impl_name);
+}
+
+const dct::DctImplementation* Fabric::active_impl() const {
+  return reconfig_.active() ? library_.impl(*reconfig_.active()) : nullptr;
+}
+
+FabricPool::FabricPool(int count, const DctLibrary& library, const FabricConfig& config) {
+  if (count <= 0) throw std::invalid_argument("fabric pool needs at least one fabric");
+  fabrics_.reserve(static_cast<std::size_t>(count));
+  for (int k = 0; k < count; ++k)
+    fabrics_.push_back(std::make_unique<Fabric>(k, library, config));
+}
+
+std::uint64_t FabricPool::total_reconfig_cycles() const {
+  std::uint64_t total = 0;
+  for (const auto& f : fabrics_) total += f->reconfig().total_reconfig_cycles();
+  return total;
+}
+
+int FabricPool::total_switches() const {
+  int total = 0;
+  for (const auto& f : fabrics_) total += f->reconfig().switches_performed();
+  return total;
+}
+
+ContextCacheStats FabricPool::cache_totals() const {
+  ContextCacheStats total;
+  for (const auto& f : fabrics_) total += f->cache().stats();
+  return total;
+}
+
+}  // namespace dsra::runtime

@@ -1,0 +1,107 @@
+// Pool of simulated array fabrics.
+//
+// Each fabric is one DA-array instance fronted by its own ReconfigManager
+// (the configuration port) and a bounded bitstream context cache; the
+// compiled DCT library (netlist -> place/route -> bitstream, once per
+// implementation) is shared read-only by every fabric. prepare() is the
+// single entry the scheduler uses: on a cache miss it charges bus cycles
+// to fetch the context from main memory, and on a bitstream switch it
+// charges the configuration-port cycles — soc::Platform's cost model,
+// multiplied across K fabrics.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dct/impl.hpp"
+#include "runtime/context_cache.hpp"
+#include "soc/bus.hpp"
+#include "soc/reconfig.hpp"
+
+namespace dsra::runtime {
+
+struct DctLibraryConfig {
+  int array_width = 12;
+  int array_height = 8;
+  dct::DaPrecision precision = dct::DaPrecision::wide();
+};
+
+/// All six DCT implementations compiled onto the DA array once, shared
+/// read-only by every fabric in the pool.
+class DctLibrary {
+ public:
+  explicit DctLibrary(DctLibraryConfig config = {});
+
+  /// Null when @p name is unknown.
+  [[nodiscard]] const dct::DctImplementation* impl(const std::string& name) const;
+
+  /// Throws std::invalid_argument on unknown names.
+  [[nodiscard]] const std::vector<std::uint8_t>& bitstream(const std::string& name) const;
+
+  [[nodiscard]] std::vector<std::string> names() const;
+  [[nodiscard]] std::size_t total_bytes() const;
+
+ private:
+  std::vector<std::unique_ptr<dct::DctImplementation>> impls_;
+  std::map<std::string, std::vector<std::uint8_t>> bitstreams_;
+};
+
+struct FabricConfig {
+  soc::ReconfigPortConfig reconfig_port;
+  soc::BusConfig bus;
+  std::size_t context_capacity_bytes = 0;  ///< 0 = every context fits
+};
+
+/// One simulated array fabric. Not thread-safe by design: the scheduler
+/// dedicates one worker thread per fabric.
+class Fabric {
+ public:
+  Fabric(int id, const DctLibrary& library, const FabricConfig& config);
+
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  /// Ensure @p impl_name is resident and active; returns the cycles
+  /// charged (context-fetch bus cycles + configuration-port switch
+  /// cycles; 0 when the fabric already runs this bitstream).
+  std::uint64_t prepare(const std::string& impl_name);
+
+  [[nodiscard]] int id() const { return id_; }
+  [[nodiscard]] const std::optional<std::string>& active() const { return reconfig_.active(); }
+  [[nodiscard]] const dct::DctImplementation* active_impl() const;
+  [[nodiscard]] const soc::ReconfigManager& reconfig() const { return reconfig_; }
+  [[nodiscard]] const ContextCache& cache() const { return cache_; }
+
+ private:
+  int id_;
+  const DctLibrary& library_;
+  soc::ReconfigManager reconfig_;
+  soc::Bus bus_;
+  ContextCache cache_;
+};
+
+class FabricPool {
+ public:
+  FabricPool(int count, const DctLibrary& library, const FabricConfig& config = {});
+
+  [[nodiscard]] int size() const { return static_cast<int>(fabrics_.size()); }
+  [[nodiscard]] Fabric& at(int i) { return *fabrics_.at(static_cast<std::size_t>(i)); }
+  [[nodiscard]] const Fabric& at(int i) const {
+    return *fabrics_.at(static_cast<std::size_t>(i));
+  }
+
+  /// Configuration-port cycles paid across all fabrics.
+  [[nodiscard]] std::uint64_t total_reconfig_cycles() const;
+  [[nodiscard]] int total_switches() const;
+  [[nodiscard]] ContextCacheStats cache_totals() const;
+
+ private:
+  std::vector<std::unique_ptr<Fabric>> fabrics_;
+};
+
+}  // namespace dsra::runtime

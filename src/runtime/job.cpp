@@ -1,0 +1,23 @@
+#include "runtime/job.hpp"
+
+#include "video/synthetic.hpp"
+
+namespace dsra::runtime {
+
+StreamJob make_synthetic_job(int id, const StreamConfig& config) {
+  StreamJob job;
+  job.id = id;
+  job.config = config;
+  job.impl_name = soc::select_dct_implementation(config.condition);
+
+  video::SyntheticConfig scfg;
+  scfg.width = config.width;
+  scfg.height = config.height;
+  scfg.frames = config.frame_budget;
+  scfg.seed = config.seed;
+  job.frames = video::generate_sequence(scfg);
+  job.records.reserve(job.frames.size());
+  return job;
+}
+
+}  // namespace dsra::runtime

@@ -1,0 +1,73 @@
+// Multi-stream encode jobs.
+//
+// A StreamJob is one client's encode request: a frame sequence, a runtime
+// condition (battery / channel quality, which the SoC policy maps to a DCT
+// bitstream) and the per-stream state the scheduler threads through the
+// frame-at-a-time encoder. Frames of one stream are strictly ordered
+// (inter frames predict from the previous reconstruction); frames of
+// different streams are independent — exactly the parallelism a pool of
+// reconfigurable fabrics can exploit.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "soc/reconfig.hpp"
+#include "video/codec.hpp"
+#include "video/frame.hpp"
+
+namespace dsra::runtime {
+
+struct StreamConfig {
+  std::string name = "stream";
+  int width = 64;
+  int height = 64;
+  int frame_budget = 8;
+  soc::RuntimeCondition condition;
+  video::CodecConfig codec;
+  std::uint64_t seed = 2004;
+};
+
+/// Latency and cost record of one completed frame.
+struct FrameRecord {
+  int frame_index = 0;
+  int fabric_id = -1;
+  double latency_ms = 0.0;            ///< ready-to-completed, includes queue wait
+  std::uint64_t wait_dispatches = 0;  ///< dispatches served while this frame waited
+  std::uint64_t reconfig_cycles = 0;  ///< context fetch + configuration-port switch
+  video::FrameStats stats;
+};
+
+/// One stream's full runtime state. Owned by the caller and mutated by the
+/// scheduler; the job queue guarantees at most one fabric works on a given
+/// stream at any moment, so the fields need no locking of their own.
+struct StreamJob {
+  int id = 0;
+  StreamConfig config;
+  std::string impl_name;  ///< required DCT bitstream (config-affinity key)
+  std::vector<video::Frame> frames;
+  video::Frame recon_state;  ///< previous reconstruction (empty before frame 0)
+  int next_frame = 0;
+  std::vector<FrameRecord> records;
+
+  [[nodiscard]] bool finished() const {
+    return next_frame >= static_cast<int>(frames.size());
+  }
+};
+
+/// Build a job whose frames are a synthetic sequence generated from
+/// config.seed; the DCT implementation is resolved from the (clamped)
+/// runtime condition via the SoC selection policy.
+[[nodiscard]] StreamJob make_synthetic_job(int id, const StreamConfig& config);
+
+/// A schedulable unit of work: frame @p frame_index of stream @p stream_id.
+struct FrameTask {
+  int stream_id = 0;
+  int frame_index = 0;
+  std::uint64_t wait_dispatches = 0;  ///< dispatches served while it waited
+  std::chrono::steady_clock::time_point ready_time;
+};
+
+}  // namespace dsra::runtime

@@ -1,0 +1,131 @@
+#include "runtime/job_queue.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace dsra::runtime {
+
+std::string to_string(SchedulingPolicy policy) {
+  return policy == SchedulingPolicy::kRoundRobin ? "round-robin" : "affinity-batched";
+}
+
+JobQueue::JobQueue(std::vector<StreamJob>& streams, JobQueueConfig config)
+    : streams_(streams), config_(config) {
+  const auto now = std::chrono::steady_clock::now();
+  for (std::size_t k = 0; k < streams_.size(); ++k) {
+    if (streams_[k].finished()) continue;
+    ready_.push_back({static_cast<int>(k), 0, now});
+    ++remaining_streams_;
+  }
+}
+
+std::size_t JobQueue::pick_locked(const std::optional<std::string>& fabric_impl,
+                                  FabricRun& run) const {
+  std::size_t oldest = 0;
+  for (std::size_t i = 1; i < ready_.size(); ++i)
+    if (ready_[i].ready_seq < ready_[oldest].ready_seq) oldest = i;
+  if (config_.policy == SchedulingPolicy::kRoundRobin) return oldest;
+
+  // Ageing valve: a stream that has already waited through more than
+  // aging_threshold dispatches is served now, affinity or not.
+  if (dispatch_seq_ - 1 - ready_[oldest].ready_seq > config_.aging_threshold) return oldest;
+
+  const auto impl_of = [&](std::size_t i) -> const std::string& {
+    return streams_[static_cast<std::size_t>(ready_[i].stream_id)].impl_name;
+  };
+
+  // Stay on the fabric's active configuration while the run cap allows.
+  if (fabric_impl && run.impl == *fabric_impl && run.length < config_.max_affinity_run) {
+    std::optional<std::size_t> best;
+    for (std::size_t i = 0; i < ready_.size(); ++i)
+      if (impl_of(i) == *fabric_impl &&
+          (!best || ready_[i].ready_seq < ready_[*best].ready_seq))
+        best = i;
+    if (best) return *best;
+  }
+
+  // Forced switch: pick the configuration with the most ready streams so
+  // the switch is amortized over the largest batch; oldest stream within.
+  // A fabric whose run cap is exhausted must actually rotate away from its
+  // active configuration (unless nothing else is ready), otherwise the cap
+  // bounds nothing when the active config also has the largest group.
+  const bool must_rotate =
+      fabric_impl && run.impl == *fabric_impl && run.length >= config_.max_affinity_run &&
+      std::any_of(ready_.begin(), ready_.end(),
+                  [&](const Ready& r) {
+                    return streams_[static_cast<std::size_t>(r.stream_id)].impl_name !=
+                           *fabric_impl;
+                  });
+  std::map<std::string, int> group_size;
+  for (std::size_t i = 0; i < ready_.size(); ++i) ++group_size[impl_of(i)];
+  std::optional<std::size_t> chosen;
+  int chosen_size = -1;
+  for (std::size_t i = 0; i < ready_.size(); ++i) {
+    if (must_rotate && impl_of(i) == *fabric_impl) continue;
+    const int size = group_size[impl_of(i)];
+    if (size > chosen_size ||
+        (size == chosen_size && ready_[i].ready_seq < ready_[*chosen].ready_seq)) {
+      chosen = i;
+      chosen_size = size;
+    }
+  }
+  return *chosen;
+}
+
+std::optional<FrameTask> JobQueue::acquire(int fabric_id,
+                                           const std::optional<std::string>& fabric_impl) {
+  std::unique_lock lock(mutex_);
+  cv_.wait(lock, [&] { return !ready_.empty() || remaining_streams_ == 0; });
+  if (ready_.empty()) return std::nullopt;
+
+  ++dispatch_seq_;
+  if (fabric_id >= static_cast<int>(runs_.size()))
+    runs_.resize(static_cast<std::size_t>(fabric_id) + 1);
+  FabricRun& run = runs_[static_cast<std::size_t>(fabric_id)];
+
+  const std::size_t chosen = pick_locked(fabric_impl, run);
+  const Ready entry = ready_[chosen];
+  ready_[chosen] = ready_.back();
+  ready_.pop_back();
+
+  StreamJob& stream = streams_[static_cast<std::size_t>(entry.stream_id)];
+  if (run.impl == stream.impl_name) {
+    ++run.length;
+  } else {
+    run = {stream.impl_name, 1};
+  }
+
+  const std::uint64_t wait = dispatch_seq_ - 1 - entry.ready_seq;
+  max_wait_ = std::max(max_wait_, wait);
+
+  FrameTask task;
+  task.stream_id = entry.stream_id;
+  task.frame_index = stream.next_frame;
+  task.wait_dispatches = wait;
+  task.ready_time = entry.ready_time;
+  return task;
+}
+
+void JobQueue::complete(const FrameTask& task) {
+  std::lock_guard lock(mutex_);
+  StreamJob& stream = streams_[static_cast<std::size_t>(task.stream_id)];
+  ++stream.next_frame;
+  if (stream.finished()) {
+    --remaining_streams_;
+  } else {
+    ready_.push_back({task.stream_id, dispatch_seq_, std::chrono::steady_clock::now()});
+  }
+  cv_.notify_all();
+}
+
+std::uint64_t JobQueue::dispatches() const {
+  std::lock_guard lock(mutex_);
+  return dispatch_seq_;
+}
+
+std::uint64_t JobQueue::max_wait_dispatches() const {
+  std::lock_guard lock(mutex_);
+  return max_wait_;
+}
+
+}  // namespace dsra::runtime

@@ -1,0 +1,89 @@
+// Lock-guarded frame-task queue with configuration-affinity batching.
+//
+// The queue hands one frame of one stream to one fabric at a time; a
+// stream re-enters the ready set when its in-flight frame completes, so
+// frame order within a stream is preserved while streams interleave
+// freely. Two policies:
+//
+//  * kRoundRobin — serve the longest-waiting ready stream, ignoring which
+//    bitstream the fabric currently runs. Maximal interleave, maximal
+//    configuration-port thrash; the naive baseline.
+//  * kAffinityBatched — prefer ready streams whose required bitstream
+//    matches the fabric's active configuration, so consecutive frames
+//    amortize one switch. Two fairness valves bound the batching: a run
+//    cap (max_affinity_run consecutive same-config dispatches per fabric)
+//    and ageing (a stream that has waited more than aging_threshold
+//    dispatches is served next regardless of affinity). When a fabric must
+//    switch anyway, it switches to the configuration with the most ready
+//    streams, setting up the largest next batch.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "runtime/job.hpp"
+
+namespace dsra::runtime {
+
+enum class SchedulingPolicy { kRoundRobin, kAffinityBatched };
+
+[[nodiscard]] std::string to_string(SchedulingPolicy policy);
+
+struct JobQueueConfig {
+  SchedulingPolicy policy = SchedulingPolicy::kAffinityBatched;
+  int max_affinity_run = 16;  ///< consecutive same-config dispatches per fabric
+  std::uint64_t aging_threshold = 64;  ///< dispatches a stream may wait
+};
+
+class JobQueue {
+ public:
+  /// @p streams is shared with the workers; the queue only reads
+  /// impl_name / frame count and advances next_frame on completion.
+  JobQueue(std::vector<StreamJob>& streams, JobQueueConfig config = {});
+
+  /// Block until a frame task is available for @p fabric_id (whose active
+  /// bitstream is @p fabric_impl) or all streams have drained; nullopt
+  /// means the worker should exit.
+  [[nodiscard]] std::optional<FrameTask> acquire(
+      int fabric_id, const std::optional<std::string>& fabric_impl);
+
+  /// Mark @p task's frame done; re-enqueues the stream's next frame (or
+  /// retires the stream).
+  void complete(const FrameTask& task);
+
+  [[nodiscard]] std::uint64_t dispatches() const;
+  [[nodiscard]] std::uint64_t max_wait_dispatches() const;
+
+ private:
+  struct Ready {
+    int stream_id = 0;
+    std::uint64_t ready_seq = 0;  ///< dispatch count when it became ready
+    std::chrono::steady_clock::time_point ready_time;
+  };
+  struct FabricRun {
+    std::string impl;
+    int length = 0;
+  };
+
+  /// Index into ready_ of the task to serve; requires ready_ non-empty
+  /// and mutex_ held.
+  [[nodiscard]] std::size_t pick_locked(const std::optional<std::string>& fabric_impl,
+                                        FabricRun& run) const;
+
+  std::vector<StreamJob>& streams_;
+  JobQueueConfig config_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<Ready> ready_;
+  std::vector<FabricRun> runs_;  ///< indexed by fabric id (grown on demand)
+  int remaining_streams_ = 0;    ///< streams with frames left (ready or in flight)
+  std::uint64_t dispatch_seq_ = 0;
+  std::uint64_t max_wait_ = 0;
+};
+
+}  // namespace dsra::runtime

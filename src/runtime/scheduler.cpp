@@ -1,0 +1,85 @@
+#include "runtime/scheduler.hpp"
+
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
+#include "video/codec.hpp"
+
+namespace dsra::runtime {
+
+namespace {
+
+double ms_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+MultiStreamScheduler::MultiStreamScheduler(const DctLibrary& library, SchedulerConfig config)
+    : library_(library), config_(config) {
+  if (config_.fabrics <= 0) throw std::invalid_argument("scheduler needs >= 1 fabric");
+}
+
+RunReport MultiStreamScheduler::run(std::vector<StreamJob>& streams) {
+  for (const StreamJob& s : streams)
+    if (library_.impl(s.impl_name) == nullptr)
+      throw std::invalid_argument("stream '" + s.config.name +
+                                  "' wants unknown implementation '" + s.impl_name + "'");
+
+  FabricPool pool(config_.fabrics, library_, config_.fabric);
+  JobQueue queue(streams, config_.queue);
+  const auto wall_start = std::chrono::steady_clock::now();
+
+  const auto worker = [&](int fabric_id) {
+    Fabric& fabric = pool.at(fabric_id);
+    const video::MotionSearchFn me_fn = me::systolic_search_fn(config_.me);
+    while (auto task = queue.acquire(fabric.id(), fabric.active())) {
+      StreamJob& stream = streams[static_cast<std::size_t>(task->stream_id)];
+
+      FrameRecord record;
+      record.frame_index = task->frame_index;
+      record.fabric_id = fabric.id();
+      record.wait_dispatches = task->wait_dispatches;
+      record.reconfig_cycles = fabric.prepare(stream.impl_name);
+
+      const video::ToyEncoder encoder(fabric.active_impl(), me_fn, stream.config.codec);
+      record.stats = encoder.encode_frame(
+          stream.frames[static_cast<std::size_t>(task->frame_index)], stream.recon_state);
+      record.latency_ms = ms_since(task->ready_time);
+
+      stream.records.push_back(record);
+      queue.complete(*task);
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(config_.fabrics));
+  for (int f = 0; f < config_.fabrics; ++f) threads.emplace_back(worker, f);
+  for (std::thread& t : threads) t.join();
+
+  RunReport report;
+  report.policy = to_string(config_.queue.policy);
+  report.fabrics = config_.fabrics;
+  report.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
+  for (const StreamJob& s : streams) {
+    StreamSummary summary = summarize_stream(s);
+    report.total_frames += static_cast<std::uint64_t>(summary.frames);
+    report.total_array_cycles += summary.array_cycles;
+    report.streams.push_back(std::move(summary));
+  }
+  report.frames_per_second = report.wall_seconds > 0.0
+                                 ? static_cast<double>(report.total_frames) / report.wall_seconds
+                                 : 0.0;
+  report.total_reconfig_cycles = pool.total_reconfig_cycles();
+  report.total_switches = pool.total_switches();
+  report.cache = pool.cache_totals();
+  report.total_fetch_cycles = report.cache.fetch_cycles;
+  report.dispatches = queue.dispatches();
+  report.max_wait_dispatches = queue.max_wait_dispatches();
+  return report;
+}
+
+}  // namespace dsra::runtime

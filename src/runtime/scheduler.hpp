@@ -1,0 +1,46 @@
+// Reconfiguration-aware multi-stream encode scheduler.
+//
+// Accepts N concurrent encode jobs and drives them frame-at-a-time over a
+// pool of K simulated fabrics, one worker thread per fabric. Every
+// dispatch goes through the JobQueue's policy (config-affinity batching
+// with fairness valves, or naive round-robin as the baseline); every
+// fabric switch pays the measured configuration-port cycles and every
+// context-cache miss pays bus fetch cycles. The returned RunReport carries
+// per-stream latency percentiles plus the aggregate throughput and
+// reconfiguration accounting the acceptance bench compares across
+// policies.
+#pragma once
+
+#include <vector>
+
+#include "me/systolic.hpp"
+#include "runtime/fabric_pool.hpp"
+#include "runtime/job_queue.hpp"
+#include "runtime/stats.hpp"
+
+namespace dsra::runtime {
+
+struct SchedulerConfig {
+  int fabrics = 2;
+  JobQueueConfig queue;
+  FabricConfig fabric;
+  me::SystolicParams me;  ///< ME array model the workers search with
+};
+
+class MultiStreamScheduler {
+ public:
+  /// @p library outlives the scheduler; it is shared read-only.
+  explicit MultiStreamScheduler(const DctLibrary& library, SchedulerConfig config = {});
+
+  /// Encode every stream to completion (blocking); @p streams is mutated
+  /// in place (reconstructions, per-frame records). Returns the aggregate
+  /// report. Streams whose impl_name the library does not know are
+  /// rejected up front with std::invalid_argument.
+  RunReport run(std::vector<StreamJob>& streams);
+
+ private:
+  const DctLibrary& library_;
+  SchedulerConfig config_;
+};
+
+}  // namespace dsra::runtime

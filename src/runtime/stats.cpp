@@ -1,0 +1,103 @@
+#include "runtime/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dsra::runtime {
+
+double percentile(std::vector<double> samples, double pct) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const double clamped = std::clamp(pct, 0.0, 100.0);
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(clamped / 100.0 * static_cast<double>(samples.size())));
+  return samples[rank == 0 ? 0 : rank - 1];
+}
+
+LatencySummary summarize_latencies(const std::vector<double>& samples_ms) {
+  LatencySummary s;
+  if (samples_ms.empty()) return s;
+  s.p50_ms = percentile(samples_ms, 50.0);
+  s.p95_ms = percentile(samples_ms, 95.0);
+  s.max_ms = *std::max_element(samples_ms.begin(), samples_ms.end());
+  double sum = 0.0;
+  for (const double v : samples_ms) sum += v;
+  s.mean_ms = sum / static_cast<double>(samples_ms.size());
+  return s;
+}
+
+StreamSummary summarize_stream(const StreamJob& job) {
+  StreamSummary s;
+  s.stream_id = job.id;
+  s.name = job.config.name;
+  s.impl = job.impl_name;
+  s.frames = static_cast<int>(job.records.size());
+
+  std::vector<double> latencies;
+  latencies.reserve(job.records.size());
+  double psnr_sum = 0.0;
+  for (const FrameRecord& r : job.records) {
+    latencies.push_back(r.latency_ms);
+    psnr_sum += r.stats.psnr_db;
+    s.total_bits += r.stats.bits;
+    s.array_cycles += r.stats.dct_array_cycles + r.stats.me_array_cycles;
+    s.reconfig_cycles += r.reconfig_cycles;
+    s.max_wait_dispatches = std::max(s.max_wait_dispatches, r.wait_dispatches);
+  }
+  s.latency = summarize_latencies(latencies);
+  if (!job.records.empty()) psnr_sum /= static_cast<double>(job.records.size());
+  s.mean_psnr_db = psnr_sum;
+  return s;
+}
+
+ReportTable stream_table(const RunReport& report) {
+  ReportTable table("Per-stream results (" + report.policy + ", " +
+                    std::to_string(report.fabrics) + " fabrics)");
+  table.set_header({"stream", "impl", "frames", "p50 ms", "p95 ms", "PSNR dB",
+                    "array cyc", "reconfig cyc", "max wait"});
+  for (const StreamSummary& s : report.streams) {
+    table.add_row({s.name, s.impl, std::to_string(s.frames),
+                   format_double(s.latency.p50_ms, 2), format_double(s.latency.p95_ms, 2),
+                   format_double(s.mean_psnr_db, 2),
+                   format_i64(static_cast<std::int64_t>(s.array_cycles)),
+                   format_i64(static_cast<std::int64_t>(s.reconfig_cycles)),
+                   format_i64(static_cast<std::int64_t>(s.max_wait_dispatches))});
+  }
+  table.add_separator();
+  // The per-stream reconfig column counts fetch + switch cycles, so the
+  // total row does too.
+  table.add_row({"total", "-", std::to_string(report.total_frames),
+                 "-", "-", "-",
+                 format_i64(static_cast<std::int64_t>(report.total_array_cycles)),
+                 format_i64(static_cast<std::int64_t>(report.total_reconfig_cycles +
+                                                      report.total_fetch_cycles)),
+                 format_i64(static_cast<std::int64_t>(report.max_wait_dispatches))});
+  return table;
+}
+
+ReportTable policy_compare_table(const RunReport& a, const RunReport& b) {
+  ReportTable table("Scheduling policy comparison (" + a.policy + " vs " + b.policy + ")");
+  table.set_header({"metric", a.policy, b.policy});
+  const auto row_u64 = [&](const std::string& name, std::uint64_t va, std::uint64_t vb) {
+    table.add_row({name, format_i64(static_cast<std::int64_t>(va)),
+                   format_i64(static_cast<std::int64_t>(vb))});
+  };
+  row_u64("frames", a.total_frames, b.total_frames);
+  table.add_row({"frames/s", format_double(a.frames_per_second, 1),
+                 format_double(b.frames_per_second, 1)});
+  row_u64("bitstream switches", static_cast<std::uint64_t>(a.total_switches),
+          static_cast<std::uint64_t>(b.total_switches));
+  row_u64("reconfig cycles", a.total_reconfig_cycles, b.total_reconfig_cycles);
+  row_u64("context fetch cycles", a.total_fetch_cycles, b.total_fetch_cycles);
+  row_u64("cache hits", a.cache.hits, b.cache.hits);
+  row_u64("cache misses", a.cache.misses, b.cache.misses);
+  row_u64("cache evictions", a.cache.evictions, b.cache.evictions);
+  row_u64("max queue wait (dispatches)", a.max_wait_dispatches, b.max_wait_dispatches);
+  table.add_separator();
+  const std::int64_t saved = static_cast<std::int64_t>(a.total_reconfig_cycles) -
+                             static_cast<std::int64_t>(b.total_reconfig_cycles);
+  table.add_row({"reconfig cycles saved by " + b.policy, "-", format_i64(saved)});
+  return table;
+}
+
+}  // namespace dsra::runtime

@@ -1,0 +1,65 @@
+// Runtime statistics: per-stream latency percentiles, aggregate
+// throughput, reconfiguration and context-cache accounting, and the
+// common/report tables the bench and example print.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/report.hpp"
+#include "runtime/context_cache.hpp"
+#include "runtime/job.hpp"
+
+namespace dsra::runtime {
+
+/// Nearest-rank percentile (pct in [0, 100]); 0 on an empty sample set.
+[[nodiscard]] double percentile(std::vector<double> samples, double pct);
+
+struct LatencySummary {
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double mean_ms = 0.0;
+  double max_ms = 0.0;
+};
+[[nodiscard]] LatencySummary summarize_latencies(const std::vector<double>& samples_ms);
+
+struct StreamSummary {
+  int stream_id = 0;
+  std::string name;
+  std::string impl;
+  int frames = 0;
+  LatencySummary latency;
+  double mean_psnr_db = 0.0;
+  double total_bits = 0.0;
+  std::uint64_t array_cycles = 0;     ///< DCT + ME array cycles
+  std::uint64_t reconfig_cycles = 0;  ///< charged while preparing this stream's frames
+  std::uint64_t max_wait_dispatches = 0;
+};
+[[nodiscard]] StreamSummary summarize_stream(const StreamJob& job);
+
+struct RunReport {
+  std::string policy;
+  int fabrics = 0;
+  std::vector<StreamSummary> streams;
+  double wall_seconds = 0.0;
+  std::uint64_t total_frames = 0;
+  double frames_per_second = 0.0;
+  std::uint64_t total_array_cycles = 0;
+  std::uint64_t total_reconfig_cycles = 0;  ///< configuration-port cycles
+  std::uint64_t total_fetch_cycles = 0;     ///< context-cache miss bus cycles
+  int total_switches = 0;
+  ContextCacheStats cache;
+  std::uint64_t dispatches = 0;
+  std::uint64_t max_wait_dispatches = 0;
+};
+
+/// Per-stream table (impl, frames, p50/p95 latency, PSNR, cycles).
+[[nodiscard]] ReportTable stream_table(const RunReport& report);
+
+/// Aggregate comparison of two scheduling runs over the same workload
+/// (reconfig cycles, switches, cache behaviour, throughput), with a final
+/// "reconfig cycles saved" row of @p b relative to @p a.
+[[nodiscard]] ReportTable policy_compare_table(const RunReport& a, const RunReport& b);
+
+}  // namespace dsra::runtime

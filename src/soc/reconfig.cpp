@@ -1,5 +1,6 @@
 #include "soc/reconfig.hpp"
 
+#include <cmath>
 #include <stdexcept>
 
 #include "common/ints.hpp"
@@ -7,7 +8,26 @@
 namespace dsra::soc {
 
 void ReconfigManager::store(const std::string& name, std::vector<std::uint8_t> bitstream) {
-  store_[name] = std::move(bitstream);
+  auto& slot = store_[name];
+  stored_bytes_ -= slot.size();
+  slot = std::move(bitstream);
+  stored_bytes_ += slot.size();
+}
+
+bool ReconfigManager::evict(const std::string& name) {
+  const auto it = store_.find(name);
+  if (it == store_.end()) return false;
+  const std::size_t freed = it->second.size();
+  stored_bytes_ -= freed;
+  store_.erase(it);
+  if (eviction_hook_) eviction_hook_(name, freed);
+  return true;
+}
+
+std::size_t ReconfigManager::bytes(const std::string& name) const {
+  const auto it = store_.find(name);
+  if (it == store_.end()) throw std::invalid_argument("unknown bitstream '" + name + "'");
+  return it->second.size();
 }
 
 std::vector<std::string> ReconfigManager::names() const {
@@ -40,10 +60,24 @@ const std::vector<std::uint8_t>& ReconfigManager::bitstream(const std::string& n
   return it->second;
 }
 
+namespace {
+
+double clamp01(double v) {
+  if (!std::isfinite(v) || v < 0.0) return 0.0;  // NaN/inf/negative -> conservative end
+  return v > 1.0 ? 1.0 : v;
+}
+
+}  // namespace
+
+RuntimeCondition clamp_condition(const RuntimeCondition& condition) {
+  return {clamp01(condition.battery_level), clamp01(condition.channel_quality)};
+}
+
 std::string select_dct_implementation(const RuntimeCondition& condition) {
-  if (condition.battery_level < 0.25) return "scc_full";  // 24 clusters, least fabric
-  if (condition.channel_quality < 0.5) return "mixed_rom";  // small + exact
-  if (condition.battery_level < 0.6) return "cordic2";      // scaled, 38 clusters
+  const RuntimeCondition c = clamp_condition(condition);
+  if (c.battery_level < 0.25) return "scc_full";  // 24 clusters, least fabric
+  if (c.channel_quality < 0.5) return "mixed_rom";  // small + exact
+  if (c.battery_level < 0.6) return "cordic2";      // scaled, 38 clusters
   return "cordic1";  // highest arithmetic headroom, 48 clusters
 }
 

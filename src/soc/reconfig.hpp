@@ -8,7 +8,9 @@
 // switch costs, and picks implementations from a runtime policy.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <optional>
 #include <string>
@@ -25,11 +27,30 @@ class ReconfigManager {
  public:
   explicit ReconfigManager(ReconfigPortConfig config = {}) : config_(config) {}
 
-  /// Register a bitstream under @p name (e.g. "cordic1").
+  /// Register a bitstream under @p name (e.g. "cordic1"). Replaces any
+  /// previously stored stream of the same name.
   void store(const std::string& name, std::vector<std::uint8_t> bitstream);
+
+  /// Drop @p name's bitstream from the store (the fabric keeps whatever
+  /// configuration it is currently running; only the stored context goes
+  /// away, so a later activate() needs a fresh store()). Fires the
+  /// eviction hook. Returns false when nothing was stored under @p name.
+  bool evict(const std::string& name);
+
+  /// Called after every successful evict() with (name, bytes freed).
+  /// Context caches use this to keep their bookkeeping in sync.
+  using EvictionHook = std::function<void(const std::string&, std::size_t)>;
+  void set_eviction_hook(EvictionHook hook) { eviction_hook_ = std::move(hook); }
 
   [[nodiscard]] bool has(const std::string& name) const { return store_.count(name) > 0; }
   [[nodiscard]] std::vector<std::string> names() const;
+
+  /// Byte size of @p name's stored bitstream. Throws on unknown names.
+  [[nodiscard]] std::size_t bytes(const std::string& name) const;
+
+  /// Total bytes of configuration context currently resident in the store.
+  [[nodiscard]] std::size_t stored_bytes() const { return stored_bytes_; }
+  [[nodiscard]] std::size_t stored_count() const { return store_.size(); }
 
   /// Cycles to load @p name's bitstream through the configuration port.
   [[nodiscard]] std::uint64_t switch_cycles(const std::string& name) const;
@@ -48,7 +69,9 @@ class ReconfigManager {
   std::map<std::string, std::vector<std::uint8_t>> store_;
   std::optional<std::string> active_;
   std::uint64_t total_cycles_ = 0;
+  std::size_t stored_bytes_ = 0;
   int switches_ = 0;
+  EvictionHook eviction_hook_;
 };
 
 /// Runtime operating condition (conclusion of the paper).
@@ -57,10 +80,17 @@ struct RuntimeCondition {
   double channel_quality = 1.0; ///< 0..1 (noisy channel -> lower)
 };
 
+/// @p condition with both fields forced into [0, 1]. Non-finite values
+/// (NaN, inf from a broken sensor) collapse to 0, the conservative end:
+/// flat battery / unusable channel.
+[[nodiscard]] RuntimeCondition clamp_condition(const RuntimeCondition& condition);
+
 /// Implementation-selection policy over the paper's DCT variants:
 /// plenty of battery -> highest-precision mapping (cordic1);
 /// low battery      -> smallest/lowest-power mapping (scc_full);
 /// noisy channel    -> robust mid-size mapping (mixed_rom).
+/// The condition is clamped first (see clamp_condition), so out-of-range
+/// sensor readings degrade gracefully instead of selecting nonsense.
 [[nodiscard]] std::string select_dct_implementation(const RuntimeCondition& condition);
 
 }  // namespace dsra::soc

@@ -128,18 +128,20 @@ FrameStats ToyEncoder::encode_inter(const Frame& frame, const Frame& ref_recon,
   return stats;
 }
 
+FrameStats ToyEncoder::encode_frame(const Frame& frame, Frame& recon_state) const {
+  Frame out;
+  const FrameStats stats = recon_state.width() == 0
+                               ? encode_intra(frame, out)
+                               : encode_inter(frame, recon_state, out);
+  recon_state = std::move(out);
+  return stats;
+}
+
 std::vector<FrameStats> ToyEncoder::encode_sequence(const std::vector<Frame>& frames) const {
   std::vector<FrameStats> stats;
   Frame recon;
-  for (std::size_t k = 0; k < frames.size(); ++k) {
-    Frame out;
-    if (k == 0) {
-      stats.push_back(encode_intra(frames[k], out));
-    } else {
-      stats.push_back(encode_inter(frames[k], recon, out));
-    }
-    recon = std::move(out);
-  }
+  stats.reserve(frames.size());
+  for (const Frame& frame : frames) stats.push_back(encode_frame(frame, recon));
   return stats;
 }
 

@@ -44,6 +44,14 @@ class ToyEncoder {
   /// Encode an inter frame against @p ref_recon.
   FrameStats encode_inter(const Frame& frame, const Frame& ref_recon, Frame& recon) const;
 
+  /// Frame-at-a-time driver for schedulers: @p recon_state carries the
+  /// previous reconstruction between calls. An empty (default-constructed)
+  /// state encodes intra; otherwise inter against the state. On return the
+  /// state holds this frame's reconstruction, ready for the next call —
+  /// the encoder itself stays stateless, so one ToyEncoder can serve many
+  /// interleaved streams as long as each stream keeps its own state.
+  FrameStats encode_frame(const Frame& frame, Frame& recon_state) const;
+
   /// Encode a whole sequence (first frame intra); returns per-frame stats.
   [[nodiscard]] std::vector<FrameStats> encode_sequence(const std::vector<Frame>& frames) const;
 

@@ -1,0 +1,233 @@
+// Multi-stream encode runtime: bounded bitstream context cache,
+// config-affinity batching vs naive round-robin, and scheduler fairness
+// (ageing valve) under concurrent fabrics.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "runtime/scheduler.hpp"
+
+namespace dsra::runtime {
+namespace {
+
+// The compiled library (six place-and-route runs) is expensive; share one
+// instance across the scheduler tests.
+const DctLibrary& library() {
+  static const DctLibrary lib;
+  return lib;
+}
+
+std::vector<StreamJob> mixed_workload(int streams, int frames, int size) {
+  // Adjacent streams always demand different bitstreams, the worst case
+  // for a scheduler that ignores configuration affinity.
+  const soc::RuntimeCondition conditions[] = {
+      {1.0, 1.0},  // -> cordic1
+      {0.5, 0.9},  // -> cordic2
+      {0.9, 0.3},  // -> mixed_rom
+      {0.1, 0.9},  // -> scc_full
+  };
+  std::vector<StreamJob> jobs;
+  jobs.reserve(static_cast<std::size_t>(streams));
+  for (int k = 0; k < streams; ++k) {
+    StreamConfig cfg;
+    cfg.name = "s" + std::to_string(k);
+    cfg.width = size;
+    cfg.height = size;
+    cfg.frame_budget = frames;
+    cfg.condition = conditions[k % 4];
+    cfg.codec.me_range = 4;
+    cfg.seed = 100 + static_cast<std::uint64_t>(k);
+    jobs.push_back(make_synthetic_job(k, cfg));
+  }
+  return jobs;
+}
+
+TEST(ContextCache, EvictsLeastRecentlyUsedUnderTightCapacity) {
+  soc::ReconfigManager mgr(soc::ReconfigPortConfig{32, 16});
+  soc::Bus bus;
+  const std::map<std::string, std::vector<std::uint8_t>> backing{
+      {"a", std::vector<std::uint8_t>(100, 1)},
+      {"b", std::vector<std::uint8_t>(100, 2)},
+      {"c", std::vector<std::uint8_t>(100, 3)},
+  };
+  ContextCache cache(
+      mgr, bus,
+      [&](const std::string& n) -> const std::vector<std::uint8_t>& { return backing.at(n); },
+      ContextCacheConfig{250});
+
+  EXPECT_GT(cache.touch("a"), 0u);  // miss pays bus fetch cycles
+  EXPECT_GT(cache.touch("b"), 0u);
+  EXPECT_EQ(cache.touch("a"), 0u);  // hit refreshes recency
+  EXPECT_GT(cache.touch("c"), 0u);  // evicts b, the least recently used
+  EXPECT_FALSE(cache.resident("b"));
+  EXPECT_TRUE(cache.resident("a"));
+  EXPECT_TRUE(cache.resident("c"));
+  EXPECT_LE(mgr.stored_bytes(), 250u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 3u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+
+  EXPECT_GT(cache.touch("b"), 0u);  // evicted context must be refetched
+  EXPECT_EQ(cache.stats().misses, 4u);
+  EXPECT_EQ(cache.stats().evictions, 2u);  // a (LRU after the c load) went
+  EXPECT_LE(mgr.stored_bytes(), 250u);
+  EXPECT_EQ(cache.stats().bytes_fetched, 400u);
+  EXPECT_EQ(cache.lru_order(), (std::vector<std::string>{"c", "b"}));
+}
+
+TEST(ContextCache, OversizedStreamStillLoads) {
+  soc::ReconfigManager mgr;
+  soc::Bus bus;
+  const std::vector<std::uint8_t> big(1000, 7);
+  ContextCache cache(
+      mgr, bus,
+      [&](const std::string&) -> const std::vector<std::uint8_t>& { return big; },
+      ContextCacheConfig{100});
+  EXPECT_GT(cache.touch("big"), 0u);
+  EXPECT_TRUE(cache.resident("big"));  // the working context must exist
+}
+
+TEST(Library, CompilesAllSixImplementations) {
+  EXPECT_EQ(library().names().size(), 6u);
+  EXPECT_NE(library().impl("cordic1"), nullptr);
+  EXPECT_EQ(library().impl("nope"), nullptr);
+  EXPECT_THROW((void)library().bitstream("nope"), std::invalid_argument);
+  EXPECT_GT(library().total_bytes(), 0u);
+}
+
+TEST(Fabric, PrepareChargesFetchPlusSwitchOnceThenNothing) {
+  FabricConfig cfg;
+  Fabric fabric(0, library(), cfg);
+  const std::uint64_t first = fabric.prepare("cordic1");
+  EXPECT_GT(first, 0u);
+  EXPECT_EQ(fabric.prepare("cordic1"), 0u);  // resident and active
+  ASSERT_NE(fabric.active_impl(), nullptr);
+  EXPECT_EQ(fabric.active_impl()->name(), "cordic1");
+  EXPECT_GT(fabric.prepare("scc_full"), 0u);
+  EXPECT_EQ(fabric.cache().stats().misses, 2u);
+  EXPECT_EQ(fabric.cache().stats().hits, 1u);  // second cordic1 prepare
+}
+
+TEST(Scheduler, AffinityBatchingBeatsRoundRobin) {
+  SchedulerConfig cfg;
+  cfg.fabrics = 1;  // single worker -> deterministic dispatch order
+
+  cfg.queue.policy = SchedulingPolicy::kRoundRobin;
+  auto rr_jobs = mixed_workload(6, 4, 32);
+  const RunReport rr = MultiStreamScheduler(library(), cfg).run(rr_jobs);
+
+  cfg.queue.policy = SchedulingPolicy::kAffinityBatched;
+  auto af_jobs = mixed_workload(6, 4, 32);
+  const RunReport af = MultiStreamScheduler(library(), cfg).run(af_jobs);
+
+  EXPECT_EQ(rr.total_frames, 24u);
+  EXPECT_EQ(af.total_frames, 24u);
+
+  // Affinity batching amortizes the configuration port: strictly fewer
+  // switches and strictly fewer reconfiguration cycles.
+  EXPECT_LT(af.total_switches, rr.total_switches);
+  EXPECT_LT(af.total_reconfig_cycles, rr.total_reconfig_cycles);
+  // Four distinct bitstreams, batched exhaustively -> four loads.
+  EXPECT_LE(af.total_switches, 4 + 1);
+
+  // Scheduling must not change what gets encoded: per-stream output is
+  // identical under both policies.
+  ASSERT_EQ(rr.streams.size(), af.streams.size());
+  for (std::size_t k = 0; k < rr.streams.size(); ++k) {
+    EXPECT_DOUBLE_EQ(rr.streams[k].total_bits, af.streams[k].total_bits) << k;
+    EXPECT_DOUBLE_EQ(rr.streams[k].mean_psnr_db, af.streams[k].mean_psnr_db) << k;
+  }
+}
+
+TEST(Scheduler, RunCapRotatesAwayFromDominantConfiguration) {
+  // Three cordic1 streams vs one scc_full stream: without forced rotation
+  // the majority group would monopolize the fabric until the ageing valve
+  // (here far away) fires. The run cap alone must bound the minority
+  // stream's wait.
+  std::vector<StreamJob> jobs;
+  for (int k = 0; k < 4; ++k) {
+    StreamConfig cfg;
+    cfg.name = "s" + std::to_string(k);
+    cfg.width = 32;
+    cfg.height = 32;
+    cfg.frame_budget = 2;
+    cfg.condition = k < 3 ? soc::RuntimeCondition{1.0, 1.0}   // cordic1
+                          : soc::RuntimeCondition{0.1, 0.9};  // scc_full
+    cfg.codec.me_range = 4;
+    cfg.seed = 500 + static_cast<std::uint64_t>(k);
+    jobs.push_back(make_synthetic_job(k, cfg));
+  }
+  SchedulerConfig cfg;
+  cfg.fabrics = 1;
+  cfg.queue.policy = SchedulingPolicy::kAffinityBatched;
+  cfg.queue.max_affinity_run = 2;
+  cfg.queue.aging_threshold = 50;  // never reached: 8 dispatches total
+  const RunReport report = MultiStreamScheduler(library(), cfg).run(jobs);
+
+  EXPECT_EQ(report.total_frames, 8u);
+  // The scc_full stream gets served after at most one full run of the cap.
+  EXPECT_LE(report.streams[3].max_wait_dispatches,
+            static_cast<std::uint64_t>(cfg.queue.max_affinity_run + 1));
+}
+
+TEST(Scheduler, NoStreamStarvesUnderAgeing) {
+  SchedulerConfig cfg;
+  cfg.fabrics = 2;
+  cfg.queue.policy = SchedulingPolicy::kAffinityBatched;
+  cfg.queue.max_affinity_run = 1000;  // batching alone would starve the rest
+  cfg.queue.aging_threshold = 6;
+  auto jobs = mixed_workload(8, 5, 32);
+  const RunReport report = MultiStreamScheduler(library(), cfg).run(jobs);
+
+  EXPECT_EQ(report.total_frames, 40u);
+  for (const StreamSummary& s : report.streams) {
+    EXPECT_EQ(s.frames, 5) << s.name;
+    EXPECT_GT(s.latency.p95_ms, 0.0) << s.name;
+  }
+  // The ageing valve bounds every stream's queue wait: at most the
+  // threshold plus one backlog round of the other streams.
+  EXPECT_LE(report.max_wait_dispatches,
+            cfg.queue.aging_threshold + static_cast<std::uint64_t>(jobs.size() + 2));
+}
+
+TEST(Scheduler, BoundedContextCacheEvictsAndStillCompletes) {
+  SchedulerConfig cfg;
+  cfg.fabrics = 1;
+  cfg.queue.policy = SchedulingPolicy::kAffinityBatched;
+  cfg.queue.max_affinity_run = 2;  // force frequent switching
+  // Room for roughly one and a half contexts -> every switch evicts.
+  cfg.fabric.context_capacity_bytes = library().bitstream("scc_full").size() * 3 / 2;
+
+  auto jobs = mixed_workload(4, 3, 32);
+  const RunReport report = MultiStreamScheduler(library(), cfg).run(jobs);
+  EXPECT_EQ(report.total_frames, 12u);
+  EXPECT_GT(report.cache.evictions, 0u);
+  EXPECT_GT(report.cache.misses, report.cache.hits);
+  EXPECT_GT(report.total_fetch_cycles, 0u);
+}
+
+TEST(Scheduler, RejectsUnknownImplementation) {
+  auto jobs = mixed_workload(1, 1, 32);
+  jobs[0].impl_name = "not_an_impl";
+  SchedulerConfig cfg;
+  cfg.fabrics = 1;
+  MultiStreamScheduler scheduler(library(), cfg);
+  EXPECT_THROW((void)scheduler.run(jobs), std::invalid_argument);
+}
+
+TEST(Stats, PercentilesUseNearestRank) {
+  const std::vector<double> samples{5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(samples, 50.0), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(samples, 95.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(samples, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile({}, 50.0), 0.0);
+  const LatencySummary s = summarize_latencies(samples);
+  EXPECT_DOUBLE_EQ(s.p50_ms, 3.0);
+  EXPECT_DOUBLE_EQ(s.max_ms, 5.0);
+  EXPECT_DOUBLE_EQ(s.mean_ms, 3.0);
+}
+
+}  // namespace
+}  // namespace dsra::runtime

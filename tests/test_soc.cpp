@@ -3,6 +3,9 @@
 // between DCT implementations under runtime constraints.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "soc/controller.hpp"
 #include "soc/platform.hpp"
 
@@ -73,6 +76,53 @@ TEST(Reconfig, PolicySelectsByRuntimeCondition) {
   EXPECT_EQ(select_dct_implementation({0.1, 1.0}), "scc_full");
   EXPECT_EQ(select_dct_implementation({0.9, 0.3}), "mixed_rom");
   EXPECT_EQ(select_dct_implementation({0.5, 0.9}), "cordic2");
+}
+
+TEST(Reconfig, PolicyClampsOutOfRangeConditions) {
+  // Out-of-range sensor readings clamp instead of misselecting.
+  EXPECT_EQ(select_dct_implementation({-0.5, 1.0}), "scc_full");
+  EXPECT_EQ(select_dct_implementation({2.0, 2.0}), "cordic1");
+  EXPECT_EQ(select_dct_implementation({1.0, -3.0}), "mixed_rom");
+  // Non-finite values collapse to the conservative end.
+  EXPECT_EQ(select_dct_implementation({std::nan(""), 1.0}), "scc_full");
+  EXPECT_EQ(select_dct_implementation({1.0, std::nan("")}), "mixed_rom");
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(select_dct_implementation({inf, 1.0}), "scc_full");
+  EXPECT_EQ(select_dct_implementation({1.0, inf}), "mixed_rom");
+  // Exact boundary values: the thresholds are half-open.
+  EXPECT_EQ(select_dct_implementation({0.25, 1.0}), "cordic2");
+  EXPECT_EQ(select_dct_implementation({1.0, 0.5}), "cordic1");
+  EXPECT_EQ(select_dct_implementation({0.6, 1.0}), "cordic1");
+  EXPECT_EQ(select_dct_implementation({0.0, 0.0}), "scc_full");
+
+  const RuntimeCondition c = clamp_condition({-1.0, 5.0});
+  EXPECT_EQ(c.battery_level, 0.0);
+  EXPECT_EQ(c.channel_quality, 1.0);
+}
+
+TEST(Reconfig, ByteAccountingAndEvictionHook) {
+  ReconfigManager mgr;
+  mgr.store("x", std::vector<std::uint8_t>(64, 0));
+  mgr.store("y", std::vector<std::uint8_t>(32, 0));
+  EXPECT_EQ(mgr.stored_bytes(), 96u);
+  EXPECT_EQ(mgr.stored_count(), 2u);
+  EXPECT_EQ(mgr.bytes("x"), 64u);
+
+  mgr.store("x", std::vector<std::uint8_t>(16, 0));  // replace, not leak
+  EXPECT_EQ(mgr.stored_bytes(), 48u);
+
+  std::string evicted;
+  std::size_t freed = 0;
+  mgr.set_eviction_hook([&](const std::string& name, std::size_t bytes) {
+    evicted = name;
+    freed = bytes;
+  });
+  EXPECT_TRUE(mgr.evict("x"));
+  EXPECT_EQ(evicted, "x");
+  EXPECT_EQ(freed, 16u);
+  EXPECT_FALSE(mgr.evict("x")) << "double evict is a no-op";
+  EXPECT_EQ(mgr.stored_bytes(), 32u);
+  EXPECT_THROW((void)mgr.bytes("x"), std::invalid_argument);
 }
 
 TEST(Platform, BuildsAllSixImplementationsAndSwitches) {

@@ -174,6 +174,26 @@ TEST(Codec, InterFramesCheaperThanIntraOnPannedContent) {
   EXPECT_GT(stats[1].mean_abs_mv, 0.0) << "panned content has non-zero motion";
 }
 
+TEST(Codec, FrameAtATimeMatchesEncodeSequence) {
+  SyntheticConfig scfg;
+  scfg.width = 48;
+  scfg.height = 48;
+  scfg.frames = 3;
+  const auto frames = generate_sequence(scfg);
+  CodecConfig cfg;
+  const ToyEncoder enc(nullptr, me::systolic_search_fn(), cfg);
+
+  const auto batch = enc.encode_sequence(frames);
+  Frame recon_state;  // empty -> first encode_frame call is intra
+  ASSERT_EQ(batch.size(), frames.size());
+  for (std::size_t k = 0; k < frames.size(); ++k) {
+    const FrameStats step = enc.encode_frame(frames[k], recon_state);
+    EXPECT_DOUBLE_EQ(step.bits, batch[k].bits) << k;
+    EXPECT_DOUBLE_EQ(step.psnr_db, batch[k].psnr_db) << k;
+    EXPECT_EQ(step.blocks_coded, batch[k].blocks_coded) << k;
+  }
+}
+
 TEST(Codec, ArrayDctImplementationsMatchReferencePsnrClosely) {
   SyntheticConfig scfg;
   scfg.width = 48;
