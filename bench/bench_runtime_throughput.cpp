@@ -62,10 +62,10 @@ RunReport run_policy(const DctLibrary& library, SchedulingPolicy policy, int fab
 }  // namespace
 
 int main() {
-  std::printf("compiling the DCT library (6 implementations, place + route)...\n");
+  std::printf("compiling the kernel library (6 DCT implementations + ME context)...\n");
   const DctLibrary library;
-  std::printf("library ready: %zu bitstreams, %zu bytes total\n\n", library.names().size(),
-              library.total_bytes());
+  std::printf("library ready: %zu DCT bitstreams + the ME context, %zu bytes total\n\n",
+              library.names().size(), library.total_bytes());
 
   const int fabrics = 2;
   const RunReport rr = run_policy(library, SchedulingPolicy::kRoundRobin, fabrics);

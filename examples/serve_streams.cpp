@@ -2,10 +2,12 @@
 //
 // A base station serves several phones at once. Each phone reports its
 // runtime condition (battery, channel quality); the SoC policy assigns it
-// a DCT bitstream, and the multi-stream scheduler time-multiplexes all of
-// the encode work over a small pool of reconfigurable fabrics, batching
-// streams that share a configuration so the fabric switches bitstreams as
-// rarely as fairness allows.
+// a DCT bitstream, and the multi-stream scheduler splits every frame into
+// the paper's kernel stages — ME on the systolic array fabric, DCT/quant
+// and reconstruction on the DA/CORDIC fabrics — pipelining frame k+1's
+// motion search over frame k's transform while batching streams that
+// share a configuration so each fabric switches bitstreams as rarely as
+// fairness allows.
 #include <cstdio>
 
 #include "runtime/scheduler.hpp"
@@ -47,18 +49,29 @@ int main() {
   }
 
   SchedulerConfig cfg;
-  cfg.fabrics = 2;
   cfg.queue.policy = SchedulingPolicy::kAffinityBatched;
-  cfg.fabric.context_capacity_bytes = library.total_bytes() / 2;
+  cfg.queue.mode = DispatchMode::kStagePipeline;
+  // The paper's SoC floorplan: one systolic ME fabric beside two
+  // DA/CORDIC transform fabrics, each with a bounded context store.
+  FabricConfig me_fabric, dct_fabric;
+  me_fabric.capabilities = kCapMotionEstimation;
+  dct_fabric.capabilities = kCapDctTransform;
+  dct_fabric.context_capacity_bytes = library.total_bytes() / 2;
+  cfg.fabric_configs = {me_fabric, dct_fabric, dct_fabric};
 
-  std::printf("\nserving %zu streams on %d fabrics...\n\n", jobs.size(), cfg.fabrics);
+  std::printf("\nserving %zu streams, stage-pipelined over %zu fabrics "
+              "(1 systolic ME + 2 DA/CORDIC)...\n\n",
+              jobs.size(), cfg.fabric_configs.size());
   const RunReport report = MultiStreamScheduler(library, cfg).run(jobs);
 
   stream_table(report).print();
   std::printf("\naggregate: %.1f frames/s, %d bitstream switches, "
-              "%llu reconfig cycles, cache %llu hits / %llu misses / %llu evictions\n",
+              "%llu reconfig cycles (me %llu / dct %llu), "
+              "cache %llu hits / %llu misses / %llu evictions\n",
               report.frames_per_second, report.total_switches,
               static_cast<unsigned long long>(report.total_reconfig_cycles),
+              static_cast<unsigned long long>(report.me_reconfig_cycles),
+              static_cast<unsigned long long>(report.dct_reconfig_cycles),
               static_cast<unsigned long long>(report.cache.hits),
               static_cast<unsigned long long>(report.cache.misses),
               static_cast<unsigned long long>(report.cache.evictions));

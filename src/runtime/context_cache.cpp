@@ -6,13 +6,14 @@
 namespace dsra::runtime {
 
 ContextCache::ContextCache(soc::ReconfigManager& manager, soc::Bus& bus, FetchFn fetch,
-                           ContextCacheConfig config)
-    : manager_(manager), bus_(bus), fetch_(std::move(fetch)), config_(config) {
+                           ContextCacheConfig config, KernelFn kernel_of)
+    : manager_(manager), bus_(bus), fetch_(std::move(fetch)),
+      kernel_of_(std::move(kernel_of)), config_(config) {
   // Pre-existing contexts (e.g. a manager seeded by hand) count as resident
   // in arbitrary recency order.
   for (const auto& name : manager_.names()) lru_.push_back(name);
   manager_.set_eviction_hook(
-      [this](const std::string& name, std::size_t) { on_eviction(name); });
+      [this](const std::string& name, std::size_t freed) { on_eviction(name, freed); });
 }
 
 ContextCache::~ContextCache() { manager_.set_eviction_hook(nullptr); }
@@ -36,7 +37,7 @@ std::uint64_t ContextCache::touch(const std::string& name) {
   const std::uint64_t cycles = bus_.transfer(bits.size() * 8);
   stats_.bytes_fetched += bits.size();
   stats_.fetch_cycles += cycles;
-  manager_.store(name, bits);
+  manager_.store(name, bits, kernel_of_ ? kernel_of_(name) : "dct");
   lru_.push_back(name);
   return cycles;
 }
@@ -45,8 +46,9 @@ std::vector<std::string> ContextCache::lru_order() const {
   return {lru_.begin(), lru_.end()};
 }
 
-void ContextCache::on_eviction(const std::string& name) {
+void ContextCache::on_eviction(const std::string& name, std::size_t freed_bytes) {
   ++stats_.evictions;
+  stats_.bytes_evicted += freed_bytes;
   lru_.remove(name);
 }
 

@@ -30,6 +30,7 @@ struct ContextCacheStats {
   std::uint64_t misses = 0;
   std::uint64_t evictions = 0;
   std::uint64_t bytes_fetched = 0;
+  std::uint64_t bytes_evicted = 0;
   std::uint64_t fetch_cycles = 0;  ///< bus cycles spent on misses
 
   ContextCacheStats& operator+=(const ContextCacheStats& o) {
@@ -37,6 +38,7 @@ struct ContextCacheStats {
     misses += o.misses;
     evictions += o.evictions;
     bytes_fetched += o.bytes_fetched;
+    bytes_evicted += o.bytes_evicted;
     fetch_cycles += o.fetch_cycles;
     return *this;
   }
@@ -48,10 +50,15 @@ class ContextCache {
   /// library); the returned reference only needs to live for the call.
   using FetchFn = std::function<const std::vector<std::uint8_t>&(const std::string&)>;
 
+  /// Maps a bitstream name to the kernel it configures ("dct", "me", ...)
+  /// so fetched contexts are stored with the right per-kernel charging tag.
+  using KernelFn = std::function<std::string(const std::string&)>;
+
   /// Installs itself as @p manager's eviction hook so external evictions
-  /// keep the recency list consistent.
+  /// keep the recency list consistent. A null @p kernel_of tags every
+  /// context "dct" (the historical default).
   ContextCache(soc::ReconfigManager& manager, soc::Bus& bus, FetchFn fetch,
-               ContextCacheConfig config = {});
+               ContextCacheConfig config = {}, KernelFn kernel_of = nullptr);
   ~ContextCache();
 
   ContextCache(const ContextCache&) = delete;
@@ -71,11 +78,12 @@ class ContextCache {
   [[nodiscard]] std::vector<std::string> lru_order() const;
 
  private:
-  void on_eviction(const std::string& name);
+  void on_eviction(const std::string& name, std::size_t freed_bytes);
 
   soc::ReconfigManager& manager_;
   soc::Bus& bus_;
   FetchFn fetch_;
+  KernelFn kernel_of_;
   ContextCacheConfig config_;
   std::list<std::string> lru_;  ///< front = LRU, back = MRU
   ContextCacheStats stats_;

@@ -4,6 +4,7 @@
 
 #include "core/arch.hpp"
 #include "mapper/flow.hpp"
+#include "me/systolic.hpp"
 
 namespace dsra::runtime {
 
@@ -18,6 +19,19 @@ DctLibrary::DctLibrary(DctLibraryConfig config) {
     map::CompiledDesign design = map::compile(nl, array, params);
     bitstreams_.emplace(impl->name(), std::move(design.bitstream));
   }
+
+  // The systolic ME array's configuration context, compiled onto the ME
+  // fabric (a scaled instance keeps library construction cheap; the
+  // scheduler's cycle model is parameterised independently).
+  me::SystolicParams me_params;
+  me_params.block = 4;
+  me_params.modules = 2;
+  const Netlist me_nl = me::build_systolic_netlist(me_params);
+  const ArrayArch me_arch = ArrayArch::motion_estimation(6, 4, ChannelSpec{6, 12});
+  map::FlowParams me_flow;
+  me_flow.place.seed = 11;
+  map::CompiledDesign me_design = map::compile(me_nl, me_arch, me_flow);
+  bitstreams_.emplace(kMeContextName, std::move(me_design.bitstream));
 }
 
 const dct::DctImplementation* DctLibrary::impl(const std::string& name) const {
@@ -33,10 +47,14 @@ const std::vector<std::uint8_t>& DctLibrary::bitstream(const std::string& name) 
   return it->second;
 }
 
+std::string DctLibrary::kernel_of(const std::string& name) const {
+  return name == kMeContextName ? "me" : "dct";
+}
+
 std::vector<std::string> DctLibrary::names() const {
   std::vector<std::string> out;
-  out.reserve(bitstreams_.size());
-  for (const auto& [name, bits] : bitstreams_) out.push_back(name);
+  out.reserve(impls_.size());
+  for (const auto& impl : impls_) out.push_back(impl->name());
   return out;
 }
 
@@ -48,6 +66,7 @@ std::size_t DctLibrary::total_bytes() const {
 
 Fabric::Fabric(int id, const DctLibrary& library, const FabricConfig& config)
     : id_(id),
+      capabilities_(config.capabilities),
       library_(library),
       reconfig_(config.reconfig_port),
       bus_(config.bus),
@@ -56,7 +75,8 @@ Fabric::Fabric(int id, const DctLibrary& library, const FabricConfig& config)
           [this](const std::string& name) -> const std::vector<std::uint8_t>& {
             return library_.bitstream(name);
           },
-          ContextCacheConfig{config.context_capacity_bytes}) {}
+          ContextCacheConfig{config.context_capacity_bytes},
+          [this](const std::string& name) { return library_.kernel_of(name); }) {}
 
 std::uint64_t Fabric::prepare(const std::string& impl_name) {
   const std::uint64_t fetch_cycles = cache_.touch(impl_name);
@@ -67,16 +87,33 @@ const dct::DctImplementation* Fabric::active_impl() const {
   return reconfig_.active() ? library_.impl(*reconfig_.active()) : nullptr;
 }
 
-FabricPool::FabricPool(int count, const DctLibrary& library, const FabricConfig& config) {
-  if (count <= 0) throw std::invalid_argument("fabric pool needs at least one fabric");
-  fabrics_.reserve(static_cast<std::size_t>(count));
-  for (int k = 0; k < count; ++k)
-    fabrics_.push_back(std::make_unique<Fabric>(k, library, config));
+FabricPool::FabricPool(int count, const DctLibrary& library, const FabricConfig& config)
+    : FabricPool(std::vector<FabricConfig>(static_cast<std::size_t>(count > 0 ? count : 0),
+                                           config),
+                 library) {}
+
+FabricPool::FabricPool(const std::vector<FabricConfig>& configs, const DctLibrary& library) {
+  if (configs.empty()) throw std::invalid_argument("fabric pool needs at least one fabric");
+  fabrics_.reserve(configs.size());
+  for (std::size_t k = 0; k < configs.size(); ++k)
+    fabrics_.push_back(std::make_unique<Fabric>(static_cast<int>(k), library, configs[k]));
+}
+
+unsigned FabricPool::combined_capabilities() const {
+  unsigned caps = 0;
+  for (const auto& f : fabrics_) caps |= f->capabilities();
+  return caps;
 }
 
 std::uint64_t FabricPool::total_reconfig_cycles() const {
   std::uint64_t total = 0;
   for (const auto& f : fabrics_) total += f->reconfig().total_reconfig_cycles();
+  return total;
+}
+
+std::uint64_t FabricPool::reconfig_cycles_for_kernel(const std::string& kernel) const {
+  std::uint64_t total = 0;
+  for (const auto& f : fabrics_) total += f->reconfig().reconfig_cycles_for_kernel(kernel);
   return total;
 }
 

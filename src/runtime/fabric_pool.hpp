@@ -1,13 +1,17 @@
 // Pool of simulated array fabrics.
 //
-// Each fabric is one DA-array instance fronted by its own ReconfigManager
+// Each fabric is one array instance fronted by its own ReconfigManager
 // (the configuration port) and a bounded bitstream context cache; the
-// compiled DCT library (netlist -> place/route -> bitstream, once per
-// implementation) is shared read-only by every fabric. prepare() is the
-// single entry the scheduler uses: on a cache miss it charges bus cycles
-// to fetch the context from main memory, and on a bitstream switch it
-// charges the configuration-port cycles — soc::Platform's cost model,
-// multiplied across K fabrics.
+// compiled kernel library (netlist -> place/route -> bitstream, once per
+// implementation) is shared read-only by every fabric. A fabric also
+// advertises which kernel classes its silicon hosts: the paper's SoC has
+// a systolic ME array and a DA/CORDIC transform array as separate
+// domain-specific fabrics, and the stage scheduler routes each stage job
+// to a capable fabric only. prepare() is the single entry the scheduler
+// uses: on a cache miss it charges bus cycles to fetch the context from
+// main memory, and on a bitstream switch it charges the
+// configuration-port cycles — soc::Platform's cost model, multiplied
+// across K fabrics.
 #pragma once
 
 #include <cstddef>
@@ -20,6 +24,7 @@
 
 #include "dct/impl.hpp"
 #include "runtime/context_cache.hpp"
+#include "runtime/kernel.hpp"
 #include "soc/bus.hpp"
 #include "soc/reconfig.hpp"
 
@@ -31,8 +36,9 @@ struct DctLibraryConfig {
   dct::DaPrecision precision = dct::DaPrecision::wide();
 };
 
-/// All six DCT implementations compiled onto the DA array once, shared
-/// read-only by every fabric in the pool.
+/// All six DCT implementations compiled onto the DA array, plus the
+/// systolic ME array's configuration context compiled onto the ME fabric
+/// — once each, shared read-only by every fabric in the pool.
 class DctLibrary {
  public:
   explicit DctLibrary(DctLibraryConfig config = {});
@@ -40,9 +46,15 @@ class DctLibrary {
   /// Null when @p name is unknown.
   [[nodiscard]] const dct::DctImplementation* impl(const std::string& name) const;
 
-  /// Throws std::invalid_argument on unknown names.
+  /// Throws std::invalid_argument on unknown names. Knows the DCT
+  /// implementations and kMeContextName.
   [[nodiscard]] const std::vector<std::uint8_t>& bitstream(const std::string& name) const;
 
+  /// Kernel tag of @p name's context: "me" for kMeContextName, "dct"
+  /// otherwise.
+  [[nodiscard]] std::string kernel_of(const std::string& name) const;
+
+  /// DCT implementation names (the ME context is listed separately).
   [[nodiscard]] std::vector<std::string> names() const;
   [[nodiscard]] std::size_t total_bytes() const;
 
@@ -55,6 +67,7 @@ struct FabricConfig {
   soc::ReconfigPortConfig reconfig_port;
   soc::BusConfig bus;
   std::size_t context_capacity_bytes = 0;  ///< 0 = every context fits
+  unsigned capabilities = kCapAllKernels;  ///< KernelCapability mask
 };
 
 /// One simulated array fabric. Not thread-safe by design: the scheduler
@@ -72,6 +85,7 @@ class Fabric {
   std::uint64_t prepare(const std::string& impl_name);
 
   [[nodiscard]] int id() const { return id_; }
+  [[nodiscard]] unsigned capabilities() const { return capabilities_; }
   [[nodiscard]] const std::optional<std::string>& active() const { return reconfig_.active(); }
   [[nodiscard]] const dct::DctImplementation* active_impl() const;
   [[nodiscard]] const soc::ReconfigManager& reconfig() const { return reconfig_; }
@@ -79,6 +93,7 @@ class Fabric {
 
  private:
   int id_;
+  unsigned capabilities_;
   const DctLibrary& library_;
   soc::ReconfigManager reconfig_;
   soc::Bus bus_;
@@ -87,7 +102,12 @@ class Fabric {
 
 class FabricPool {
  public:
+  /// Homogeneous pool: @p count identical fabrics.
   FabricPool(int count, const DctLibrary& library, const FabricConfig& config = {});
+
+  /// Heterogeneous pool: one fabric per config (e.g. a systolic-ME-only
+  /// fabric next to a DA/CORDIC-only fabric, the paper's SoC floorplan).
+  FabricPool(const std::vector<FabricConfig>& configs, const DctLibrary& library);
 
   [[nodiscard]] int size() const { return static_cast<int>(fabrics_.size()); }
   [[nodiscard]] Fabric& at(int i) { return *fabrics_.at(static_cast<std::size_t>(i)); }
@@ -95,8 +115,16 @@ class FabricPool {
     return *fabrics_.at(static_cast<std::size_t>(i));
   }
 
+  /// Union of every fabric's capability mask.
+  [[nodiscard]] unsigned combined_capabilities() const;
+
   /// Configuration-port cycles paid across all fabrics.
   [[nodiscard]] std::uint64_t total_reconfig_cycles() const;
+
+  /// Configuration-port cycles charged against @p kernel ("me" / "dct")
+  /// across all fabrics.
+  [[nodiscard]] std::uint64_t reconfig_cycles_for_kernel(const std::string& kernel) const;
+
   [[nodiscard]] int total_switches() const;
   [[nodiscard]] ContextCacheStats cache_totals() const;
 

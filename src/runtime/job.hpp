@@ -6,7 +6,11 @@
 // frame-at-a-time encoder. Frames of one stream are strictly ordered
 // (inter frames predict from the previous reconstruction); frames of
 // different streams are independent — exactly the parallelism a pool of
-// reconfigurable fabrics can exploit.
+// reconfigurable fabrics can exploit. In stage-pipeline mode a frame is
+// further split into ME -> DCT/quant -> reconstruct stage jobs, and the
+// per-frame FramePipelineState carries the intermediate results (motion
+// vectors, prediction, quantised levels) between the fabrics that run
+// them.
 #pragma once
 
 #include <chrono>
@@ -14,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "runtime/kernel.hpp"
 #include "soc/reconfig.hpp"
 #include "video/codec.hpp"
 #include "video/frame.hpp"
@@ -33,23 +38,40 @@ struct StreamConfig {
 /// Latency and cost record of one completed frame.
 struct FrameRecord {
   int frame_index = 0;
-  int fabric_id = -1;
-  double latency_ms = 0.0;            ///< ready-to-completed, includes queue wait
-  std::uint64_t wait_dispatches = 0;  ///< dispatches served while this frame waited
+  int fabric_id = -1;     ///< fabric of the whole-frame job / reconstruct stage
+  int me_fabric_id = -1;  ///< fabric that ran the ME stage (-1: inline / intra)
+  int tq_fabric_id = -1;  ///< fabric that ran the DCT/quant stage (-1: inline)
+  double latency_ms = 0.0;            ///< first-stage-ready to reconstructed
+  std::uint64_t wait_dispatches = 0;  ///< worst queue wait over the frame's jobs
   std::uint64_t reconfig_cycles = 0;  ///< context fetch + configuration-port switch
   video::FrameStats stats;
 };
 
+/// In-flight stage state of one frame. The queue's dependency tracking
+/// guarantees at most one stage job per frame is running, and hands a
+/// frame's results to the next stage through the queue mutex, so the
+/// fields need no locking of their own.
+struct FramePipelineState {
+  video::MotionStageResult motion;
+  video::TransformStageResult transform;
+  int me_fabric_id = -1;
+  int tq_fabric_id = -1;
+  std::chrono::steady_clock::time_point first_ready;  ///< first stage job enqueued
+  std::uint64_t reconfig_cycles = 0;                  ///< summed over the stage jobs
+  std::uint64_t max_wait_dispatches = 0;
+};
+
 /// One stream's full runtime state. Owned by the caller and mutated by the
 /// scheduler; the job queue guarantees at most one fabric works on a given
-/// stream at any moment, so the fields need no locking of their own.
+/// stream's lane at any moment.
 struct StreamJob {
   int id = 0;
   StreamConfig config;
   std::string impl_name;  ///< required DCT bitstream (config-affinity key)
   std::vector<video::Frame> frames;
   video::Frame recon_state;  ///< previous reconstruction (empty before frame 0)
-  int next_frame = 0;
+  int next_frame = 0;        ///< frames fully encoded (reconstruction done)
+  std::vector<FramePipelineState> pipeline;  ///< stage mode: one slot per frame
   std::vector<FrameRecord> records;
 
   [[nodiscard]] bool finished() const {
@@ -62,12 +84,26 @@ struct StreamJob {
 /// runtime condition via the SoC selection policy.
 [[nodiscard]] StreamJob make_synthetic_job(int id, const StreamConfig& config);
 
-/// A schedulable unit of work: frame @p frame_index of stream @p stream_id.
+/// A schedulable unit of work: stage @p stage of frame @p frame_index of
+/// stream @p stream_id (kWholeFrame = the legacy monolithic frame job).
 struct FrameTask {
   int stream_id = 0;
   int frame_index = 0;
+  StageKind stage = StageKind::kWholeFrame;
   std::uint64_t wait_dispatches = 0;  ///< dispatches served while it waited
   std::chrono::steady_clock::time_point ready_time;
+};
+
+/// One entry of the dispatch timeline the queue records: a stage job
+/// starting (dispatch) or completing on a fabric. Ticks are globally
+/// monotone, so ordering and overlap assertions are exact.
+struct StageEvent {
+  std::uint64_t tick = 0;
+  bool start = false;  ///< true: dispatched; false: completed
+  int stream_id = 0;
+  int frame_index = 0;
+  int fabric_id = -1;
+  StageKind stage = StageKind::kWholeFrame;
 };
 
 }  // namespace dsra::runtime

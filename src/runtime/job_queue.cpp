@@ -9,113 +9,241 @@ std::string to_string(SchedulingPolicy policy) {
   return policy == SchedulingPolicy::kRoundRobin ? "round-robin" : "affinity-batched";
 }
 
-JobQueue::JobQueue(std::vector<StreamJob>& streams, JobQueueConfig config)
-    : streams_(streams), config_(config) {
-  const auto now = std::chrono::steady_clock::now();
-  for (std::size_t k = 0; k < streams_.size(); ++k) {
-    if (streams_[k].finished()) continue;
-    ready_.push_back({static_cast<int>(k), 0, now});
-    ++remaining_streams_;
-  }
+std::string to_string(DispatchMode mode) {
+  return mode == DispatchMode::kMonolithicFrames ? "monolithic-frames" : "stage-pipeline";
 }
 
-std::size_t JobQueue::pick_locked(const std::optional<std::string>& fabric_impl,
-                                  FabricRun& run) const {
-  std::size_t oldest = 0;
-  for (std::size_t i = 1; i < ready_.size(); ++i)
-    if (ready_[i].ready_seq < ready_[oldest].ready_seq) oldest = i;
+JobQueue::JobQueue(std::vector<StreamJob>& streams, JobQueueConfig config)
+    : streams_(streams), config_(config) {
+  if (config_.pipeline_lookahead < 0) config_.pipeline_lookahead = 0;
+  lanes_.resize(streams_.size());
+  std::size_t total_jobs = 0;
+  for (std::size_t k = 0; k < streams_.size(); ++k) {
+    StreamJob& s = streams_[k];
+    if (s.finished()) continue;
+    const int stream_id = static_cast<int>(k);
+    // A stream may arrive partially encoded (e.g. a second scheduler run
+    // over the same jobs); only the frames still ahead count.
+    const auto remaining =
+        static_cast<std::uint64_t>(static_cast<int>(s.frames.size()) - s.next_frame);
+    if (config_.mode == DispatchMode::kMonolithicFrames) {
+      dct_jobs_left_ += remaining;
+      total_jobs += remaining;
+      enqueue_locked(stream_id, StageKind::kWholeFrame, s.next_frame);
+    } else {
+      s.pipeline.assign(s.frames.size(), FramePipelineState{});
+      Lane& lane = lanes_[k];
+      lane.dct_frame = s.next_frame;
+      lane.me_next = std::max(1, s.next_frame);  // frame 0 is intra, no ME
+      lane.me_done_upto = lane.me_next - 1;
+      const auto me_jobs =
+          static_cast<std::uint64_t>(static_cast<int>(s.frames.size()) - lane.me_next);
+      me_jobs_left_ += me_jobs;
+      dct_jobs_left_ += 2 * remaining;
+      total_jobs += 2 * remaining + me_jobs;
+      advance_dct_lane_locked(stream_id);
+      advance_me_lane_locked(stream_id);
+    }
+  }
+  events_.reserve(2 * total_jobs);
+}
+
+const std::string& JobQueue::context_for(StageKind stage, int stream_id) const {
+  static const std::string me_key{kMeContextName};
+  if (stage == StageKind::kMotionEstimation) return me_key;
+  return streams_[static_cast<std::size_t>(stream_id)].impl_name;
+}
+
+bool JobQueue::eligible(const Ready& entry, unsigned capabilities) const {
+  return (kernel_of(entry.stage) & capabilities) != 0;
+}
+
+std::optional<std::size_t> JobQueue::pick_locked(
+    const std::optional<std::string>& fabric_impl, const FabricRun& run,
+    unsigned capabilities) const {
+  std::optional<std::size_t> oldest;
+  for (std::size_t i = 0; i < ready_.size(); ++i) {
+    if (!eligible(ready_[i], capabilities)) continue;
+    if (!oldest || ready_[i].ready_seq < ready_[*oldest].ready_seq) oldest = i;
+  }
+  if (!oldest) return std::nullopt;
   if (config_.policy == SchedulingPolicy::kRoundRobin) return oldest;
 
-  // Ageing valve: a stream that has already waited through more than
-  // aging_threshold dispatches is served now, affinity or not.
-  if (dispatch_seq_ - 1 - ready_[oldest].ready_seq > config_.aging_threshold) return oldest;
+  // Ageing valve, checked on every dispatch so it fires mid-batch: a job
+  // that has already waited through aging_threshold dispatches is served
+  // now, affinity or not.
+  if (dispatch_seq_ - 1 - ready_[*oldest].ready_seq >= config_.aging_threshold) return oldest;
 
-  const auto impl_of = [&](std::size_t i) -> const std::string& {
-    return streams_[static_cast<std::size_t>(ready_[i].stream_id)].impl_name;
+  const auto key_of = [&](const Ready& r) -> const std::string& {
+    return context_for(r.stage, r.stream_id);
   };
 
   // Stay on the fabric's active configuration while the run cap allows.
   if (fabric_impl && run.impl == *fabric_impl && run.length < config_.max_affinity_run) {
     std::optional<std::size_t> best;
     for (std::size_t i = 0; i < ready_.size(); ++i)
-      if (impl_of(i) == *fabric_impl &&
+      if (eligible(ready_[i], capabilities) && key_of(ready_[i]) == *fabric_impl &&
           (!best || ready_[i].ready_seq < ready_[*best].ready_seq))
         best = i;
     if (best) return *best;
   }
 
-  // Forced switch: pick the configuration with the most ready streams so
-  // the switch is amortized over the largest batch; oldest stream within.
-  // A fabric whose run cap is exhausted must actually rotate away from its
-  // active configuration (unless nothing else is ready), otherwise the cap
-  // bounds nothing when the active config also has the largest group.
+  // Forced switch: pick the configuration with the most eligible ready
+  // jobs so the switch is amortized over the largest batch; oldest job
+  // within. A fabric whose run cap is exhausted must actually rotate away
+  // from its active configuration (unless nothing else is eligible),
+  // otherwise the cap bounds nothing when the active config also has the
+  // largest group.
   const bool must_rotate =
       fabric_impl && run.impl == *fabric_impl && run.length >= config_.max_affinity_run &&
-      std::any_of(ready_.begin(), ready_.end(),
-                  [&](const Ready& r) {
-                    return streams_[static_cast<std::size_t>(r.stream_id)].impl_name !=
-                           *fabric_impl;
-                  });
+      std::any_of(ready_.begin(), ready_.end(), [&](const Ready& r) {
+        return eligible(r, capabilities) && key_of(r) != *fabric_impl;
+      });
   std::map<std::string, int> group_size;
-  for (std::size_t i = 0; i < ready_.size(); ++i) ++group_size[impl_of(i)];
+  for (std::size_t i = 0; i < ready_.size(); ++i)
+    if (eligible(ready_[i], capabilities)) ++group_size[key_of(ready_[i])];
   std::optional<std::size_t> chosen;
   int chosen_size = -1;
   for (std::size_t i = 0; i < ready_.size(); ++i) {
-    if (must_rotate && impl_of(i) == *fabric_impl) continue;
-    const int size = group_size[impl_of(i)];
+    if (!eligible(ready_[i], capabilities)) continue;
+    if (must_rotate && key_of(ready_[i]) == *fabric_impl) continue;
+    const int size = group_size[key_of(ready_[i])];
     if (size > chosen_size ||
         (size == chosen_size && ready_[i].ready_seq < ready_[*chosen].ready_seq)) {
       chosen = i;
       chosen_size = size;
     }
   }
-  return *chosen;
+  return chosen;
+}
+
+void JobQueue::enqueue_locked(int stream_id, StageKind stage, int frame_index) {
+  const auto now = std::chrono::steady_clock::now();
+  ready_.push_back({stream_id, stage, frame_index, dispatch_seq_, now});
+  if (config_.mode == DispatchMode::kStagePipeline) {
+    // The frame's first stage job (ME for inter frames, DCT/quant for the
+    // intra frame) starts its latency clock.
+    if (stage == StageKind::kMotionEstimation ||
+        (stage == StageKind::kTransformQuant && frame_index == 0))
+      streams_[static_cast<std::size_t>(stream_id)]
+          .pipeline[static_cast<std::size_t>(frame_index)]
+          .first_ready = now;
+  }
+}
+
+void JobQueue::advance_me_lane_locked(int stream_id) {
+  StreamJob& s = streams_[static_cast<std::size_t>(stream_id)];
+  Lane& lane = lanes_[static_cast<std::size_t>(stream_id)];
+  if (lane.me_busy) return;
+  if (lane.me_next >= static_cast<int>(s.frames.size())) return;
+  // Open-loop ME searches the previous original frame, so the only
+  // dependency is the lookahead window: ME may run at most
+  // pipeline_lookahead frames ahead of the reconstruction lane.
+  if (lane.me_next > s.next_frame + config_.pipeline_lookahead) return;
+  lane.me_busy = true;
+  enqueue_locked(stream_id, StageKind::kMotionEstimation, lane.me_next);
+  ++lane.me_next;
+}
+
+void JobQueue::advance_dct_lane_locked(int stream_id) {
+  StreamJob& s = streams_[static_cast<std::size_t>(stream_id)];
+  Lane& lane = lanes_[static_cast<std::size_t>(stream_id)];
+  if (lane.dct_busy) return;
+  if (lane.dct_frame >= static_cast<int>(s.frames.size())) return;
+  // DCT/quant of frame k needs frame k's motion vectors (inter frames
+  // only; the intra frame 0 has none).
+  if (lane.dct_frame > 0 && lane.me_done_upto < lane.dct_frame) return;
+  lane.dct_busy = true;
+  enqueue_locked(stream_id, StageKind::kTransformQuant, lane.dct_frame);
 }
 
 std::optional<FrameTask> JobQueue::acquire(int fabric_id,
-                                           const std::optional<std::string>& fabric_impl) {
+                                           const std::optional<std::string>& fabric_impl,
+                                           unsigned capabilities) {
   std::unique_lock lock(mutex_);
-  cv_.wait(lock, [&] { return !ready_.empty() || remaining_streams_ == 0; });
-  if (ready_.empty()) return std::nullopt;
+  const auto has_eligible = [&] {
+    return std::any_of(ready_.begin(), ready_.end(),
+                       [&](const Ready& r) { return eligible(r, capabilities); });
+  };
+  const auto work_possible = [&] {
+    return ((capabilities & kCapMotionEstimation) != 0 && me_jobs_left_ > 0) ||
+           ((capabilities & kCapDctTransform) != 0 && dct_jobs_left_ > 0);
+  };
+  cv_.wait(lock, [&] { return has_eligible() || !work_possible(); });
+  if (!has_eligible()) return std::nullopt;
 
   ++dispatch_seq_;
   if (fabric_id >= static_cast<int>(runs_.size()))
     runs_.resize(static_cast<std::size_t>(fabric_id) + 1);
   FabricRun& run = runs_[static_cast<std::size_t>(fabric_id)];
 
-  const std::size_t chosen = pick_locked(fabric_impl, run);
-  const Ready entry = ready_[chosen];
-  ready_[chosen] = ready_.back();
+  const std::optional<std::size_t> chosen = pick_locked(fabric_impl, run, capabilities);
+  const Ready entry = ready_[*chosen];
+  ready_[*chosen] = ready_.back();
   ready_.pop_back();
 
-  StreamJob& stream = streams_[static_cast<std::size_t>(entry.stream_id)];
-  if (run.impl == stream.impl_name) {
+  const std::string key = context_for(entry.stage, entry.stream_id);
+  if (run.impl == key) {
     ++run.length;
   } else {
-    run = {stream.impl_name, 1};
+    run = {key, 1};
   }
 
   const std::uint64_t wait = dispatch_seq_ - 1 - entry.ready_seq;
   max_wait_ = std::max(max_wait_, wait);
 
+  auto& jobs_left =
+      kernel_of(entry.stage) == kCapMotionEstimation ? me_jobs_left_ : dct_jobs_left_;
+  --jobs_left;
+  if (jobs_left == 0) cv_.notify_all();  // capability-starved workers may now exit
+
+  events_.push_back(
+      {++event_tick_, true, entry.stream_id, entry.frame_index, fabric_id, entry.stage});
+
   FrameTask task;
   task.stream_id = entry.stream_id;
-  task.frame_index = stream.next_frame;
+  task.frame_index = entry.frame_index;
+  task.stage = entry.stage;
   task.wait_dispatches = wait;
   task.ready_time = entry.ready_time;
   return task;
 }
 
-void JobQueue::complete(const FrameTask& task) {
+void JobQueue::complete(const FrameTask& task, int fabric_id) {
   std::lock_guard lock(mutex_);
+  events_.push_back(
+      {++event_tick_, false, task.stream_id, task.frame_index, fabric_id, task.stage});
   StreamJob& stream = streams_[static_cast<std::size_t>(task.stream_id)];
-  ++stream.next_frame;
-  if (stream.finished()) {
-    --remaining_streams_;
-  } else {
-    ready_.push_back({task.stream_id, dispatch_seq_, std::chrono::steady_clock::now()});
+  Lane& lane = lanes_[static_cast<std::size_t>(task.stream_id)];
+
+  switch (task.stage) {
+    case StageKind::kWholeFrame:
+      ++stream.next_frame;
+      if (!stream.finished())
+        enqueue_locked(task.stream_id, StageKind::kWholeFrame, stream.next_frame);
+      break;
+    case StageKind::kMotionEstimation:
+      lane.me_done_upto = task.frame_index;
+      lane.me_busy = false;
+      advance_dct_lane_locked(task.stream_id);  // TQ(frame) may have been blocked on us
+      advance_me_lane_locked(task.stream_id);
+      break;
+    case StageKind::kTransformQuant:
+      enqueue_locked(task.stream_id, StageKind::kReconstructEntropy, task.frame_index);
+      break;
+    case StageKind::kReconstructEntropy:
+      ++stream.next_frame;  // the frame is fully encoded
+      lane.dct_busy = false;
+      lane.dct_frame = task.frame_index + 1;
+      advance_dct_lane_locked(task.stream_id);
+      advance_me_lane_locked(task.stream_id);  // the lookahead window moved
+      break;
   }
   cv_.notify_all();
+}
+
+std::string JobQueue::required_context(const FrameTask& task) const {
+  return context_for(task.stage, task.stream_id);
 }
 
 std::uint64_t JobQueue::dispatches() const {
@@ -126,6 +254,11 @@ std::uint64_t JobQueue::dispatches() const {
 std::uint64_t JobQueue::max_wait_dispatches() const {
   std::lock_guard lock(mutex_);
   return max_wait_;
+}
+
+std::vector<StageEvent> JobQueue::timeline() const {
+  std::lock_guard lock(mutex_);
+  return events_;
 }
 
 }  // namespace dsra::runtime

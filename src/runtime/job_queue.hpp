@@ -1,21 +1,39 @@
-// Lock-guarded frame-task queue with configuration-affinity batching.
+// Lock-guarded stage-task queue with configuration-affinity batching.
 //
-// The queue hands one frame of one stream to one fabric at a time; a
-// stream re-enters the ready set when its in-flight frame completes, so
-// frame order within a stream is preserved while streams interleave
-// freely. Two policies:
+// The queue hands one stage job of one stream to one fabric at a time.
+// Two dispatch modes:
 //
-//  * kRoundRobin — serve the longest-waiting ready stream, ignoring which
+//  * kMonolithicFrames — the legacy frame-granularity server: one job per
+//    frame, ME runs inline on the worker, only the DCT kernel is needed.
+//    A stream re-enters the ready set when its in-flight frame completes.
+//  * kStagePipeline — each frame is split into ME -> DCT/quant ->
+//    reconstruct stage jobs with the data dependencies made explicit:
+//    frame k's DCT/quant needs frame k's motion vectors and frame k-1's
+//    reconstruction; frame k's reconstruct needs frame k's levels. Motion
+//    estimation searches the previous *original* frame (open-loop), so
+//    frame k+1's ME only needs frame k to exist — it overlaps frame k's
+//    DCT/quant on a different fabric. pipeline_lookahead bounds how many
+//    frames ME may run ahead of reconstruction.
+//
+// Within either mode, two scheduling policies:
+//
+//  * kRoundRobin — serve the longest-waiting eligible job, ignoring which
 //    bitstream the fabric currently runs. Maximal interleave, maximal
 //    configuration-port thrash; the naive baseline.
-//  * kAffinityBatched — prefer ready streams whose required bitstream
-//    matches the fabric's active configuration, so consecutive frames
-//    amortize one switch. Two fairness valves bound the batching: a run
-//    cap (max_affinity_run consecutive same-config dispatches per fabric)
-//    and ageing (a stream that has waited more than aging_threshold
-//    dispatches is served next regardless of affinity). When a fabric must
-//    switch anyway, it switches to the configuration with the most ready
-//    streams, setting up the largest next batch.
+//  * kAffinityBatched — prefer jobs whose required bitstream (the
+//    stream's DCT context, or the shared ME context for ME jobs) matches
+//    the fabric's active configuration, so consecutive jobs amortize one
+//    switch. Two fairness valves bound the batching: a run cap
+//    (max_affinity_run consecutive same-config dispatches per fabric) and
+//    ageing — checked on *every* dispatch, not just at batch boundaries,
+//    so a starving low-affinity stream is served mid-batch the moment its
+//    wait reaches aging_threshold. When a fabric must switch anyway, it
+//    switches to the configuration with the most eligible ready jobs,
+//    setting up the largest next batch.
+//
+// Fabrics advertise kernel capabilities; a job is only eligible on a
+// fabric whose capability mask covers its stage's kernel, and a worker
+// exits once no job its fabric could ever run remains.
 #pragma once
 
 #include <condition_variable>
@@ -30,37 +48,51 @@
 namespace dsra::runtime {
 
 enum class SchedulingPolicy { kRoundRobin, kAffinityBatched };
+enum class DispatchMode { kMonolithicFrames, kStagePipeline };
 
 [[nodiscard]] std::string to_string(SchedulingPolicy policy);
+[[nodiscard]] std::string to_string(DispatchMode mode);
 
 struct JobQueueConfig {
   SchedulingPolicy policy = SchedulingPolicy::kAffinityBatched;
+  DispatchMode mode = DispatchMode::kMonolithicFrames;
   int max_affinity_run = 16;  ///< consecutive same-config dispatches per fabric
-  std::uint64_t aging_threshold = 64;  ///< dispatches a stream may wait
+  std::uint64_t aging_threshold = 64;  ///< dispatches a job may wait
+  int pipeline_lookahead = 1;  ///< frames ME may run ahead of reconstruction
 };
 
 class JobQueue {
  public:
-  /// @p streams is shared with the workers; the queue only reads
-  /// impl_name / frame count and advances next_frame on completion.
+  /// @p streams is shared with the workers; the queue reads impl_name /
+  /// frame counts, advances the per-stream lane bookkeeping on completion
+  /// and (in stage mode) sizes each stream's pipeline state.
   JobQueue(std::vector<StreamJob>& streams, JobQueueConfig config = {});
 
-  /// Block until a frame task is available for @p fabric_id (whose active
-  /// bitstream is @p fabric_impl) or all streams have drained; nullopt
-  /// means the worker should exit.
+  /// Block until a job is available that @p capabilities can run (the
+  /// fabric's active bitstream is @p fabric_impl) or no such job can ever
+  /// appear again; nullopt means the worker should exit.
   [[nodiscard]] std::optional<FrameTask> acquire(
-      int fabric_id, const std::optional<std::string>& fabric_impl);
+      int fabric_id, const std::optional<std::string>& fabric_impl,
+      unsigned capabilities = kCapAllKernels);
 
-  /// Mark @p task's frame done; re-enqueues the stream's next frame (or
-  /// retires the stream).
-  void complete(const FrameTask& task);
+  /// Mark @p task done on @p fabric_id; releases the jobs the completion
+  /// unblocks (next stage, next frame, or the ME window advancing).
+  void complete(const FrameTask& task, int fabric_id);
+
+  /// Bitstream a task must have active before running.
+  [[nodiscard]] std::string required_context(const FrameTask& task) const;
 
   [[nodiscard]] std::uint64_t dispatches() const;
   [[nodiscard]] std::uint64_t max_wait_dispatches() const;
 
+  /// Dispatch/completion event log (call after the run has drained).
+  [[nodiscard]] std::vector<StageEvent> timeline() const;
+
  private:
   struct Ready {
     int stream_id = 0;
+    StageKind stage = StageKind::kWholeFrame;
+    int frame_index = 0;
     std::uint64_t ready_seq = 0;  ///< dispatch count when it became ready
     std::chrono::steady_clock::time_point ready_time;
   };
@@ -68,11 +100,30 @@ class JobQueue {
     std::string impl;
     int length = 0;
   };
+  /// Per-stream pipeline lanes (stage mode only). The ME lane walks
+  /// frames 1..n-1; the DCT lane alternates TQ/reconstruct per frame.
+  struct Lane {
+    int me_next = 1;        ///< next frame to enqueue for ME
+    int me_done_upto = 0;   ///< ME complete for frames [1, me_done_upto]
+    bool me_busy = false;   ///< an ME job is ready or in flight
+    int dct_frame = 0;      ///< frame the DCT lane works on
+    bool dct_busy = false;  ///< a DCT-lane job is ready or in flight
+  };
 
-  /// Index into ready_ of the task to serve; requires ready_ non-empty
-  /// and mutex_ held.
-  [[nodiscard]] std::size_t pick_locked(const std::optional<std::string>& fabric_impl,
-                                        FabricRun& run) const;
+  /// Bitstream a (stage, stream) job runs under — the affinity key and
+  /// the context the worker prepares, by construction the same thing.
+  [[nodiscard]] const std::string& context_for(StageKind stage, int stream_id) const;
+  [[nodiscard]] bool eligible(const Ready& entry, unsigned capabilities) const;
+
+  /// Index into ready_ of the job to serve among those @p capabilities can
+  /// run; nullopt when none is eligible. Requires mutex_ held.
+  [[nodiscard]] std::optional<std::size_t> pick_locked(
+      const std::optional<std::string>& fabric_impl, const FabricRun& run,
+      unsigned capabilities) const;
+
+  void enqueue_locked(int stream_id, StageKind stage, int frame_index);
+  void advance_me_lane_locked(int stream_id);
+  void advance_dct_lane_locked(int stream_id);
 
   std::vector<StreamJob>& streams_;
   JobQueueConfig config_;
@@ -81,9 +132,13 @@ class JobQueue {
   std::condition_variable cv_;
   std::vector<Ready> ready_;
   std::vector<FabricRun> runs_;  ///< indexed by fabric id (grown on demand)
-  int remaining_streams_ = 0;    ///< streams with frames left (ready or in flight)
+  std::vector<Lane> lanes_;      ///< indexed by stream id (stage mode)
+  std::uint64_t me_jobs_left_ = 0;   ///< undispatched ME-kernel jobs
+  std::uint64_t dct_jobs_left_ = 0;  ///< undispatched DCT-kernel jobs
   std::uint64_t dispatch_seq_ = 0;
   std::uint64_t max_wait_ = 0;
+  std::uint64_t event_tick_ = 0;
+  std::vector<StageEvent> events_;
 };
 
 }  // namespace dsra::runtime

@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "runtime/sim_schedule.hpp"
 #include "video/codec.hpp"
 
 namespace dsra::runtime {
@@ -19,49 +20,118 @@ double ms_since(std::chrono::steady_clock::time_point start) {
 
 MultiStreamScheduler::MultiStreamScheduler(const DctLibrary& library, SchedulerConfig config)
     : library_(library), config_(config) {
-  if (config_.fabrics <= 0) throw std::invalid_argument("scheduler needs >= 1 fabric");
+  if (config_.fabric_configs.empty() && config_.fabrics <= 0)
+    throw std::invalid_argument("scheduler needs >= 1 fabric");
 }
 
 RunReport MultiStreamScheduler::run(std::vector<StreamJob>& streams) {
-  for (const StreamJob& s : streams)
+  bool needs_me_kernel = false;
+  for (const StreamJob& s : streams) {
     if (library_.impl(s.impl_name) == nullptr)
       throw std::invalid_argument("stream '" + s.config.name +
                                   "' wants unknown implementation '" + s.impl_name + "'");
+    // Remaining inter frames need the ME kernel; frame 0 is intra and
+    // already-encoded frames (a resumed stream) dispatch nothing.
+    if (static_cast<int>(s.frames.size()) > std::max(1, s.next_frame))
+      needs_me_kernel = true;
+  }
 
-  FabricPool pool(config_.fabrics, library_, config_.fabric);
+  FabricPool pool = config_.fabric_configs.empty()
+                        ? FabricPool(config_.fabrics, library_, config_.fabric)
+                        : FabricPool(config_.fabric_configs, library_);
+  const unsigned pool_caps = pool.combined_capabilities();
+  if ((pool_caps & kCapDctTransform) == 0)
+    throw std::invalid_argument("no fabric in the pool hosts the DCT/transform kernel");
+  if (config_.queue.mode == DispatchMode::kStagePipeline && needs_me_kernel &&
+      (pool_caps & kCapMotionEstimation) == 0)
+    throw std::invalid_argument(
+        "stage pipeline needs a motion-estimation-capable fabric for inter frames");
+
   JobQueue queue(streams, config_.queue);
+  std::vector<double> busy_ms(static_cast<std::size_t>(pool.size()), 0.0);
   const auto wall_start = std::chrono::steady_clock::now();
 
   const auto worker = [&](int fabric_id) {
     Fabric& fabric = pool.at(fabric_id);
     const video::MotionSearchFn me_fn = me::systolic_search_fn(config_.me);
-    while (auto task = queue.acquire(fabric.id(), fabric.active())) {
+    double& busy = busy_ms[static_cast<std::size_t>(fabric_id)];
+    while (auto task = queue.acquire(fabric.id(), fabric.active(), fabric.capabilities())) {
+      const auto job_start = std::chrono::steady_clock::now();
       StreamJob& stream = streams[static_cast<std::size_t>(task->stream_id)];
+      const int f = task->frame_index;
+      const video::Frame& frame = stream.frames[static_cast<std::size_t>(f)];
+      const std::uint64_t reconfig_cycles = fabric.prepare(queue.required_context(*task));
 
-      FrameRecord record;
-      record.frame_index = task->frame_index;
-      record.fabric_id = fabric.id();
-      record.wait_dispatches = task->wait_dispatches;
-      record.reconfig_cycles = fabric.prepare(stream.impl_name);
-
-      const video::ToyEncoder encoder(fabric.active_impl(), me_fn, stream.config.codec);
-      record.stats = encoder.encode_frame(
-          stream.frames[static_cast<std::size_t>(task->frame_index)], stream.recon_state);
-      record.latency_ms = ms_since(task->ready_time);
-
-      stream.records.push_back(record);
-      queue.complete(*task);
+      if (task->stage == StageKind::kWholeFrame) {
+        FrameRecord record;
+        record.frame_index = f;
+        record.fabric_id = fabric.id();
+        record.wait_dispatches = task->wait_dispatches;
+        record.reconfig_cycles = reconfig_cycles;
+        const video::ToyEncoder encoder(fabric.active_impl(), me_fn, stream.config.codec);
+        // Open-loop ME (search the previous original frame) keeps the
+        // monolithic job the bit-exact twin of the stage pipeline.
+        const video::Frame* search_ref =
+            f > 0 ? &stream.frames[static_cast<std::size_t>(f - 1)] : nullptr;
+        record.stats = encoder.encode_frame(frame, search_ref, stream.recon_state);
+        record.latency_ms = ms_since(task->ready_time);
+        stream.records.push_back(record);
+      } else {
+        FramePipelineState& state = stream.pipeline[static_cast<std::size_t>(f)];
+        state.reconfig_cycles += reconfig_cycles;
+        state.max_wait_dispatches =
+            std::max(state.max_wait_dispatches, task->wait_dispatches);
+        const video::ToyEncoder encoder(fabric.active_impl(), me_fn, stream.config.codec);
+        switch (task->stage) {
+          case StageKind::kMotionEstimation: {
+            state.me_fabric_id = fabric.id();
+            state.motion = encoder.run_motion_stage(
+                frame, &stream.frames[static_cast<std::size_t>(f - 1)]);
+            break;
+          }
+          case StageKind::kTransformQuant: {
+            state.tq_fabric_id = fabric.id();
+            const video::Frame* mc_ref = f > 0 ? &stream.recon_state : nullptr;
+            state.transform = encoder.run_transform_stage(frame, mc_ref, state.motion);
+            break;
+          }
+          case StageKind::kReconstructEntropy: {
+            FrameRecord record;
+            record.frame_index = f;
+            record.fabric_id = fabric.id();
+            record.me_fabric_id = state.me_fabric_id;
+            record.tq_fabric_id = state.tq_fabric_id;
+            video::Frame recon;
+            record.stats =
+                encoder.run_reconstruct_stage(frame, state.motion, state.transform, recon);
+            stream.recon_state = std::move(recon);
+            record.reconfig_cycles = state.reconfig_cycles;
+            record.wait_dispatches = state.max_wait_dispatches;
+            record.latency_ms = ms_since(state.first_ready);
+            stream.records.push_back(record);
+            // Frame done: the carried prediction/levels are dead weight.
+            state.motion = video::MotionStageResult{};
+            state.transform = video::TransformStageResult{};
+            break;
+          }
+          default:
+            break;
+        }
+      }
+      busy += ms_since(job_start);
+      queue.complete(*task, fabric.id());
     }
   };
 
   std::vector<std::thread> threads;
-  threads.reserve(static_cast<std::size_t>(config_.fabrics));
-  for (int f = 0; f < config_.fabrics; ++f) threads.emplace_back(worker, f);
+  threads.reserve(static_cast<std::size_t>(pool.size()));
+  for (int f = 0; f < pool.size(); ++f) threads.emplace_back(worker, f);
   for (std::thread& t : threads) t.join();
 
   RunReport report;
   report.policy = to_string(config_.queue.policy);
-  report.fabrics = config_.fabrics;
+  report.mode = to_string(config_.queue.mode);
+  report.fabrics = pool.size();
   report.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
   for (const StreamJob& s : streams) {
@@ -74,11 +144,19 @@ RunReport MultiStreamScheduler::run(std::vector<StreamJob>& streams) {
                                  ? static_cast<double>(report.total_frames) / report.wall_seconds
                                  : 0.0;
   report.total_reconfig_cycles = pool.total_reconfig_cycles();
+  report.me_reconfig_cycles = pool.reconfig_cycles_for_kernel("me");
+  report.dct_reconfig_cycles = pool.reconfig_cycles_for_kernel("dct");
   report.total_switches = pool.total_switches();
   report.cache = pool.cache_totals();
   report.total_fetch_cycles = report.cache.fetch_cycles;
   report.dispatches = queue.dispatches();
   report.max_wait_dispatches = queue.max_wait_dispatches();
+  report.fabric_busy_ms = std::move(busy_ms);
+  report.timeline = queue.timeline();
+  const SimSchedule sim =
+      simulate_timeline(streams, report.timeline, config_.queue.pipeline_lookahead);
+  report.sim_makespan_cycles = sim.makespan_cycles;
+  report.sim_utilization = sim.mean_utilization;
   return report;
 }
 

@@ -1,14 +1,26 @@
 // Reconfiguration-aware multi-stream encode scheduler.
 //
-// Accepts N concurrent encode jobs and drives them frame-at-a-time over a
-// pool of K simulated fabrics, one worker thread per fabric. Every
-// dispatch goes through the JobQueue's policy (config-affinity batching
-// with fairness valves, or naive round-robin as the baseline); every
-// fabric switch pays the measured configuration-port cycles and every
-// context-cache miss pays bus fetch cycles. The returned RunReport carries
-// per-stream latency percentiles plus the aggregate throughput and
-// reconfiguration accounting the acceptance bench compares across
-// policies.
+// Accepts N concurrent encode jobs and drives them over a pool of K
+// simulated fabrics, one worker thread per fabric. Two dispatch modes:
+//
+//  * kMonolithicFrames — frame-at-a-time batch serving (the PR-1 runtime):
+//    one job encodes a whole frame, motion estimation runs inline on the
+//    worker, and only DCT-capable fabrics participate.
+//  * kStagePipeline — each frame is split into the paper's kernel stages
+//    (ME on the systolic array fabric, DCT/quant and reconstruction on
+//    the DA/CORDIC fabric) with frame-level pipelining: frame k+1's ME
+//    overlaps frame k's DCT/quant, and independent streams overlap across
+//    fabrics of different kernel capabilities.
+//
+// Every dispatch goes through the JobQueue's policy (config-affinity
+// batching with fairness valves, or naive round-robin as the baseline);
+// every fabric switch pays the measured configuration-port cycles —
+// charged per kernel, so the ME context loads are visible separately —
+// and every context-cache miss pays bus fetch cycles. The returned
+// RunReport carries per-stream latency percentiles, the stage dispatch
+// timeline, per-fabric busy time and the aggregate throughput and
+// reconfiguration accounting the acceptance benches compare across
+// policies and modes.
 #pragma once
 
 #include <vector>
@@ -21,9 +33,10 @@
 namespace dsra::runtime {
 
 struct SchedulerConfig {
-  int fabrics = 2;
+  int fabrics = 2;  ///< homogeneous pool size (ignored when fabric_configs set)
+  std::vector<FabricConfig> fabric_configs;  ///< heterogeneous pool, one per fabric
   JobQueueConfig queue;
-  FabricConfig fabric;
+  FabricConfig fabric;    ///< template for the homogeneous pool
   me::SystolicParams me;  ///< ME array model the workers search with
 };
 
@@ -35,7 +48,8 @@ class MultiStreamScheduler {
   /// Encode every stream to completion (blocking); @p streams is mutated
   /// in place (reconstructions, per-frame records). Returns the aggregate
   /// report. Streams whose impl_name the library does not know are
-  /// rejected up front with std::invalid_argument.
+  /// rejected up front with std::invalid_argument, as are pools whose
+  /// combined kernel capabilities cannot run the workload.
   RunReport run(std::vector<StreamJob>& streams);
 
  private:

@@ -1,0 +1,122 @@
+#include "runtime/sim_schedule.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+#include <tuple>
+
+namespace dsra::runtime {
+
+namespace {
+
+using JobKey = std::tuple<int, int, StageKind>;
+
+/// Per-frame stats looked up by (stream index, frame) — records need not
+/// start at frame 0 (a resumed stream only carries records of the frames
+/// this run encoded). Timeline events address streams by vector index,
+/// exactly like the queue does.
+std::map<std::pair<int, int>, const video::FrameStats*> index_records(
+    const std::vector<StreamJob>& streams) {
+  std::map<std::pair<int, int>, const video::FrameStats*> out;
+  for (std::size_t k = 0; k < streams.size(); ++k)
+    for (const FrameRecord& r : streams[k].records)
+      out[{static_cast<int>(k), r.frame_index}] = &r.stats;
+  return out;
+}
+
+std::uint64_t duration_of(const video::FrameStats& stats, StageKind stage) {
+  switch (stage) {
+    case StageKind::kWholeFrame:
+      return stats.me_array_cycles + 2 * stats.dct_array_cycles;
+    case StageKind::kMotionEstimation:
+      return stats.me_array_cycles;
+    case StageKind::kTransformQuant:
+    case StageKind::kReconstructEntropy:
+      return stats.dct_array_cycles;
+  }
+  return 0;
+}
+
+}  // namespace
+
+SimSchedule simulate_timeline(const std::vector<StreamJob>& streams,
+                              const std::vector<StageEvent>& timeline,
+                              int pipeline_lookahead) {
+  if (pipeline_lookahead < 0) pipeline_lookahead = 0;
+  SimSchedule schedule;
+  const auto stats_index = index_records(streams);
+  std::map<JobKey, std::uint64_t> end_of;
+  const auto dep_end = [&](int stream, int frame, StageKind stage) -> std::uint64_t {
+    if (frame < 0) return 0;
+    const auto it = end_of.find({stream, frame, stage});
+    return it == end_of.end() ? 0 : it->second;
+  };
+
+  // One forward sweep over the dispatch events in tick order is exact: a
+  // job's dependencies completed before the queue released it, so their
+  // dispatch events — and therefore their simulated end times — precede
+  // this job's dispatch event.
+  std::vector<std::uint64_t> fabric_clock;
+  for (const StageEvent& e : timeline) {
+    if (!e.start) continue;
+    if (e.fabric_id >= static_cast<int>(fabric_clock.size())) {
+      fabric_clock.resize(static_cast<std::size_t>(e.fabric_id) + 1, 0);
+      schedule.fabric_busy_cycles.resize(fabric_clock.size(), 0);
+    }
+
+    std::uint64_t ready = 0;
+    switch (e.stage) {
+      case StageKind::kWholeFrame:
+        ready = dep_end(e.stream_id, e.frame_index - 1, StageKind::kWholeFrame);
+        break;
+      case StageKind::kMotionEstimation:
+        ready = std::max(
+            dep_end(e.stream_id, e.frame_index - 1, StageKind::kMotionEstimation),
+            dep_end(e.stream_id, e.frame_index - 1 - pipeline_lookahead,
+                    StageKind::kReconstructEntropy));
+        break;
+      case StageKind::kTransformQuant:
+        ready = std::max(
+            dep_end(e.stream_id, e.frame_index, StageKind::kMotionEstimation),
+            dep_end(e.stream_id, e.frame_index - 1, StageKind::kReconstructEntropy));
+        break;
+      case StageKind::kReconstructEntropy:
+        ready = dep_end(e.stream_id, e.frame_index, StageKind::kTransformQuant);
+        break;
+    }
+
+    const auto stats_it = stats_index.find({e.stream_id, e.frame_index});
+    if (stats_it == stats_index.end())
+      throw std::invalid_argument("timeline references a frame with no record");
+    const std::uint64_t duration = duration_of(*stats_it->second, e.stage);
+    auto& clock = fabric_clock[static_cast<std::size_t>(e.fabric_id)];
+
+    SimStageJob job;
+    job.stream_id = e.stream_id;
+    job.frame_index = e.frame_index;
+    job.fabric_id = e.fabric_id;
+    job.stage = e.stage;
+    job.start_cycles = std::max(ready, clock);
+    job.end_cycles = job.start_cycles + duration;
+    clock = job.end_cycles;
+    end_of[{e.stream_id, e.frame_index, e.stage}] = job.end_cycles;
+    schedule.fabric_busy_cycles[static_cast<std::size_t>(e.fabric_id)] += duration;
+    schedule.makespan_cycles = std::max(schedule.makespan_cycles, job.end_cycles);
+    schedule.jobs.push_back(job);
+  }
+
+  int active_fabrics = 0;
+  std::uint64_t busy_total = 0;
+  for (const std::uint64_t busy : schedule.fabric_busy_cycles) {
+    if (busy == 0) continue;
+    ++active_fabrics;
+    busy_total += busy;
+  }
+  if (active_fabrics > 0 && schedule.makespan_cycles > 0)
+    schedule.mean_utilization =
+        static_cast<double>(busy_total) /
+        (static_cast<double>(active_fabrics) * static_cast<double>(schedule.makespan_cycles));
+  return schedule;
+}
+
+}  // namespace dsra::runtime

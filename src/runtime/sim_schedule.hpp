@@ -1,0 +1,57 @@
+// Simulated-time reconstruction of a scheduler run.
+//
+// The fabrics are simulated hardware, so throughput claims are made in
+// modeled array cycles, not host wall time (the host may serialize the
+// worker threads on a single core; the modeled arrays do not). This
+// module replays a run's dispatch timeline as a discrete-event schedule:
+// jobs keep the fabric assignment and per-fabric order the scheduler
+// chose, every job costs its modeled array cycles, and a job starts no
+// earlier than its data dependencies completed —
+//
+//   whole frame k : frame k-1 of the same stream
+//   ME k          : ME k-1 (lane order) and reconstruct k-1-lookahead
+//                   (the pipeline window)
+//   DCT/quant k   : ME k and reconstruct k-1 (it predicts from it)
+//   reconstruct k : DCT/quant k
+//
+// The resulting makespan and per-fabric busy cycles are deterministic for
+// a given timeline, which makes pipeline-overlap assertions and bench
+// speedups independent of host load and core count.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/job.hpp"
+
+namespace dsra::runtime {
+
+struct SimStageJob {
+  int stream_id = 0;
+  int frame_index = 0;
+  int fabric_id = -1;
+  StageKind stage = StageKind::kWholeFrame;
+  std::uint64_t start_cycles = 0;
+  std::uint64_t end_cycles = 0;
+};
+
+struct SimSchedule {
+  std::vector<SimStageJob> jobs;
+  std::uint64_t makespan_cycles = 0;
+  std::vector<std::uint64_t> fabric_busy_cycles;  ///< indexed by fabric id
+  /// Mean busy fraction over [0, makespan] across the fabrics that ran
+  /// at least one job.
+  double mean_utilization = 0.0;
+};
+
+/// Replay @p timeline (a RunReport's event log) against the completed
+/// @p streams. Job costs come from the per-frame stats: the ME stage
+/// costs the frame's ME-array cycles, the DCT/quant and reconstruct
+/// stages each cost the frame's DCT-array cycles (forward and inverse
+/// pass), and a whole-frame job costs their sum. @p pipeline_lookahead
+/// must match the queue configuration the run used.
+[[nodiscard]] SimSchedule simulate_timeline(const std::vector<StreamJob>& streams,
+                                            const std::vector<StageEvent>& timeline,
+                                            int pipeline_lookahead = 1);
+
+}  // namespace dsra::runtime

@@ -100,4 +100,49 @@ ReportTable policy_compare_table(const RunReport& a, const RunReport& b) {
   return table;
 }
 
+namespace {
+
+std::string format_busy(const RunReport& r) {
+  std::string out;
+  for (std::size_t f = 0; f < r.fabric_busy_ms.size(); ++f) {
+    const double pct = r.wall_seconds > 0.0
+                           ? 100.0 * r.fabric_busy_ms[f] / (r.wall_seconds * 1000.0)
+                           : 0.0;
+    if (!out.empty()) out += " / ";
+    out += format_double(pct, 0) + "%";
+  }
+  return out.empty() ? "-" : out;
+}
+
+}  // namespace
+
+ReportTable mode_compare_table(const RunReport& a, const RunReport& b) {
+  ReportTable table("Dispatch mode comparison (" + a.mode + " vs " + b.mode + ")");
+  table.set_header({"metric", a.mode, b.mode});
+  const auto row_u64 = [&](const std::string& name, std::uint64_t va, std::uint64_t vb) {
+    table.add_row({name, format_i64(static_cast<std::int64_t>(va)),
+                   format_i64(static_cast<std::int64_t>(vb))});
+  };
+  row_u64("frames", a.total_frames, b.total_frames);
+  row_u64("sim makespan (array cycles)", a.sim_makespan_cycles, b.sim_makespan_cycles);
+  table.add_row({"sim fabric utilization", format_double(100.0 * a.sim_utilization, 0) + "%",
+                 format_double(100.0 * b.sim_utilization, 0) + "%"});
+  table.add_row({"wall seconds", format_double(a.wall_seconds, 3),
+                 format_double(b.wall_seconds, 3)});
+  table.add_row({"host worker busy", format_busy(a), format_busy(b)});
+  row_u64("stage dispatches", a.dispatches, b.dispatches);
+  row_u64("bitstream switches", static_cast<std::uint64_t>(a.total_switches),
+          static_cast<std::uint64_t>(b.total_switches));
+  row_u64("me reconfig cycles", a.me_reconfig_cycles, b.me_reconfig_cycles);
+  row_u64("dct reconfig cycles", a.dct_reconfig_cycles, b.dct_reconfig_cycles);
+  row_u64("context fetch cycles", a.total_fetch_cycles, b.total_fetch_cycles);
+  table.add_separator();
+  const double speedup = b.sim_makespan_cycles > 0
+                             ? static_cast<double>(a.sim_makespan_cycles) /
+                                   static_cast<double>(b.sim_makespan_cycles)
+                             : 0.0;
+  table.add_row({"sim throughput speedup of " + b.mode, "-", format_double(speedup, 2) + "x"});
+  return table;
+}
+
 }  // namespace dsra::runtime

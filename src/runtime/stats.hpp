@@ -40,6 +40,7 @@ struct StreamSummary {
 
 struct RunReport {
   std::string policy;
+  std::string mode;  ///< dispatch mode (monolithic-frames / stage-pipeline)
   int fabrics = 0;
   std::vector<StreamSummary> streams;
   double wall_seconds = 0.0;
@@ -47,11 +48,17 @@ struct RunReport {
   double frames_per_second = 0.0;
   std::uint64_t total_array_cycles = 0;
   std::uint64_t total_reconfig_cycles = 0;  ///< configuration-port cycles
+  std::uint64_t me_reconfig_cycles = 0;     ///< charged against the ME kernel
+  std::uint64_t dct_reconfig_cycles = 0;    ///< charged against the DCT kernel
   std::uint64_t total_fetch_cycles = 0;     ///< context-cache miss bus cycles
   int total_switches = 0;
   ContextCacheStats cache;
   std::uint64_t dispatches = 0;
   std::uint64_t max_wait_dispatches = 0;
+  std::vector<double> fabric_busy_ms;     ///< per-fabric worker busy time
+  std::vector<StageEvent> timeline;       ///< dispatch/completion event log
+  std::uint64_t sim_makespan_cycles = 0;  ///< modeled-array makespan (sim_schedule)
+  double sim_utilization = 0.0;           ///< mean busy fraction of the active fabrics
 };
 
 /// Per-stream table (impl, frames, p50/p95 latency, PSNR, cycles).
@@ -61,5 +68,10 @@ struct RunReport {
 /// (reconfig cycles, switches, cache behaviour, throughput), with a final
 /// "reconfig cycles saved" row of @p b relative to @p a.
 [[nodiscard]] ReportTable policy_compare_table(const RunReport& a, const RunReport& b);
+
+/// Comparison of dispatch modes over the same workload and silicon
+/// (throughput, per-fabric utilization, per-kernel reconfiguration), with
+/// a final throughput speedup row of @p b relative to @p a.
+[[nodiscard]] ReportTable mode_compare_table(const RunReport& a, const RunReport& b);
 
 }  // namespace dsra::runtime

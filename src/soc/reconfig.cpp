@@ -7,11 +7,13 @@
 
 namespace dsra::soc {
 
-void ReconfigManager::store(const std::string& name, std::vector<std::uint8_t> bitstream) {
+void ReconfigManager::store(const std::string& name, std::vector<std::uint8_t> bitstream,
+                            const std::string& kernel) {
   auto& slot = store_[name];
   stored_bytes_ -= slot.size();
   slot = std::move(bitstream);
   stored_bytes_ += slot.size();
+  kernel_of_[name] = kernel;
 }
 
 bool ReconfigManager::evict(const std::string& name) {
@@ -20,8 +22,19 @@ bool ReconfigManager::evict(const std::string& name) {
   const std::size_t freed = it->second.size();
   stored_bytes_ -= freed;
   store_.erase(it);
+  kernel_of_.erase(name);
   if (eviction_hook_) eviction_hook_(name, freed);
   return true;
+}
+
+std::string ReconfigManager::kernel_of(const std::string& name) const {
+  const auto it = kernel_of_.find(name);
+  return it == kernel_of_.end() ? "dct" : it->second;
+}
+
+std::uint64_t ReconfigManager::reconfig_cycles_for_kernel(const std::string& kernel) const {
+  const auto it = cycles_by_kernel_.find(kernel);
+  return it == cycles_by_kernel_.end() ? 0 : it->second;
 }
 
 std::size_t ReconfigManager::bytes(const std::string& name) const {
@@ -50,6 +63,7 @@ std::uint64_t ReconfigManager::activate(const std::string& name) {
   const std::uint64_t cycles = switch_cycles(name);
   active_ = name;
   total_cycles_ += cycles;
+  cycles_by_kernel_[kernel_of(name)] += cycles;
   ++switches_;
   return cycles;
 }

@@ -28,8 +28,12 @@ class ReconfigManager {
   explicit ReconfigManager(ReconfigPortConfig config = {}) : config_(config) {}
 
   /// Register a bitstream under @p name (e.g. "cordic1"). Replaces any
-  /// previously stored stream of the same name.
-  void store(const std::string& name, std::vector<std::uint8_t> bitstream);
+  /// previously stored stream of the same name. @p kernel tags which
+  /// domain-specific array the context configures ("dct", "me", ...);
+  /// activate() charges its cycles against that kernel so per-array
+  /// reconfiguration cost stays visible when one port serves both.
+  void store(const std::string& name, std::vector<std::uint8_t> bitstream,
+             const std::string& kernel = "dct");
 
   /// Drop @p name's bitstream from the store (the fabric keeps whatever
   /// configuration it is currently running; only the stored context goes
@@ -64,9 +68,19 @@ class ReconfigManager {
   [[nodiscard]] std::uint64_t total_reconfig_cycles() const { return total_cycles_; }
   [[nodiscard]] int switches_performed() const { return switches_; }
 
+  /// Kernel tag @p name was stored under; "dct" for unknown names (the
+  /// historical default).
+  [[nodiscard]] std::string kernel_of(const std::string& name) const;
+
+  /// Configuration-port cycles charged while activating contexts of
+  /// @p kernel; 0 for kernels never activated.
+  [[nodiscard]] std::uint64_t reconfig_cycles_for_kernel(const std::string& kernel) const;
+
  private:
   ReconfigPortConfig config_;
   std::map<std::string, std::vector<std::uint8_t>> store_;
+  std::map<std::string, std::string> kernel_of_;
+  std::map<std::string, std::uint64_t> cycles_by_kernel_;
   std::optional<std::string> active_;
   std::uint64_t total_cycles_ = 0;
   std::size_t stored_bytes_ = 0;

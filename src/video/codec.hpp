@@ -5,9 +5,25 @@
 // dequantise -> inverse DCT -> reconstruct. The 1-D DCT runs through any
 // of the paper's array implementations; motion search is injected
 // (full-search systolic, three-step, ... from the ME library).
+//
+// The per-frame work is decomposed into the three stages the paper maps
+// onto separate domain-specific arrays:
+//
+//   MotionEstimationStage   (systolic ME array)   -> motion vectors
+//   TransformQuantStage     (DA/CORDIC array)     -> levels + prediction
+//   ReconstructEntropyStage (DA/CORDIC array)     -> reconstruction + stats
+//
+// The monolithic encode_intra/encode_inter/encode_frame entry points are
+// thin wrappers that run the stages back to back, so a scheduler that
+// dispatches the stages separately produces bit-identical FrameStats and
+// reconstructions. Motion estimation searches an explicit reference frame;
+// passing the previous *original* frame (open-loop ME) removes the data
+// dependency on the previous reconstruction, which is what lets frame
+// k+1's ME overlap frame k's DCT/quant on a different fabric.
 #pragma once
 
 #include <optional>
+#include <vector>
 
 #include "dct/dct2d.hpp"
 #include "video/metrics.hpp"
@@ -32,16 +48,62 @@ struct FrameStats {
   double mean_abs_mv = 0.0;
 };
 
+/// Output of the motion-estimation stage: one vector per macroblock in
+/// raster order, plus the ME-array cycle and bit accounting. Empty mvs
+/// means intra (no reference).
+struct MotionStageResult {
+  std::vector<MotionVector> mvs;
+  double mv_bits = 0.0;
+  double abs_mv_sum = 0.0;
+  int mv_count = 0;
+  std::uint64_t me_array_cycles = 0;
+};
+
+/// Output of the transform/quantise stage: quantised levels per 8x8 block
+/// in coding order, the motion-compensated prediction (empty for intra),
+/// and the bit/cycle accounting of the forward transform path.
+struct TransformStageResult {
+  std::vector<QBlock> levels;
+  Frame prediction;
+  double bits = 0.0;
+  int blocks_coded = 0;
+  std::uint64_t dct_array_cycles = 0;
+};
+
 class ToyEncoder {
  public:
   /// @p impl may be null: the double-precision reference DCT is used.
   ToyEncoder(const dct::DctImplementation* impl, MotionSearchFn motion_search,
              CodecConfig config);
 
+  /// --- pipeline stages ----------------------------------------------------
+
+  /// Stage 1: motion-estimate @p frame against @p search_ref (one vector
+  /// per macroblock). Null or empty @p search_ref means intra: the result
+  /// is empty and the later stages code the frame without prediction.
+  [[nodiscard]] MotionStageResult run_motion_stage(const Frame& frame,
+                                                   const Frame* search_ref) const;
+
+  /// Stage 2: motion-compensate against @p mc_ref using @p motion's
+  /// vectors, then forward-DCT and quantise every 8x8 block. @p mc_ref
+  /// null/empty selects the intra path (requires @p motion empty).
+  [[nodiscard]] TransformStageResult run_transform_stage(
+      const Frame& frame, const Frame* mc_ref, const MotionStageResult& motion) const;
+
+  /// Stage 3: dequantise, inverse-DCT, reconstruct into @p recon and
+  /// assemble the frame's stats from all three stages.
+  [[nodiscard]] FrameStats run_reconstruct_stage(const Frame& frame,
+                                                 const MotionStageResult& motion,
+                                                 const TransformStageResult& transform,
+                                                 Frame& recon) const;
+
+  /// --- monolithic wrappers (run the stages back to back) -------------------
+
   /// Encode an intra frame; returns stats and writes the reconstruction.
   FrameStats encode_intra(const Frame& frame, Frame& recon) const;
 
-  /// Encode an inter frame against @p ref_recon.
+  /// Encode an inter frame against @p ref_recon (closed-loop: the same
+  /// reconstruction is searched and compensated).
   FrameStats encode_inter(const Frame& frame, const Frame& ref_recon, Frame& recon) const;
 
   /// Frame-at-a-time driver for schedulers: @p recon_state carries the
@@ -52,14 +114,24 @@ class ToyEncoder {
   /// interleaved streams as long as each stream keeps its own state.
   FrameStats encode_frame(const Frame& frame, Frame& recon_state) const;
 
+  /// Frame-at-a-time driver with an explicit motion-search reference
+  /// (open-loop ME when @p search_ref is the previous original frame).
+  /// Prediction still compensates against @p recon_state, so this is the
+  /// monolithic twin of the stage pipeline: identical stats and
+  /// reconstruction, bit for bit. Null @p search_ref falls back to
+  /// searching @p recon_state.
+  FrameStats encode_frame(const Frame& frame, const Frame* search_ref,
+                          Frame& recon_state) const;
+
   /// Encode a whole sequence (first frame intra); returns per-frame stats.
   [[nodiscard]] std::vector<FrameStats> encode_sequence(const std::vector<Frame>& frames) const;
 
  private:
-  /// Transform, quantise, estimate bits, reconstruct one 8x8 residual
-  /// block located at (bx, by) of @p residual; adds into @p recon.
-  double code_block(const std::array<std::array<int, 8>, 8>& block,
-                    std::array<std::array<int, 8>, 8>& recon_block) const;
+  /// Forward-DCT, quantise and bit-estimate one 8x8 block.
+  QBlock transform_block(const dct::PixelBlock& block, double& bits) const;
+
+  /// Dequantise and inverse-DCT one 8x8 level block.
+  void reconstruct_block(const QBlock& levels, std::array<std::array<int, 8>, 8>& rb) const;
 
   const dct::DctImplementation* impl_;
   MotionSearchFn motion_search_;

@@ -1,12 +1,14 @@
 // Multi-stream encode runtime: bounded bitstream context cache,
-// config-affinity batching vs naive round-robin, and scheduler fairness
-// (ageing valve) under concurrent fabrics.
+// config-affinity batching vs naive round-robin, scheduler fairness
+// (ageing valve) under concurrent fabrics, and a randomized stress test
+// over the stage pipeline.
 #include <gtest/gtest.h>
 
 #include <map>
 #include <string>
 #include <vector>
 
+#include "common/rng.hpp"
 #include "runtime/scheduler.hpp"
 
 namespace dsra::runtime {
@@ -215,6 +217,131 @@ TEST(Scheduler, RejectsUnknownImplementation) {
   cfg.fabrics = 1;
   MultiStreamScheduler scheduler(library(), cfg);
   EXPECT_THROW((void)scheduler.run(jobs), std::invalid_argument);
+}
+
+TEST(Scheduler, StarvingLowAffinityStreamIsServedMidBatch) {
+  // Six streams share the dominant bitstream and one stream wants another;
+  // the run cap is effectively infinite, so the dominant batch never ends
+  // on its own. Only a mid-batch ageing valve can serve the minority
+  // stream — if ageing applied at batch boundaries alone, it would starve
+  // until the whole dominant group drained.
+  std::vector<StreamJob> jobs;
+  for (int k = 0; k < 7; ++k) {
+    StreamConfig cfg;
+    cfg.name = "s" + std::to_string(k);
+    cfg.width = 32;
+    cfg.height = 32;
+    cfg.frame_budget = 6;
+    cfg.condition = k < 6 ? soc::RuntimeCondition{1.0, 1.0}   // cordic1
+                          : soc::RuntimeCondition{0.1, 0.9};  // scc_full
+    cfg.codec.me_range = 4;
+    cfg.seed = 900 + static_cast<std::uint64_t>(k);
+    jobs.push_back(make_synthetic_job(k, cfg));
+  }
+  SchedulerConfig cfg;
+  cfg.fabrics = 1;
+  cfg.queue.policy = SchedulingPolicy::kAffinityBatched;
+  cfg.queue.max_affinity_run = 1000000;  // the batch never ends by itself
+  cfg.queue.aging_threshold = 4;
+  const RunReport report = MultiStreamScheduler(library(), cfg).run(jobs);
+
+  EXPECT_EQ(report.total_frames, 42u);
+  EXPECT_EQ(report.streams[6].frames, 6);
+  // Every service of the minority stream came from the valve firing
+  // mid-batch, so its wait is bounded by the threshold plus the backlog
+  // of streams that aged simultaneously — not by the (unbounded) batch.
+  EXPECT_LE(report.streams[6].max_wait_dispatches,
+            cfg.queue.aging_threshold + static_cast<std::uint64_t>(jobs.size()));
+  // And it was genuinely interleaved: it finished before the dominant
+  // group's last frame, not after the batch drained.
+  std::uint64_t minority_last_end = 0, dominant_last_end = 0;
+  for (const StageEvent& e : report.timeline) {
+    if (e.start) continue;
+    if (e.stream_id == 6)
+      minority_last_end = std::max(minority_last_end, e.tick);
+    else
+      dominant_last_end = std::max(dominant_last_end, e.tick);
+  }
+  EXPECT_LT(minority_last_end, dominant_last_end);
+}
+
+TEST(Scheduler, RandomizedPipelineStressKeepsEveryFrameExactlyOnce) {
+  // Hundreds of stage jobs over a mixed heterogeneous pool with a tight
+  // context cache: no frame may be lost or duplicated, per-stream frame
+  // order stays monotone, and the cache's byte accounting must balance
+  // with its evictions.
+  Rng rng(20260728);
+  std::vector<StreamJob> jobs;
+  const int sizes[] = {16, 24, 32};
+  int total_frames = 0;
+  for (int k = 0; k < 24; ++k) {
+    StreamConfig cfg;
+    cfg.name = "stress" + std::to_string(k);
+    cfg.width = sizes[rng.next_below(3)];
+    cfg.height = sizes[rng.next_below(3)];
+    cfg.frame_budget = 2 + static_cast<int>(rng.next_below(6));
+    cfg.condition = {rng.next_double(), rng.next_double()};
+    cfg.codec.me_range = 2 + static_cast<int>(rng.next_below(3));
+    cfg.codec.quantiser_scale = 4.0 + rng.next_double() * 12.0;
+    cfg.seed = rng.next_u64();
+    jobs.push_back(make_synthetic_job(k, cfg));
+    total_frames += cfg.frame_budget;
+  }
+
+  SchedulerConfig cfg;
+  FabricConfig me_only, dct_only, both;
+  me_only.capabilities = kCapMotionEstimation;
+  dct_only.capabilities = kCapDctTransform;
+  const std::size_t capacity = library().total_bytes() / 3;
+  dct_only.context_capacity_bytes = capacity;
+  both.context_capacity_bytes = capacity;
+  cfg.fabric_configs = {me_only, dct_only, both};
+  cfg.queue.mode = DispatchMode::kStagePipeline;
+  cfg.queue.max_affinity_run = 4;
+  cfg.queue.aging_threshold = 12;
+  const RunReport report = MultiStreamScheduler(library(), cfg).run(jobs);
+
+  EXPECT_EQ(report.total_frames, static_cast<std::uint64_t>(total_frames));
+  // Every frame dispatches a DCT/quant and a reconstruct job; every frame
+  // but each stream's intra frame also dispatches an ME job.
+  EXPECT_EQ(report.dispatches,
+            static_cast<std::uint64_t>(3 * total_frames - static_cast<int>(jobs.size())));
+  for (const StreamJob& s : jobs) {
+    ASSERT_EQ(s.records.size(), s.frames.size()) << s.config.name;
+    for (std::size_t k = 0; k < s.records.size(); ++k)
+      EXPECT_EQ(s.records[k].frame_index, static_cast<int>(k))
+          << s.config.name << ": lost, duplicated or reordered frame";
+    EXPECT_EQ(s.recon_state.width(), s.config.width) << s.config.name;
+    EXPECT_TRUE(s.finished()) << s.config.name;
+  }
+  // Byte accounting balances: whatever was fetched and not evicted is
+  // still resident, which can never exceed the bounded capacities.
+  EXPECT_GT(report.cache.evictions, 0u);
+  EXPECT_GE(report.cache.bytes_fetched, report.cache.bytes_evicted);
+  EXPECT_LE(report.cache.bytes_fetched - report.cache.bytes_evicted,
+            2 * capacity + library().total_bytes());  // two bounded + one unbounded fabric
+}
+
+TEST(Fabric, CacheByteAccountingBalancesExactly) {
+  FabricConfig cfg;
+  cfg.context_capacity_bytes = library().total_bytes() / 2;
+  Fabric fabric(0, library(), cfg);
+  const char* walk[] = {"cordic1", "scc_full", "mixed_rom", "cordic2",
+                        "cordic1", "da_basic", "scc_full",  "me_systolic"};
+  for (const char* name : walk) (void)fabric.prepare(name);
+  const ContextCacheStats& stats = fabric.cache().stats();
+  EXPECT_GT(stats.evictions, 0u);
+  // fetched - evicted == resident, byte for byte.
+  EXPECT_EQ(stats.bytes_fetched - stats.bytes_evicted,
+            static_cast<std::uint64_t>(fabric.reconfig().stored_bytes()));
+  EXPECT_LE(fabric.reconfig().stored_bytes(), cfg.context_capacity_bytes);
+  // The ME context is charged against the ME kernel, DCT contexts against
+  // the DCT kernel.
+  EXPECT_GT(fabric.reconfig().reconfig_cycles_for_kernel("me"), 0u);
+  EXPECT_GT(fabric.reconfig().reconfig_cycles_for_kernel("dct"), 0u);
+  EXPECT_EQ(fabric.reconfig().reconfig_cycles_for_kernel("me") +
+                fabric.reconfig().reconfig_cycles_for_kernel("dct"),
+            fabric.reconfig().total_reconfig_cycles());
 }
 
 TEST(Stats, PercentilesUseNearestRank) {
