@@ -18,27 +18,84 @@ ContextCache::ContextCache(soc::ReconfigManager& manager, soc::Bus& bus, FetchFn
 
 ContextCache::~ContextCache() { manager_.set_eviction_hook(nullptr); }
 
+std::size_t ContextCache::cached_bytes() const {
+  std::size_t bypass_bytes = 0;
+  for (const auto& [name, bytes] : bypass_) bypass_bytes += bytes;
+  return manager_.stored_bytes() - bypass_bytes;
+}
+
+void ContextCache::evict_down_to(std::size_t budget) {
+  // Evict least-recently-used contexts until the LRU-governed bytes fit
+  // @p budget, but never the context that is active on the fabric: the
+  // hardware is running it, so it must stay backed by a stored stream.
+  auto it = lru_.begin();
+  while (it != lru_.end() && cached_bytes() > budget) {
+    if (manager_.active() && *manager_.active() == *it) {
+      ++it;  // pinned
+      continue;
+    }
+    const std::string victim = *it;
+    ++it;  // advance first: the eviction hook removes victim from lru_
+    manager_.evict(victim);
+  }
+}
+
+void ContextCache::trim() {
+  drop_stale_bypass();
+  if (config_.capacity_bytes > 0) evict_down_to(config_.capacity_bytes);
+}
+
+void ContextCache::drop_stale_bypass() {
+  for (auto it = bypass_.begin(); it != bypass_.end();) {
+    const std::string& name = it->first;
+    if (manager_.active() && *manager_.active() == name) {
+      ++it;  // still running on the fabric: pinned
+    } else {
+      const std::string victim = name;
+      ++it;  // advance first: the eviction hook erases the entry
+      manager_.evict(victim);
+    }
+  }
+}
+
 std::uint64_t ContextCache::touch(const std::string& name) {
   if (manager_.has(name)) {
     ++stats_.hits;
-    lru_.remove(name);
-    lru_.push_back(name);
+    // Bypass-stored contexts live outside the LRU set; refreshing their
+    // recency would smuggle them under the capacity bound.
+    if (bypass_.count(name) == 0) {
+      lru_.remove(name);
+      lru_.push_back(name);
+    }
     return 0;
   }
 
   ++stats_.misses;
   const std::vector<std::uint8_t>& bits = fetch_(name);
-  if (config_.capacity_bytes > 0) {
-    while (!lru_.empty() &&
-           manager_.stored_bytes() + bits.size() > config_.capacity_bytes) {
-      manager_.evict(lru_.front());  // hook removes it from lru_
-    }
+  drop_stale_bypass();
+
+  const bool oversize = config_.capacity_bytes > 0 && bits.size() > config_.capacity_bytes;
+  if (!oversize && config_.capacity_bytes > 0) {
+    const std::size_t budget =
+        config_.capacity_bytes > bits.size() ? config_.capacity_bytes - bits.size() : 0;
+    evict_down_to(budget);
   }
+
   const std::uint64_t cycles = bus_.transfer(bits.size() * 8);
   stats_.bytes_fetched += bits.size();
   stats_.fetch_cycles += cycles;
   manager_.store(name, bits, kernel_of_ ? kernel_of_(name) : "dct");
-  lru_.push_back(name);
+  if (oversize) {
+    // Larger than the whole capacity: the working context must exist, but
+    // it bypasses the LRU set (instead of emptying it) and is dropped as
+    // soon as the fabric switches away. The stat makes the bound breach
+    // explicit instead of silent.
+    ++stats_.oversize_fetches;
+    stats_.bytes_bypassed += bits.size();
+    bypass_.emplace(name, bits.size());
+  } else {
+    lru_.push_back(name);
+  }
   return cycles;
 }
 
@@ -50,6 +107,7 @@ void ContextCache::on_eviction(const std::string& name, std::size_t freed_bytes)
   ++stats_.evictions;
   stats_.bytes_evicted += freed_bytes;
   lru_.remove(name);
+  bypass_.erase(name);
 }
 
 }  // namespace dsra::runtime

@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <functional>
 #include <list>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -31,7 +32,9 @@ struct ContextCacheStats {
   std::uint64_t evictions = 0;
   std::uint64_t bytes_fetched = 0;
   std::uint64_t bytes_evicted = 0;
-  std::uint64_t fetch_cycles = 0;  ///< bus cycles spent on misses
+  std::uint64_t fetch_cycles = 0;       ///< bus cycles spent on misses
+  std::uint64_t oversize_fetches = 0;   ///< fetches larger than the whole capacity
+  std::uint64_t bytes_bypassed = 0;     ///< bytes stored outside the LRU bound
 
   ContextCacheStats& operator+=(const ContextCacheStats& o) {
     hits += o.hits;
@@ -40,6 +43,8 @@ struct ContextCacheStats {
     bytes_fetched += o.bytes_fetched;
     bytes_evicted += o.bytes_evicted;
     fetch_cycles += o.fetch_cycles;
+    oversize_fetches += o.oversize_fetches;
+    bytes_bypassed += o.bytes_bypassed;
     return *this;
   }
 };
@@ -65,10 +70,28 @@ class ContextCache {
   ContextCache& operator=(const ContextCache&) = delete;
 
   /// Make @p name resident in the manager's store, evicting LRU contexts
-  /// as needed (a stream larger than the whole capacity still loads — the
-  /// working context must exist somewhere). Returns the bus cycles charged
-  /// for the fetch; 0 on a hit.
+  /// as needed. Two invariants the eviction loop upholds:
+  ///
+  ///  * The context that is *active* on the fabric is pinned: it is never
+  ///    evicted to make room, because the fabric is running it — evicting
+  ///    it would leave the hardware on a configuration the manager no
+  ///    longer stores (and a later re-activation would be charged
+  ///    nothing).
+  ///  * A stream larger than the whole capacity still loads — the working
+  ///    context must exist somewhere — but it is *bypass-stored*: counted
+  ///    in oversize_fetches/bytes_bypassed, kept outside the LRU set so
+  ///    it does not empty the cache, and dropped again as soon as the
+  ///    fabric has moved on to another configuration.
+  ///
+  /// Returns the bus cycles charged for the fetch; 0 on a hit.
   std::uint64_t touch(const std::string& name);
+
+  /// Re-establish the capacity bound after the fabric switched contexts:
+  /// drops bypass-stored contexts the fabric no longer runs and evicts
+  /// LRU contexts (the now-active one stays pinned) until the cached
+  /// bytes fit again. Fabric::prepare calls this after every activation,
+  /// so the bound only floats while a load is in flight.
+  void trim();
 
   [[nodiscard]] bool resident(const std::string& name) const { return manager_.has(name); }
   [[nodiscard]] const ContextCacheStats& stats() const { return stats_; }
@@ -80,12 +103,24 @@ class ContextCache {
  private:
   void on_eviction(const std::string& name, std::size_t freed_bytes);
 
+  /// Bytes of resident context governed by the LRU bound (bypass-stored
+  /// oversize contexts are excluded — they are accounted separately).
+  [[nodiscard]] std::size_t cached_bytes() const;
+
+  /// Evict LRU contexts, skipping the active one, until cached_bytes()
+  /// fits @p budget (or only the pinned context remains).
+  void evict_down_to(std::size_t budget);
+
+  /// Drop bypass-stored contexts the fabric is no longer running.
+  void drop_stale_bypass();
+
   soc::ReconfigManager& manager_;
   soc::Bus& bus_;
   FetchFn fetch_;
   KernelFn kernel_of_;
   ContextCacheConfig config_;
   std::list<std::string> lru_;  ///< front = LRU, back = MRU
+  std::map<std::string, std::size_t> bypass_;  ///< oversize residents, name -> bytes
   ContextCacheStats stats_;
 };
 

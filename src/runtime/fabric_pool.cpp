@@ -80,7 +80,11 @@ Fabric::Fabric(int id, const DctLibrary& library, const FabricConfig& config)
 
 std::uint64_t Fabric::prepare(const std::string& impl_name) {
   const std::uint64_t fetch_cycles = cache_.touch(impl_name);
-  return fetch_cycles + reconfig_.activate(impl_name);
+  const std::uint64_t switch_cycles = reconfig_.activate(impl_name);
+  // The pre-switch context was pinned while the load was in flight; with
+  // the switch done it is evictable again, so restore the byte bound.
+  cache_.trim();
+  return fetch_cycles + switch_cycles;
 }
 
 const dct::DctImplementation* Fabric::active_impl() const {

@@ -4,11 +4,30 @@
 
 namespace dsra::runtime {
 
+void resolve_stream_conditions(StreamJob& job) {
+  job.frame_impls.clear();
+  job.frame_conditions.clear();
+  job.condition_switches = 0;
+  if (!job.config.trajectory) return;
+
+  const int frames = static_cast<int>(job.frames.size());
+  job.frame_impls = soc::resolve_impl_sequence(*job.config.trajectory, frames,
+                                               job.config.condition_policy,
+                                               job.config.hysteresis_band);
+  job.frame_conditions.reserve(static_cast<std::size_t>(frames));
+  for (int f = 0; f < frames; ++f)
+    job.frame_conditions.push_back(soc::clamp_condition(job.config.trajectory->at(f)));
+  for (std::size_t f = 1; f < job.frame_impls.size(); ++f)
+    if (job.frame_impls[f] != job.frame_impls[f - 1]) ++job.condition_switches;
+  if (!job.frame_impls.empty()) job.impl_name = job.frame_impls.front();
+}
+
 StreamJob make_synthetic_job(int id, const StreamConfig& config) {
   StreamJob job;
   job.id = id;
   job.config = config;
-  job.impl_name = soc::select_dct_implementation(config.condition);
+  job.impl_name = soc::select_dct_implementation(
+      config.trajectory ? config.trajectory->at(0) : config.condition);
 
   video::SyntheticConfig scfg;
   scfg.width = config.width;
@@ -17,6 +36,7 @@ StreamJob make_synthetic_job(int id, const StreamConfig& config) {
   scfg.seed = config.seed;
   job.frames = video::generate_sequence(scfg);
   job.records.reserve(job.frames.size());
+  resolve_stream_conditions(job);
   return job;
 }
 

@@ -20,6 +20,7 @@
 
 #include "runtime/kernel.hpp"
 #include "soc/reconfig.hpp"
+#include "soc/trajectory.hpp"
 #include "video/codec.hpp"
 #include "video/frame.hpp"
 
@@ -31,6 +32,12 @@ struct StreamConfig {
   int height = 64;
   int frame_budget = 8;
   soc::RuntimeCondition condition;
+  /// Per-frame condition time series; null means `condition` holds for
+  /// every frame (the static world the runtime started from).
+  soc::TrajectoryPtr trajectory;
+  /// How the trajectory is turned into per-frame bitstream choices.
+  soc::ConditionPolicy condition_policy = soc::ConditionPolicy::kFrozen;
+  double hysteresis_band = 0.05;  ///< boundary band for kHysteresis
   video::CodecConfig codec;
   std::uint64_t seed = 2004;
 };
@@ -41,6 +48,7 @@ struct FrameRecord {
   int fabric_id = -1;     ///< fabric of the whole-frame job / reconstruct stage
   int me_fabric_id = -1;  ///< fabric that ran the ME stage (-1: inline / intra)
   int tq_fabric_id = -1;  ///< fabric that ran the DCT/quant stage (-1: inline)
+  std::string impl;       ///< DCT bitstream the frame was encoded under
   double latency_ms = 0.0;            ///< first-stage-ready to reconstructed
   std::uint64_t wait_dispatches = 0;  ///< worst queue wait over the frame's jobs
   std::uint64_t reconfig_cycles = 0;  ///< context fetch + configuration-port switch
@@ -67,8 +75,18 @@ struct FramePipelineState {
 struct StreamJob {
   int id = 0;
   StreamConfig config;
-  std::string impl_name;  ///< required DCT bitstream (config-affinity key)
+  std::string impl_name;  ///< frame-0 DCT bitstream (static config-affinity key)
   std::vector<video::Frame> frames;
+  /// Per-frame DCT context resolved from the trajectory + condition
+  /// policy; empty for a static stream (impl_name holds for every frame).
+  /// Immutable during a scheduler run, so the queue reads it lock-free.
+  std::vector<std::string> frame_impls;
+  /// The sampled (clamped) trajectory, one entry per frame; empty for a
+  /// static stream. Stats use it to spot stale frozen assignments.
+  std::vector<soc::RuntimeCondition> frame_conditions;
+  /// Frames whose resolved context differs from the previous frame's —
+  /// each one forces the scheduler to re-bucket the stream mid-flight.
+  int condition_switches = 0;
   video::Frame recon_state;  ///< previous reconstruction (empty before frame 0)
   int next_frame = 0;        ///< frames fully encoded (reconstruction done)
   std::vector<FramePipelineState> pipeline;  ///< stage mode: one slot per frame
@@ -77,12 +95,32 @@ struct StreamJob {
   [[nodiscard]] bool finished() const {
     return next_frame >= static_cast<int>(frames.size());
   }
+
+  /// DCT context frame @p frame runs under: the per-frame resolution for
+  /// a dynamic stream, the static impl_name otherwise.
+  [[nodiscard]] const std::string& impl_for(int frame) const {
+    if (frame_impls.empty()) return impl_name;
+    if (frame < 0) frame = 0;
+    const auto last = frame_impls.size() - 1;
+    const auto idx = static_cast<std::size_t>(frame);
+    return frame_impls[idx > last ? last : idx];
+  }
 };
 
 /// Build a job whose frames are a synthetic sequence generated from
 /// config.seed; the DCT implementation is resolved from the (clamped)
-/// runtime condition via the SoC selection policy.
+/// runtime condition via the SoC selection policy. A config with a
+/// trajectory gets the whole per-frame impl sequence resolved up front
+/// (see resolve_stream_conditions).
 [[nodiscard]] StreamJob make_synthetic_job(int id, const StreamConfig& config);
+
+/// Sample @p job's trajectory once per frame and resolve the per-frame
+/// DCT context under the configured condition policy, filling
+/// frame_conditions / frame_impls / condition_switches and aligning
+/// impl_name with frame 0. No-op for a stream without a trajectory. The
+/// resolution is eager and deterministic so it is immutable — and
+/// therefore lock-free to read — while a scheduler run is in flight.
+void resolve_stream_conditions(StreamJob& job);
 
 /// A schedulable unit of work: stage @p stage of frame @p frame_index of
 /// stream @p stream_id (kWholeFrame = the legacy monolithic frame job).
@@ -104,6 +142,10 @@ struct StageEvent {
   int frame_index = 0;
   int fabric_id = -1;
   StageKind stage = StageKind::kWholeFrame;
+  /// Completion events carry the context-fetch + configuration-port
+  /// cycles the job paid before running, so the simulated-time replay
+  /// charges reconfiguration into the modeled makespan.
+  std::uint64_t reconfig_cycles = 0;
 };
 
 }  // namespace dsra::runtime

@@ -20,6 +20,11 @@ JobQueue::JobQueue(std::vector<StreamJob>& streams, JobQueueConfig config)
   std::size_t total_jobs = 0;
   for (std::size_t k = 0; k < streams_.size(); ++k) {
     StreamJob& s = streams_[k];
+    // Safety net for hand-built jobs: a stream carrying a trajectory must
+    // have its per-frame contexts resolved before dispatch starts, or the
+    // affinity keys would fall back to the frozen impl_name.
+    if (s.config.trajectory && s.frame_impls.size() != s.frames.size())
+      resolve_stream_conditions(s);
     if (s.finished()) continue;
     const int stream_id = static_cast<int>(k);
     // A stream may arrive partially encoded (e.g. a second scheduler run
@@ -48,10 +53,11 @@ JobQueue::JobQueue(std::vector<StreamJob>& streams, JobQueueConfig config)
   events_.reserve(2 * total_jobs);
 }
 
-const std::string& JobQueue::context_for(StageKind stage, int stream_id) const {
+const std::string& JobQueue::context_for(StageKind stage, int stream_id,
+                                         int frame_index) const {
   static const std::string me_key{kMeContextName};
   if (stage == StageKind::kMotionEstimation) return me_key;
-  return streams_[static_cast<std::size_t>(stream_id)].impl_name;
+  return streams_[static_cast<std::size_t>(stream_id)].impl_for(frame_index);
 }
 
 bool JobQueue::eligible(const Ready& entry, unsigned capabilities) const {
@@ -75,7 +81,7 @@ std::optional<std::size_t> JobQueue::pick_locked(
   if (dispatch_seq_ - 1 - ready_[*oldest].ready_seq >= config_.aging_threshold) return oldest;
 
   const auto key_of = [&](const Ready& r) -> const std::string& {
-    return context_for(r.stage, r.stream_id);
+    return context_for(r.stage, r.stream_id, r.frame_index);
   };
 
   // Stay on the fabric's active configuration while the run cap allows.
@@ -182,7 +188,7 @@ std::optional<FrameTask> JobQueue::acquire(int fabric_id,
   ready_[*chosen] = ready_.back();
   ready_.pop_back();
 
-  const std::string key = context_for(entry.stage, entry.stream_id);
+  const std::string key = context_for(entry.stage, entry.stream_id, entry.frame_index);
   if (run.impl == key) {
     ++run.length;
   } else {
@@ -209,10 +215,11 @@ std::optional<FrameTask> JobQueue::acquire(int fabric_id,
   return task;
 }
 
-void JobQueue::complete(const FrameTask& task, int fabric_id) {
+void JobQueue::complete(const FrameTask& task, int fabric_id,
+                        std::uint64_t reconfig_cycles) {
   std::lock_guard lock(mutex_);
-  events_.push_back(
-      {++event_tick_, false, task.stream_id, task.frame_index, fabric_id, task.stage});
+  events_.push_back({++event_tick_, false, task.stream_id, task.frame_index, fabric_id,
+                     task.stage, reconfig_cycles});
   StreamJob& stream = streams_[static_cast<std::size_t>(task.stream_id)];
   Lane& lane = lanes_[static_cast<std::size_t>(task.stream_id)];
 
@@ -243,7 +250,7 @@ void JobQueue::complete(const FrameTask& task, int fabric_id) {
 }
 
 std::string JobQueue::required_context(const FrameTask& task) const {
-  return context_for(task.stage, task.stream_id);
+  return context_for(task.stage, task.stream_id, task.frame_index);
 }
 
 std::uint64_t JobQueue::dispatches() const {

@@ -77,9 +77,16 @@ class JobQueue {
 
   /// Mark @p task done on @p fabric_id; releases the jobs the completion
   /// unblocks (next stage, next frame, or the ME window advancing).
-  void complete(const FrameTask& task, int fabric_id);
+  /// @p reconfig_cycles is what the fabric paid to prepare the task's
+  /// context (fetch + switch); it is stamped on the completion event so
+  /// the simulated-time replay charges it into the modeled makespan.
+  void complete(const FrameTask& task, int fabric_id, std::uint64_t reconfig_cycles = 0);
 
-  /// Bitstream a task must have active before running.
+  /// Bitstream a task must have active before running. For a dynamic
+  /// stream this is the *per-frame* resolution: when a stream's condition
+  /// trajectory selects a new implementation at frame k, every entry of
+  /// the stream from frame k on carries the new affinity key, so the
+  /// stream re-buckets onto the new configuration in both dispatch modes.
   [[nodiscard]] std::string required_context(const FrameTask& task) const;
 
   [[nodiscard]] std::uint64_t dispatches() const;
@@ -110,9 +117,11 @@ class JobQueue {
     bool dct_busy = false;  ///< a DCT-lane job is ready or in flight
   };
 
-  /// Bitstream a (stage, stream) job runs under — the affinity key and
-  /// the context the worker prepares, by construction the same thing.
-  [[nodiscard]] const std::string& context_for(StageKind stage, int stream_id) const;
+  /// Bitstream a (stage, stream, frame) job runs under — the affinity key
+  /// and the context the worker prepares, by construction the same thing.
+  /// Dynamic streams resolve it per frame, so the key changes mid-flight.
+  [[nodiscard]] const std::string& context_for(StageKind stage, int stream_id,
+                                               int frame_index) const;
   [[nodiscard]] bool eligible(const Ready& entry, unsigned capabilities) const;
 
   /// Index into ready_ of the job to serve among those @p capabilities can

@@ -26,10 +26,24 @@ MultiStreamScheduler::MultiStreamScheduler(const DctLibrary& library, SchedulerC
 
 RunReport MultiStreamScheduler::run(std::vector<StreamJob>& streams) {
   bool needs_me_kernel = false;
-  for (const StreamJob& s : streams) {
+  for (StreamJob& s : streams) {
+    // A stream with a condition trajectory must be validated against the
+    // *union* of contexts the trajectory can select over its lifetime,
+    // not just the frame-0 choice: its impl changes mid-run and every
+    // impl it may change to must be placeable. Resolve eagerly so the
+    // union is known up front and the run fails fast with a clear
+    // message instead of mid-flight.
+    if (s.config.trajectory && s.frame_impls.size() != s.frames.size())
+      resolve_stream_conditions(s);
     if (library_.impl(s.impl_name) == nullptr)
       throw std::invalid_argument("stream '" + s.config.name +
                                   "' wants unknown implementation '" + s.impl_name + "'");
+    for (std::size_t f = 0; f < s.frame_impls.size(); ++f)
+      if (library_.impl(s.frame_impls[f]) == nullptr)
+        throw std::invalid_argument(
+            "stream '" + s.config.name + "': its condition trajectory selects unknown "
+            "implementation '" + s.frame_impls[f] + "' at frame " + std::to_string(f) +
+            "; every context the trajectory can select must be in the library");
     // Remaining inter frames need the ME kernel; frame 0 is intra and
     // already-encoded frames (a resumed stream) dispatch nothing.
     if (static_cast<int>(s.frames.size()) > std::max(1, s.next_frame))
@@ -60,12 +74,14 @@ RunReport MultiStreamScheduler::run(std::vector<StreamJob>& streams) {
       StreamJob& stream = streams[static_cast<std::size_t>(task->stream_id)];
       const int f = task->frame_index;
       const video::Frame& frame = stream.frames[static_cast<std::size_t>(f)];
-      const std::uint64_t reconfig_cycles = fabric.prepare(queue.required_context(*task));
+      const std::string context = queue.required_context(*task);
+      const std::uint64_t reconfig_cycles = fabric.prepare(context);
 
       if (task->stage == StageKind::kWholeFrame) {
         FrameRecord record;
         record.frame_index = f;
         record.fabric_id = fabric.id();
+        record.impl = context;
         record.wait_dispatches = task->wait_dispatches;
         record.reconfig_cycles = reconfig_cycles;
         const video::ToyEncoder encoder(fabric.active_impl(), me_fn, stream.config.codec);
@@ -101,6 +117,7 @@ RunReport MultiStreamScheduler::run(std::vector<StreamJob>& streams) {
             record.fabric_id = fabric.id();
             record.me_fabric_id = state.me_fabric_id;
             record.tq_fabric_id = state.tq_fabric_id;
+            record.impl = context;  // DCT/quant + reconstruct share the frame's context
             video::Frame recon;
             record.stats =
                 encoder.run_reconstruct_stage(frame, state.motion, state.transform, recon);
@@ -119,7 +136,7 @@ RunReport MultiStreamScheduler::run(std::vector<StreamJob>& streams) {
         }
       }
       busy += ms_since(job_start);
-      queue.complete(*task, fabric.id());
+      queue.complete(*task, fabric.id(), reconfig_cycles);
     }
   };
 
@@ -138,6 +155,8 @@ RunReport MultiStreamScheduler::run(std::vector<StreamJob>& streams) {
     StreamSummary summary = summarize_stream(s);
     report.total_frames += static_cast<std::uint64_t>(summary.frames);
     report.total_array_cycles += summary.array_cycles;
+    report.condition_switches += static_cast<std::uint64_t>(summary.condition_switches);
+    report.stale_frames += static_cast<std::uint64_t>(summary.stale_frames);
     report.streams.push_back(std::move(summary));
   }
   report.frames_per_second = report.wall_seconds > 0.0

@@ -45,6 +45,12 @@ SimSchedule simulate_timeline(const std::vector<StreamJob>& streams,
   if (pipeline_lookahead < 0) pipeline_lookahead = 0;
   SimSchedule schedule;
   const auto stats_index = index_records(streams);
+  // Reconfiguration charges ride on the completion events; index them so
+  // each dispatched job's modeled duration includes what its fabric paid
+  // to fetch and switch the context.
+  std::map<JobKey, std::uint64_t> reconfig_of;
+  for (const StageEvent& e : timeline)
+    if (!e.start) reconfig_of[{e.stream_id, e.frame_index, e.stage}] = e.reconfig_cycles;
   std::map<JobKey, std::uint64_t> end_of;
   const auto dep_end = [&](int stream, int frame, StageKind stage) -> std::uint64_t {
     if (frame < 0) return 0;
@@ -88,7 +94,10 @@ SimSchedule simulate_timeline(const std::vector<StreamJob>& streams,
     const auto stats_it = stats_index.find({e.stream_id, e.frame_index});
     if (stats_it == stats_index.end())
       throw std::invalid_argument("timeline references a frame with no record");
-    const std::uint64_t duration = duration_of(*stats_it->second, e.stage);
+    const auto reconfig_it = reconfig_of.find({e.stream_id, e.frame_index, e.stage});
+    const std::uint64_t reconfig =
+        reconfig_it == reconfig_of.end() ? 0 : reconfig_it->second;
+    const std::uint64_t duration = duration_of(*stats_it->second, e.stage) + reconfig;
     auto& clock = fabric_clock[static_cast<std::size_t>(e.fabric_id)];
 
     SimStageJob job;
@@ -96,6 +105,7 @@ SimSchedule simulate_timeline(const std::vector<StreamJob>& streams,
     job.frame_index = e.frame_index;
     job.fabric_id = e.fabric_id;
     job.stage = e.stage;
+    job.reconfig_cycles = reconfig;
     job.start_cycles = std::max(ready, clock);
     job.end_cycles = job.start_cycles + duration;
     clock = job.end_cycles;

@@ -33,6 +33,7 @@ struct SimStageJob {
   StageKind stage = StageKind::kWholeFrame;
   std::uint64_t start_cycles = 0;
   std::uint64_t end_cycles = 0;
+  std::uint64_t reconfig_cycles = 0;  ///< context-fetch + switch share of the duration
 };
 
 struct SimSchedule {
@@ -48,8 +49,11 @@ struct SimSchedule {
 /// @p streams. Job costs come from the per-frame stats: the ME stage
 /// costs the frame's ME-array cycles, the DCT/quant and reconstruct
 /// stages each cost the frame's DCT-array cycles (forward and inverse
-/// pass), and a whole-frame job costs their sum. @p pipeline_lookahead
-/// must match the queue configuration the run used.
+/// pass), and a whole-frame job costs their sum. On top of that, every
+/// job is charged the context-fetch + configuration-port cycles its
+/// completion event recorded, so switching bitstreams mid-stream (the
+/// dynamic-condition workload) costs modeled time, not just a counter.
+/// @p pipeline_lookahead must match the queue configuration the run used.
 [[nodiscard]] SimSchedule simulate_timeline(const std::vector<StreamJob>& streams,
                                             const std::vector<StageEvent>& timeline,
                                             int pipeline_lookahead = 1);

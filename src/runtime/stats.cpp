@@ -31,11 +31,19 @@ StreamSummary summarize_stream(const StreamJob& job) {
   s.stream_id = job.id;
   s.name = job.config.name;
   s.impl = job.impl_name;
+  s.policy = job.config.trajectory ? soc::to_string(job.config.condition_policy) : "static";
   s.frames = static_cast<int>(job.records.size());
+
+  // Records written before per-frame tracking (or seeded by hand) carry
+  // no impl; the stream's deterministic resolution fills the gap.
+  const auto used_impl = [&](const FrameRecord& r) -> const std::string& {
+    return r.impl.empty() ? job.impl_for(r.frame_index) : r.impl;
+  };
 
   std::vector<double> latencies;
   latencies.reserve(job.records.size());
   double psnr_sum = 0.0;
+  const std::string* prev_impl = nullptr;
   for (const FrameRecord& r : job.records) {
     latencies.push_back(r.latency_ms);
     psnr_sum += r.stats.psnr_db;
@@ -43,6 +51,18 @@ StreamSummary summarize_stream(const StreamJob& job) {
     s.array_cycles += r.stats.dct_array_cycles + r.stats.me_array_cycles;
     s.reconfig_cycles += r.reconfig_cycles;
     s.max_wait_dispatches = std::max(s.max_wait_dispatches, r.wait_dispatches);
+
+    const std::string& used = used_impl(r);
+    if (prev_impl && *prev_impl != used) ++s.condition_switches;
+    prev_impl = &used;
+    const auto f = static_cast<std::size_t>(r.frame_index);
+    if (f < job.frame_conditions.size() &&
+        used != soc::select_dct_implementation(job.frame_conditions[f]))
+      ++s.stale_frames;
+  }
+  if (!job.records.empty()) {
+    s.impl = used_impl(job.records.front());
+    s.final_impl = used_impl(job.records.back());
   }
   s.latency = summarize_latencies(latencies);
   if (!job.records.empty()) psnr_sum /= static_cast<double>(job.records.size());
@@ -72,6 +92,26 @@ ReportTable stream_table(const RunReport& report) {
                  format_i64(static_cast<std::int64_t>(report.total_reconfig_cycles +
                                                       report.total_fetch_cycles)),
                  format_i64(static_cast<std::int64_t>(report.max_wait_dispatches))});
+  return table;
+}
+
+ReportTable condition_table(const RunReport& report) {
+  ReportTable table("Per-stream condition adaptation (dispatch: " + report.policy + ")");
+  table.set_header({"stream", "policy", "impl first -> last", "switches", "stale frames",
+                    "reconfig cyc"});
+  for (const StreamSummary& s : report.streams) {
+    const std::string impls =
+        s.final_impl.empty() || s.final_impl == s.impl ? s.impl : s.impl + " -> " + s.final_impl;
+    table.add_row({s.name, s.policy, impls, std::to_string(s.condition_switches),
+                   std::to_string(s.stale_frames),
+                   format_i64(static_cast<std::int64_t>(s.reconfig_cycles))});
+  }
+  table.add_separator();
+  table.add_row({"total", "-", "-",
+                 format_i64(static_cast<std::int64_t>(report.condition_switches)),
+                 format_i64(static_cast<std::int64_t>(report.stale_frames)),
+                 format_i64(static_cast<std::int64_t>(report.total_reconfig_cycles +
+                                                      report.total_fetch_cycles))});
   return table;
 }
 

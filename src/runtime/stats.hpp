@@ -27,7 +27,9 @@ struct LatencySummary {
 struct StreamSummary {
   int stream_id = 0;
   std::string name;
-  std::string impl;
+  std::string impl;        ///< context of the stream's first encoded frame
+  std::string final_impl;  ///< context of the stream's last encoded frame
+  std::string policy;      ///< condition policy ("static" without a trajectory)
   int frames = 0;
   LatencySummary latency;
   double mean_psnr_db = 0.0;
@@ -35,6 +37,13 @@ struct StreamSummary {
   std::uint64_t array_cycles = 0;     ///< DCT + ME array cycles
   std::uint64_t reconfig_cycles = 0;  ///< charged while preparing this stream's frames
   std::uint64_t max_wait_dispatches = 0;
+  /// Frames encoded under a different context than the previous frame —
+  /// each forced the scheduler to re-bucket the stream mid-flight.
+  int condition_switches = 0;
+  /// Frames encoded under an impl the nominal selection policy would not
+  /// have picked for the frame's actual condition (a frozen assignment
+  /// gone stale). 0 for streams without a trajectory.
+  int stale_frames = 0;
 };
 [[nodiscard]] StreamSummary summarize_stream(const StreamJob& job);
 
@@ -55,6 +64,8 @@ struct RunReport {
   ContextCacheStats cache;
   std::uint64_t dispatches = 0;
   std::uint64_t max_wait_dispatches = 0;
+  std::uint64_t condition_switches = 0;  ///< mid-flight context changes, all streams
+  std::uint64_t stale_frames = 0;        ///< frames run under a wrong-for-condition impl
   std::vector<double> fabric_busy_ms;     ///< per-fabric worker busy time
   std::vector<StageEvent> timeline;       ///< dispatch/completion event log
   std::uint64_t sim_makespan_cycles = 0;  ///< modeled-array makespan (sim_schedule)
@@ -63,6 +74,10 @@ struct RunReport {
 
 /// Per-stream table (impl, frames, p50/p95 latency, PSNR, cycles).
 [[nodiscard]] ReportTable stream_table(const RunReport& report);
+
+/// Per-stream condition-adaptation table: policy, first -> last context,
+/// mid-flight switches, stale frames, reconfiguration cycles.
+[[nodiscard]] ReportTable condition_table(const RunReport& report);
 
 /// Aggregate comparison of two scheduling runs over the same workload
 /// (reconfig cycles, switches, cache behaviour, throughput), with a final

@@ -23,6 +23,10 @@ bool ReconfigManager::evict(const std::string& name) {
   stored_bytes_ -= freed;
   store_.erase(it);
   kernel_of_.erase(name);
+  // The active configuration is no longer backed by a stored context; a
+  // later activate() of the same name must reload through the port, so
+  // drop the marker that would make it report a free switch.
+  if (active_ && *active_ == name) active_.reset();
   if (eviction_hook_) eviction_hook_(name, freed);
   return true;
 }
@@ -93,6 +97,35 @@ std::string select_dct_implementation(const RuntimeCondition& condition) {
   if (c.channel_quality < 0.5) return "mixed_rom";  // small + exact
   if (c.battery_level < 0.6) return "cordic2";      // scaled, 38 clusters
   return "cordic1";  // highest arithmetic headroom, 48 clusters
+}
+
+std::string select_dct_implementation_hysteresis(const RuntimeCondition& condition,
+                                                 const std::string& current, double band) {
+  if (current.empty() || band <= 0.0) return select_dct_implementation(condition);
+  const RuntimeCondition c = clamp_condition(condition);
+  // A boundary is shifted by the band only when the current impl sits on
+  // one of its sides: leaving the current impl requires clearing the
+  // nominal threshold by `band`, re-entering it requires undershooting by
+  // `band` — a 2*band switching loop centred on the threshold. A boundary
+  // the current impl is not adjacent to stays nominal, so a stream coming
+  // off one impl (say scc_full after a battery recovery) lands where the
+  // nominal policy puts it instead of latching past it.
+  const auto threshold = [&](double nominal, bool current_below, bool current_above) {
+    if (current_below) return nominal + band;
+    if (current_above) return nominal - band;
+    return nominal;
+  };
+  // Every non-scc impl lives above the low-battery boundary.
+  if (c.battery_level < threshold(0.25, current == "scc_full", current != "scc_full"))
+    return "scc_full";
+  // scc_full ignores the channel, so it is neutral to this boundary.
+  if (c.channel_quality < threshold(0.5, current == "mixed_rom",
+                                    current == "cordic1" || current == "cordic2"))
+    return "mixed_rom";
+  // mixed_rom and scc_full are neutral to the mid-battery boundary.
+  if (c.battery_level < threshold(0.6, current == "cordic2", current == "cordic1"))
+    return "cordic2";
+  return "cordic1";
 }
 
 }  // namespace dsra::soc

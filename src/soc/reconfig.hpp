@@ -35,9 +35,11 @@ class ReconfigManager {
   void store(const std::string& name, std::vector<std::uint8_t> bitstream,
              const std::string& kernel = "dct");
 
-  /// Drop @p name's bitstream from the store (the fabric keeps whatever
-  /// configuration it is currently running; only the stored context goes
-  /// away, so a later activate() needs a fresh store()). Fires the
+  /// Drop @p name's bitstream from the store. Evicting the active context
+  /// also clears the active marker: the configuration the fabric would
+  /// keep running is no longer backed by a stored stream, so the next
+  /// activate() of that name must re-store and pay the full port cycles
+  /// again instead of silently reporting a free switch. Fires the
   /// eviction hook. Returns false when nothing was stored under @p name.
   bool evict(const std::string& name);
 
@@ -106,5 +108,14 @@ struct RuntimeCondition {
 /// The condition is clamped first (see clamp_condition), so out-of-range
 /// sensor readings degrade gracefully instead of selecting nonsense.
 [[nodiscard]] std::string select_dct_implementation(const RuntimeCondition& condition);
+
+/// select_dct_implementation with a hysteresis band: every boundary test
+/// that would move the selection *away* from @p current must clear the
+/// nominal threshold by @p band, so a condition hovering or jittering
+/// near a boundary does not thrash the configuration port between two
+/// bitstreams. An empty @p current (stream start) falls back to the
+/// nominal policy; so does a non-positive band.
+[[nodiscard]] std::string select_dct_implementation_hysteresis(
+    const RuntimeCondition& condition, const std::string& current, double band);
 
 }  // namespace dsra::soc

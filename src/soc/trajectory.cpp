@@ -1,0 +1,174 @@
+#include "soc/trajectory.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+namespace dsra::soc {
+
+namespace {
+
+class ConstantTrajectory final : public ConditionTrajectory {
+ public:
+  explicit ConstantTrajectory(RuntimeCondition c) : condition_(c) {}
+  RuntimeCondition at(int) const override { return condition_; }
+
+ private:
+  RuntimeCondition condition_;
+};
+
+class LinearBatteryDrain final : public ConditionTrajectory {
+ public:
+  LinearBatteryDrain(double start, double drain, double channel)
+      : start_(start), drain_(drain), channel_(channel) {}
+  RuntimeCondition at(int frame) const override {
+    return {std::max(0.0, start_ - drain_ * static_cast<double>(frame)), channel_};
+  }
+
+ private:
+  double start_, drain_, channel_;
+};
+
+class SinusoidalChannelFade final : public ConditionTrajectory {
+ public:
+  SinusoidalChannelFade(double battery, double mean, double amplitude, double period,
+                        double phase)
+      : battery_(battery), mean_(mean), amplitude_(amplitude),
+        period_(period > 0.0 ? period : 1.0), phase_(phase) {}
+  RuntimeCondition at(int frame) const override {
+    const double t = (static_cast<double>(frame) + phase_) / period_;
+    return {battery_, mean_ + amplitude_ * std::sin(2.0 * 3.14159265358979323846 * t)};
+  }
+
+ private:
+  double battery_, mean_, amplitude_, period_, phase_;
+};
+
+class SteppedChannelFade final : public ConditionTrajectory {
+ public:
+  SteppedChannelFade(double battery, std::vector<double> levels, int frames_per_step)
+      : battery_(battery), levels_(std::move(levels)),
+        frames_per_step_(frames_per_step > 0 ? frames_per_step : 1) {
+    if (levels_.empty()) levels_.push_back(1.0);
+  }
+  RuntimeCondition at(int frame) const override {
+    const int step = frame < 0 ? 0 : frame / frames_per_step_;
+    const auto idx = std::min<std::size_t>(static_cast<std::size_t>(step),
+                                           levels_.size() - 1);
+    return {battery_, levels_[idx]};
+  }
+
+ private:
+  double battery_;
+  std::vector<double> levels_;
+  int frames_per_step_;
+};
+
+class ComposedTrajectory final : public ConditionTrajectory {
+ public:
+  ComposedTrajectory(TrajectoryPtr battery, TrajectoryPtr channel)
+      : battery_(std::move(battery)), channel_(std::move(channel)) {}
+  RuntimeCondition at(int frame) const override {
+    return {battery_->at(frame).battery_level, channel_->at(frame).channel_quality};
+  }
+
+ private:
+  TrajectoryPtr battery_, channel_;
+};
+
+/// splitmix64 finalizer: a stateless hash of (seed, frame) so jitter is
+/// random-access reproducible, unlike a sequential generator.
+double hash_to_unit(std::uint64_t seed, std::uint64_t frame, std::uint64_t salt) {
+  std::uint64_t z = seed + 0x9e3779b97f4a7c15ull * (frame + 1) + salt;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  z ^= z >> 31;
+  return static_cast<double>(z >> 11) * 0x1.0p-53;  // [0, 1)
+}
+
+class JitteredTrajectory final : public ConditionTrajectory {
+ public:
+  JitteredTrajectory(TrajectoryPtr base, std::uint64_t seed, double amplitude)
+      : base_(std::move(base)), seed_(seed), amplitude_(amplitude) {}
+  RuntimeCondition at(int frame) const override {
+    const RuntimeCondition c = base_->at(frame);
+    const auto f = static_cast<std::uint64_t>(frame < 0 ? 0 : frame);
+    return {c.battery_level + amplitude_ * (2.0 * hash_to_unit(seed_, f, 0x42) - 1.0),
+            c.channel_quality + amplitude_ * (2.0 * hash_to_unit(seed_, f, 0x1337) - 1.0)};
+  }
+
+ private:
+  TrajectoryPtr base_;
+  std::uint64_t seed_;
+  double amplitude_;
+};
+
+}  // namespace
+
+TrajectoryPtr constant_trajectory(RuntimeCondition condition) {
+  return std::make_shared<ConstantTrajectory>(condition);
+}
+
+TrajectoryPtr linear_battery_drain(double start_battery, double drain_per_frame,
+                                   double channel_quality) {
+  return std::make_shared<LinearBatteryDrain>(start_battery, drain_per_frame,
+                                              channel_quality);
+}
+
+TrajectoryPtr sinusoidal_channel_fade(double battery_level, double mean, double amplitude,
+                                      double period_frames, double phase_frames) {
+  return std::make_shared<SinusoidalChannelFade>(battery_level, mean, amplitude,
+                                                 period_frames, phase_frames);
+}
+
+TrajectoryPtr stepped_channel_fade(double battery_level, std::vector<double> levels,
+                                   int frames_per_step) {
+  return std::make_shared<SteppedChannelFade>(battery_level, std::move(levels),
+                                              frames_per_step);
+}
+
+TrajectoryPtr compose_trajectories(TrajectoryPtr battery_source,
+                                   TrajectoryPtr channel_source) {
+  return std::make_shared<ComposedTrajectory>(std::move(battery_source),
+                                              std::move(channel_source));
+}
+
+TrajectoryPtr jittered_trajectory(TrajectoryPtr base, std::uint64_t seed, double amplitude) {
+  return std::make_shared<JitteredTrajectory>(std::move(base), seed, amplitude);
+}
+
+std::string to_string(ConditionPolicy policy) {
+  switch (policy) {
+    case ConditionPolicy::kFrozen: return "frozen";
+    case ConditionPolicy::kPerFrame: return "per-frame";
+    case ConditionPolicy::kHysteresis: return "hysteresis";
+  }
+  return "?";
+}
+
+std::vector<std::string> resolve_impl_sequence(const ConditionTrajectory& trajectory,
+                                               int frames, ConditionPolicy policy,
+                                               double hysteresis_band) {
+  std::vector<std::string> impls;
+  if (frames <= 0) return impls;
+  impls.reserve(static_cast<std::size_t>(frames));
+  std::string current;
+  for (int f = 0; f < frames; ++f) {
+    const RuntimeCondition c = trajectory.at(f);
+    switch (policy) {
+      case ConditionPolicy::kFrozen:
+        if (current.empty()) current = select_dct_implementation(c);
+        break;
+      case ConditionPolicy::kPerFrame:
+        current = select_dct_implementation(c);
+        break;
+      case ConditionPolicy::kHysteresis:
+        current = select_dct_implementation_hysteresis(c, current, hysteresis_band);
+        break;
+    }
+    impls.push_back(current);
+  }
+  return impls;
+}
+
+}  // namespace dsra::soc

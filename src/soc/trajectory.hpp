@@ -1,0 +1,97 @@
+// Runtime-condition trajectories.
+//
+// The paper's premise is that run-time constraints — battery level and
+// channel quality — pick which implementation of a kernel the array
+// should run. Those constraints are not static: batteries drain and
+// channels fade *during* a stream, so the selected bitstream changes
+// mid-flight and the scheduler must re-bucket the stream onto a new
+// configuration. A ConditionTrajectory is a deterministic, seeded time
+// series of RuntimeCondition sampled per frame; the models below cover
+// the canonical mobile scenarios (linear drain, sinusoidal or stepped
+// fade, sensor jitter) and compose.
+//
+// Re-selecting the implementation naively every frame thrashes the
+// configuration port whenever the condition hovers near a policy
+// boundary; resolve_impl_sequence therefore also implements a hysteresis
+// policy (see select_dct_implementation_hysteresis) that keeps the
+// current bitstream until the condition clears the boundary by a band.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "soc/reconfig.hpp"
+
+namespace dsra::soc {
+
+/// Deterministic per-frame time series of runtime conditions. at() must
+/// be pure: the same frame always yields the same condition, so every
+/// consumer (job creation, stats, benches) sees one consistent series.
+class ConditionTrajectory {
+ public:
+  virtual ~ConditionTrajectory() = default;
+
+  /// Condition at @p frame (frame 0 = stream start). Implementations may
+  /// return out-of-range values (a drained battery model going negative);
+  /// consumers clamp via clamp_condition.
+  [[nodiscard]] virtual RuntimeCondition at(int frame) const = 0;
+};
+
+/// Trajectories are immutable and shared: a StreamJob copies cheaply and
+/// the sampled series stays consistent across copies.
+using TrajectoryPtr = std::shared_ptr<const ConditionTrajectory>;
+
+/// The frozen world: @p condition holds for every frame.
+[[nodiscard]] TrajectoryPtr constant_trajectory(RuntimeCondition condition);
+
+/// Battery drains linearly from @p start_battery by @p drain_per_frame
+/// each frame (floored at 0); the channel holds at @p channel_quality.
+[[nodiscard]] TrajectoryPtr linear_battery_drain(double start_battery,
+                                                 double drain_per_frame,
+                                                 double channel_quality = 1.0);
+
+/// Channel quality oscillates as mean + amplitude * sin(2*pi*(frame +
+/// phase_frames) / period_frames) — a phone moving through multipath
+/// fades; the battery holds at @p battery_level.
+[[nodiscard]] TrajectoryPtr sinusoidal_channel_fade(double battery_level, double mean,
+                                                    double amplitude, double period_frames,
+                                                    double phase_frames = 0.0);
+
+/// Channel quality steps through @p levels, holding each for
+/// @p frames_per_step frames and staying on the last level afterwards
+/// (driving into a tunnel, then out); battery holds at @p battery_level.
+[[nodiscard]] TrajectoryPtr stepped_channel_fade(double battery_level,
+                                                 std::vector<double> levels,
+                                                 int frames_per_step);
+
+/// Battery from @p battery_source, channel from @p channel_source — e.g.
+/// a draining battery under a fading channel.
+[[nodiscard]] TrajectoryPtr compose_trajectories(TrajectoryPtr battery_source,
+                                                 TrajectoryPtr channel_source);
+
+/// @p base plus seeded, deterministic per-frame sensor noise uniform in
+/// [-amplitude, +amplitude] on both fields. The jitter of frame k depends
+/// only on (seed, k), so random access stays reproducible.
+[[nodiscard]] TrajectoryPtr jittered_trajectory(TrajectoryPtr base, std::uint64_t seed,
+                                                double amplitude);
+
+/// How a stream turns its trajectory into a per-frame bitstream choice.
+enum class ConditionPolicy {
+  kFrozen,      ///< evaluate the policy once at frame 0 (the legacy behavior)
+  kPerFrame,    ///< nominal re-selection every frame; thrashes near boundaries
+  kHysteresis,  ///< re-select with a hysteresis band around each boundary
+};
+
+[[nodiscard]] std::string to_string(ConditionPolicy policy);
+
+/// The DCT implementation each of the first @p frames frames should run
+/// under @p policy. kHysteresis chains: frame k's choice biases frame
+/// k+1's boundaries by @p hysteresis_band (ignored by the other
+/// policies). Deterministic for a given trajectory.
+[[nodiscard]] std::vector<std::string> resolve_impl_sequence(
+    const ConditionTrajectory& trajectory, int frames, ConditionPolicy policy,
+    double hysteresis_band = 0.0);
+
+}  // namespace dsra::soc

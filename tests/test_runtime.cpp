@@ -91,6 +91,72 @@ TEST(ContextCache, OversizedStreamStillLoads) {
   EXPECT_TRUE(cache.resident("big"));  // the working context must exist
 }
 
+TEST(ContextCache, ActiveContextIsPinnedDuringEviction) {
+  // Regression: the LRU eviction loop used to evict whatever sat at the
+  // front — including the bitstream *active* on the fabric — leaving the
+  // hardware running a context the manager no longer stored.
+  soc::ReconfigManager mgr(soc::ReconfigPortConfig{32, 16});
+  soc::Bus bus;
+  const std::map<std::string, std::vector<std::uint8_t>> backing{
+      {"a", std::vector<std::uint8_t>(100, 1)},
+      {"b", std::vector<std::uint8_t>(100, 2)},
+      {"c", std::vector<std::uint8_t>(100, 3)},
+  };
+  ContextCache cache(
+      mgr, bus,
+      [&](const std::string& n) -> const std::vector<std::uint8_t>& { return backing.at(n); },
+      ContextCacheConfig{250});
+
+  (void)cache.touch("a");
+  EXPECT_GT(mgr.activate("a"), 0u);
+  (void)cache.touch("b");
+  (void)cache.touch("c");  // must evict b — a is the LRU front but active
+
+  EXPECT_TRUE(cache.resident("a")) << "the active context was evicted";
+  EXPECT_FALSE(cache.resident("b"));
+  EXPECT_TRUE(cache.resident("c"));
+  EXPECT_EQ(mgr.activate("a"), 0u) << "still active and still backed by the store";
+  EXPECT_LE(mgr.stored_bytes(), 250u);
+}
+
+TEST(ContextCache, OversizeFetchBypassesInsteadOfEmptyingTheCache) {
+  // Regression: a bitstream larger than the whole capacity used to drain
+  // the eviction loop (emptying the cache) and was then stored anyway,
+  // silently exceeding the configured bound.
+  soc::ReconfigManager mgr(soc::ReconfigPortConfig{32, 16});
+  soc::Bus bus;
+  const std::map<std::string, std::vector<std::uint8_t>> backing{
+      {"a", std::vector<std::uint8_t>(100, 1)},
+      {"b", std::vector<std::uint8_t>(100, 2)},
+      {"big", std::vector<std::uint8_t>(1000, 7)},
+      {"c", std::vector<std::uint8_t>(100, 3)},
+  };
+  ContextCache cache(
+      mgr, bus,
+      [&](const std::string& n) -> const std::vector<std::uint8_t>& { return backing.at(n); },
+      ContextCacheConfig{250});
+
+  (void)cache.touch("a");
+  (void)cache.touch("b");
+  EXPECT_GT(cache.touch("big"), 0u);  // the fetch is charged to the bus
+  EXPECT_TRUE(cache.resident("big")); // the working context must exist...
+  EXPECT_TRUE(cache.resident("a"));   // ...but the cached contexts survive
+  EXPECT_TRUE(cache.resident("b"));
+  EXPECT_EQ(cache.stats().oversize_fetches, 1u);  // the breach is explicit
+  EXPECT_EQ(cache.stats().bytes_bypassed, 1000u);
+  EXPECT_EQ(cache.lru_order(), (std::vector<std::string>{"a", "b"}));
+
+  // Once the fabric runs something else, the bypassed context is the
+  // first thing dropped; an *active* oversize context stays pinned.
+  EXPECT_GT(mgr.activate("big"), 0u);
+  cache.trim();
+  EXPECT_TRUE(cache.resident("big"));
+  EXPECT_GT(mgr.activate("a"), 0u);
+  (void)cache.touch("c");
+  EXPECT_FALSE(cache.resident("big"));
+  EXPECT_LE(mgr.stored_bytes(), 250u);
+}
+
 TEST(Library, CompilesAllSixImplementations) {
   EXPECT_EQ(library().names().size(), 6u);
   EXPECT_NE(library().impl("cordic1"), nullptr);
@@ -354,6 +420,37 @@ TEST(Stats, PercentilesUseNearestRank) {
   EXPECT_DOUBLE_EQ(s.p50_ms, 3.0);
   EXPECT_DOUBLE_EQ(s.max_ms, 5.0);
   EXPECT_DOUBLE_EQ(s.mean_ms, 3.0);
+}
+
+TEST(Stats, PercentileEdgeCases) {
+  // Empty sample sets answer 0 for every pct, including the extremes.
+  EXPECT_DOUBLE_EQ(percentile({}, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(percentile({}, 100.0), 0.0);
+
+  // A single sample is every percentile.
+  const std::vector<double> one{7.5};
+  EXPECT_DOUBLE_EQ(percentile(one, 0.0), 7.5);
+  EXPECT_DOUBLE_EQ(percentile(one, 50.0), 7.5);
+  EXPECT_DOUBLE_EQ(percentile(one, 100.0), 7.5);
+
+  // pct 0 and 100 hit the min and max exactly; out-of-range pcts clamp.
+  const std::vector<double> samples{9.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(samples, 0.0), 2.0);
+  EXPECT_DOUBLE_EQ(percentile(samples, 100.0), 9.0);
+  EXPECT_DOUBLE_EQ(percentile(samples, -10.0), 2.0);
+  EXPECT_DOUBLE_EQ(percentile(samples, 250.0), 9.0);
+
+  // summarize_latencies mirrors the same edges.
+  const LatencySummary empty = summarize_latencies({});
+  EXPECT_DOUBLE_EQ(empty.p50_ms, 0.0);
+  EXPECT_DOUBLE_EQ(empty.p95_ms, 0.0);
+  EXPECT_DOUBLE_EQ(empty.mean_ms, 0.0);
+  EXPECT_DOUBLE_EQ(empty.max_ms, 0.0);
+  const LatencySummary single = summarize_latencies(one);
+  EXPECT_DOUBLE_EQ(single.p50_ms, 7.5);
+  EXPECT_DOUBLE_EQ(single.p95_ms, 7.5);
+  EXPECT_DOUBLE_EQ(single.mean_ms, 7.5);
+  EXPECT_DOUBLE_EQ(single.max_ms, 7.5);
 }
 
 }  // namespace

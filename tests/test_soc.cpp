@@ -100,6 +100,65 @@ TEST(Reconfig, PolicyClampsOutOfRangeConditions) {
   EXPECT_EQ(c.channel_quality, 1.0);
 }
 
+TEST(Reconfig, ReactivationAfterEvictionChargesTheFullSwitch) {
+  // Regression: evicting the active context used to leave the active
+  // marker set, so re-activating the same name after a fresh store was
+  // reported as a free switch even though the configuration port had to
+  // reload the whole bitstream.
+  ReconfigManager mgr(ReconfigPortConfig{32, 64});
+  mgr.store("x", std::vector<std::uint8_t>(100, 0));
+  EXPECT_GT(mgr.activate("x"), 0u);
+  EXPECT_EQ(mgr.activate("x"), 0u) << "already active";
+
+  EXPECT_TRUE(mgr.evict("x"));
+  EXPECT_FALSE(mgr.active().has_value())
+      << "an evicted context cannot stay marked active";
+  EXPECT_THROW((void)mgr.activate("x"), std::invalid_argument) << "needs a fresh store";
+
+  mgr.store("x", std::vector<std::uint8_t>(100, 0));
+  EXPECT_EQ(mgr.activate("x"), mgr.switch_cycles("x"))
+      << "the reload through the port must be charged in full";
+  EXPECT_EQ(mgr.switches_performed(), 2);
+
+  // Evicting a non-active context leaves the active marker alone.
+  mgr.store("y", std::vector<std::uint8_t>(50, 0));
+  EXPECT_TRUE(mgr.evict("y"));
+  ASSERT_TRUE(mgr.active().has_value());
+  EXPECT_EQ(*mgr.active(), "x");
+}
+
+TEST(Reconfig, ClampedSensorValuesFeedBoundarySelectionsExactly) {
+  const double inf = std::numeric_limits<double>::infinity();
+  const double nan = std::nan("");
+
+  // clamp_condition collapses every non-finite reading to 0 and pins
+  // finite readings into [0, 1].
+  EXPECT_EQ(clamp_condition({nan, nan}).battery_level, 0.0);
+  EXPECT_EQ(clamp_condition({inf, -inf}).battery_level, 0.0);
+  EXPECT_EQ(clamp_condition({inf, -inf}).channel_quality, 0.0);
+  EXPECT_EQ(clamp_condition({-0.0, 1.5}).battery_level, 0.0);
+  EXPECT_EQ(clamp_condition({0.25, 0.5}).battery_level, 0.25);
+  EXPECT_EQ(clamp_condition({0.25, 0.5}).channel_quality, 0.5);
+
+  // The policy thresholds are half-open: the boundary value itself
+  // belongs to the upper side. Feed each boundary exactly.
+  EXPECT_EQ(select_dct_implementation({0.25, 1.0}), "cordic2");
+  EXPECT_EQ(select_dct_implementation({0.25 - 1e-9, 1.0}), "scc_full");
+  EXPECT_EQ(select_dct_implementation({1.0, 0.5}), "cordic1");
+  EXPECT_EQ(select_dct_implementation({1.0, 0.5 - 1e-9}), "mixed_rom");
+  EXPECT_EQ(select_dct_implementation({0.6, 1.0}), "cordic1");
+  EXPECT_EQ(select_dct_implementation({0.6 - 1e-9, 1.0}), "cordic2");
+
+  // Broken sensors land on the conservative side of every boundary, so
+  // the selection degrades to the low-power / robust mappings instead of
+  // reading garbage.
+  EXPECT_EQ(select_dct_implementation({nan, 0.25}), "scc_full");
+  EXPECT_EQ(select_dct_implementation({0.6, nan}), "mixed_rom");
+  EXPECT_EQ(select_dct_implementation({-inf, inf}), "scc_full");
+  // Even +inf is a broken reading: it collapses to 0, not to 1.
+  EXPECT_EQ(select_dct_implementation({inf, inf}), "scc_full");
+}
+
 TEST(Reconfig, ByteAccountingAndEvictionHook) {
   ReconfigManager mgr;
   mgr.store("x", std::vector<std::uint8_t>(64, 0));
