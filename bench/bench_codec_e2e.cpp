@@ -36,6 +36,7 @@ int main() {
     dct_table.add_row({"double-precision reference", format_double(psnr / ref_stats.size(), 2),
                        format_double(bits, 0), "-", "-", "-"});
   }
+  BenchJson json("codec_e2e");
   for (const auto& impl : dct::all_implementations()) {
     const video::ToyEncoder enc(impl.get(), me::systolic_search_fn(), ccfg);
     const auto stats = enc.encode_sequence(frames);
@@ -50,6 +51,9 @@ int main() {
                        format_double(bits, 0), format_i64(static_cast<std::int64_t>(cycles)),
                        format_i64(impl->build_netlist().census().total()),
                        format_i64(16 * impl->cycles_per_transform() + 8)});
+    json.metric("psnr_db_" + impl->name(), psnr / static_cast<double>(stats.size()));
+    json.metric("bits_" + impl->name(), bits);
+    json.metric("dct_cycles_" + impl->name(), static_cast<double>(cycles));
   }
   dct_table.print();
 
@@ -81,5 +85,6 @@ int main() {
   me_table.print();
   std::printf("\nfast searches trade a small PSNR/bits penalty for an order of magnitude\n"
               "fewer array cycles - the run-time flexibility the conclusion argues for.\n");
+  json.write();
   return 0;
 }

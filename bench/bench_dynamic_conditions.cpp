@@ -4,9 +4,10 @@
 // level, channel quality — pick which implementation an array runs. This
 // bench makes those constraints *move*: eight concurrent streams whose
 // batteries drain, channels fade sinusoidally or step into a tunnel, and
-// sensors jitter right on a policy boundary. The same workload is served
-// three times, varying only how a stream turns its condition trajectory
-// into per-frame bitstream choices:
+// sensors jitter right on a policy boundary (the shared workload in
+// dynamic_conditions_common.hpp). The same workload is served three
+// times, varying only how a stream turns its condition trajectory into
+// per-frame bitstream choices:
 //
 //  * frozen      — evaluate the policy once at stream start (the legacy
 //                  behavior). Cheap, but the assignment goes stale: a
@@ -26,86 +27,12 @@
 // and frozen stale on >= 25% of frames.
 #include <cstdio>
 
-#include "runtime/scheduler.hpp"
-#include "soc/trajectory.hpp"
+#include "dynamic_conditions_common.hpp"
 
 using namespace dsra;
 using namespace dsra::runtime;
 
 namespace {
-
-constexpr int kFramesPerStream = 24;
-constexpr double kHysteresisBand = 0.06;
-
-std::vector<StreamJob> build_workload(soc::ConditionPolicy policy) {
-  struct Spec {
-    const char* name;
-    soc::TrajectoryPtr trajectory;
-  };
-  const Spec specs[] = {
-      // Batteries draining across the 0.6 (cordic1 -> cordic2) and 0.25
-      // (-> scc_full) boundaries: two genuine switches under any
-      // re-selecting policy, and a stale assignment from mid-stream on
-      // under the frozen one.
-      {"drain-a", soc::linear_battery_drain(0.95, 0.065, 0.90)},
-      {"drain-b", soc::linear_battery_drain(0.80, 0.050, 0.95)},
-      // Channels fading sinusoidally through the 0.5 (mixed_rom)
-      // boundary with an amplitude *inside* the hysteresis band: naive
-      // re-selection flips every half-period, hysteresis never moves.
-      {"fade-a", soc::sinusoidal_channel_fade(0.90, 0.50, 0.05, 4.0)},
-      {"fade-b", soc::sinusoidal_channel_fade(0.95, 0.50, 0.05, 6.0, 1.0)},
-      // Sensors jittering right on a boundary: the worst case for naive
-      // per-frame re-selection, the home turf of hysteresis. hover-b sits
-      // on the scc_full boundary — the library's largest bitstream, so
-      // every needless flip is maximally expensive.
-      {"hover-a", soc::jittered_trajectory(
-                      soc::constant_trajectory({0.60, 0.90}), 41, 0.05)},
-      {"hover-b", soc::jittered_trajectory(
-                      soc::constant_trajectory({0.25, 0.95}), 97, 0.04)},
-      // Driving into a tunnel and out again.
-      {"tunnel", soc::stepped_channel_fade(0.90, {0.90, 0.35, 0.90}, 5)},
-      // A draining battery under a shallow channel fade.
-      {"drain+fade",
-       soc::compose_trajectories(
-           soc::linear_battery_drain(0.90, 0.05, 1.0),
-           soc::sinusoidal_channel_fade(1.0, 0.52, 0.05, 5.0))},
-  };
-
-  std::vector<StreamJob> jobs;
-  int id = 0;
-  for (const Spec& spec : specs) {
-    StreamConfig cfg;
-    cfg.name = spec.name;
-    cfg.width = 16;
-    cfg.height = 16;
-    cfg.frame_budget = kFramesPerStream;
-    cfg.trajectory = spec.trajectory;
-    cfg.condition_policy = policy;
-    cfg.hysteresis_band = kHysteresisBand;
-    cfg.codec.me_range = 4;
-    cfg.seed = 2004 + static_cast<std::uint64_t>(id) * 31;
-    jobs.push_back(make_synthetic_job(id, cfg));
-    ++id;
-  }
-  return jobs;
-}
-
-RunReport run_policy(const DctLibrary& library, soc::ConditionPolicy policy,
-                     std::vector<StreamJob>& jobs_out) {
-  SchedulerConfig cfg;
-  // One fabric = one worker thread, so the dispatch order — and with it
-  // the modeled makespan — is exactly reproducible run to run; the
-  // acceptance bar below is a hard number, not a flaky one.
-  cfg.fabrics = 1;
-  cfg.queue.policy = SchedulingPolicy::kAffinityBatched;
-  // A slow configuration port and a bounded context store: the regime the
-  // paper's reconfiguration-overhead discussion worries about. Every
-  // needless switch costs real modeled time here.
-  cfg.fabric.reconfig_port.width_bits = 2;
-  cfg.fabric.context_capacity_bytes = library.total_bytes() / 2;
-  jobs_out = build_workload(policy);
-  return MultiStreamScheduler(library, cfg).run(jobs_out);
-}
 
 double throughput_kcycles(const RunReport& r) {
   return r.sim_makespan_cycles > 0
@@ -122,11 +49,11 @@ int main() {
 
   std::vector<StreamJob> frozen_jobs, naive_jobs, hyst_jobs;
   const RunReport frozen =
-      run_policy(library, soc::ConditionPolicy::kFrozen, frozen_jobs);
+      bench_dyn::run_dynamic_policy(library, soc::ConditionPolicy::kFrozen, frozen_jobs);
   const RunReport naive =
-      run_policy(library, soc::ConditionPolicy::kPerFrame, naive_jobs);
+      bench_dyn::run_dynamic_policy(library, soc::ConditionPolicy::kPerFrame, naive_jobs);
   const RunReport hyst =
-      run_policy(library, soc::ConditionPolicy::kHysteresis, hyst_jobs);
+      bench_dyn::run_dynamic_policy(library, soc::ConditionPolicy::kHysteresis, hyst_jobs);
 
   condition_table(hyst).print();
   std::printf("\n");
@@ -173,6 +100,19 @@ int main() {
   std::printf("frozen is cheap but wrong; per-frame is right but thrashes the port; "
               "hysteresis is right where it matters and keeps the port quiet.\n");
 
-  const bool ok = speedup >= 1.2 && stale_fraction >= 0.25;
-  return ok ? 0 : 1;
+  BenchJson json("dynamic_conditions");
+  json.metric("frames", static_cast<double>(hyst.total_frames));
+  json.metric("frozen_stale_frames", static_cast<double>(frozen.stale_frames));
+  json.metric("naive_switches", static_cast<double>(naive.total_switches));
+  json.metric("hysteresis_switches", static_cast<double>(hyst.total_switches));
+  json.metric("naive_reconfig_cycles", static_cast<double>(naive.total_reconfig_cycles));
+  json.metric("hysteresis_reconfig_cycles",
+              static_cast<double>(hyst.total_reconfig_cycles));
+  json.metric("naive_sim_makespan_cycles", static_cast<double>(naive.sim_makespan_cycles));
+  json.metric("hysteresis_sim_makespan_cycles",
+              static_cast<double>(hyst.sim_makespan_cycles));
+  json.bar("hysteresis_vs_naive_throughput", speedup, ">=", 1.2);
+  json.bar("frozen_stale_fraction", stale_fraction, ">=", 0.25);
+  json.write();
+  return json.all_passed() ? 0 : 1;
 }

@@ -68,6 +68,21 @@ BENCHMARK(bm_pe_module_cycle)->Arg(4)->Arg(8)->Arg(16);
 
 int main(int argc, char** argv) {
   report();
+
+  BenchJson json(BenchJson::name_from_argv0(argc > 0 ? argv[0] : nullptr));
+  {
+    me::SystolicParams params;
+    params.block = 4;
+    params.modules = 1;
+    const ClusterCensus c = me::build_systolic_netlist(params).census();
+    json.metric("pe_mux_regs", c.mux_regs);
+    json.metric("pe_abs_diffs", c.abs_diffs);
+    json.metric("pe_adders", c.adders);
+    json.metric("pe_accumulators", c.accumulators);
+    json.metric("pe_comparators", c.comparators);
+  }
+  json.write();
+
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

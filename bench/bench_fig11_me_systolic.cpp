@@ -24,11 +24,14 @@ int main() {
 
   const me::SystolicParams params;  // the paper's 4 x 16
 
+  BenchJson json("fig11_me_systolic");
   ReportTable sweep("4x16 systolic array vs search range (16x16 macroblock)");
   sweep.set_header({"range", "candidates", "cycles/MB", "cycles/candidate", "PE util",
                     "ref px fetched", "naive", "saving"});
   for (const int range : {2, 4, 8, 16}) {
     const me::SystolicRun run = me::systolic_search(frames[1], frames[0], 32, 32, range, params);
+    json.metric("cycles_per_mb_range" + std::to_string(range),
+                static_cast<double>(run.cycles));
     const int cands = (2 * range + 1) * (2 * range + 1);
     sweep.add_row({format_i64(range), format_i64(cands), format_i64(static_cast<std::int64_t>(run.cycles)),
                    format_double(static_cast<double>(run.cycles) / cands, 2),
@@ -87,5 +90,9 @@ int main() {
   std::printf("\ncomputation suspension: %d/%d exact MVs, %.1f%% of block rows skipped\n",
               exact, blocks,
               100.0 * (1.0 - static_cast<double>(rows_eval) / static_cast<double>(rows_total)));
+
+  json.metric("suspension_exact_mvs", exact);
+  json.metric("suspension_blocks", blocks);
+  json.write();
   return 0;
 }

@@ -64,5 +64,14 @@ int main() {
   std::printf("\nat 100 MHz this frame takes %.2f ms -> %.1f fps (ME dominates, as the\n"
               "paper's motivation for dedicated ME fabrics expects)\n",
               total / 100e3, 100e6 / total);
+
+  BenchJson json("fig1_soc_platform");
+  json.metric("dct_implementations", mapped);
+  for (const auto& name : platform.reconfig().names())
+    json.metric("switch_cycles_" + name,
+                static_cast<double>(platform.reconfig().switch_cycles(name)));
+  json.metric("inter_frame_cycles_qcif", total);
+  json.metric("inter_frame_fps_at_100mhz", 100e6 / total);
+  json.write();
   return 0;
 }

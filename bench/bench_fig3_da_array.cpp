@@ -61,5 +61,11 @@ int main() {
                                         cmp.timing_improvement() * 100.0, "%").c_str());
   std::printf("\n(the DA array trades clock rate for power: its wide shared ROMs are slower\n"
               " than the FPGA's distributed LUT-RAM, exactly the mechanism behind [2])\n");
+
+  BenchJson json("fig3_da_array");
+  json.metric("power_reduction_pct", cmp.power_reduction() * 100.0);
+  json.metric("area_reduction_pct", cmp.area_reduction() * 100.0);
+  json.metric("fmax_change_pct", cmp.timing_improvement() * 100.0);
+  json.write();
   return 0;
 }

@@ -67,6 +67,19 @@ BENCHMARK(bm_compile)->DenseRange(0, 5)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
   ablation_report();
+
+  BenchJson json(BenchJson::name_from_argv0(argc > 0 ? argv[0] : nullptr));
+  {
+    const Netlist nl = dct::make_cordic1()->build_netlist();
+    const ArrayArch arch = ArrayArch::distributed_arithmetic(12, 8);
+    const map::PlaceResult r = map::place(nl, arch, map::PlaceParams{});
+    json.metric("cordic1_wirelength", r.final_wirelength);
+    const map::CompiledDesign design = map::compile(nl, arch, map::FlowParams{});
+    json.metric("cordic1_bitstream_bits", static_cast<double>(design.bitstream_size_bits()));
+    json.metric("cordic1_fmax_mhz", design.timing.fmax_mhz);
+  }
+  json.write();
+
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

@@ -63,5 +63,14 @@ int main() {
   std::printf("\nreturns diminish once the band count stops dividing evenly - the paper's\n"
               "choice of 4 modules balances PE count against the 17-candidate rows of a\n"
               "+/-8 search window.\n");
+
+  BenchJson json("me_1d_vs_2d");
+  for (const int modules : {1, 2, 4, 8}) {
+    me::SystolicParams p;
+    p.modules = modules;
+    json.metric("cycles_per_mb_" + std::to_string(modules) + "mod",
+                static_cast<double>(me::systolic_cycles_per_block(8, p)));
+  }
+  json.write();
   return 0;
 }

@@ -102,5 +102,14 @@ int main() {
               "(acceptance bar 1.30x)\n",
               speedup);
   std::printf("the same silicon, the paper's kernel split: the ME array stops idling.\n");
-  return speedup >= 1.3 ? 0 : 1;
+
+  BenchJson json("pipeline_overlap");
+  json.metric("frames", static_cast<double>(pipe.total_frames));
+  json.metric("mono_sim_makespan_cycles", static_cast<double>(mono.sim_makespan_cycles));
+  json.metric("pipe_sim_makespan_cycles", static_cast<double>(pipe.sim_makespan_cycles));
+  json.metric("dup_sim_makespan_cycles", static_cast<double>(dup.sim_makespan_cycles));
+  json.metric("pipe_sim_utilization", pipe.sim_utilization);
+  json.bar("pipeline_vs_monolithic_throughput", speedup, ">=", 1.3);
+  json.write();
+  return json.all_passed() ? 0 : 1;
 }

@@ -85,5 +85,16 @@ int main() {
                   ? 100.0 * static_cast<double>(saved) /
                         static_cast<double>(rr.total_reconfig_cycles)
                   : 0.0);
-  return saved > 0 ? 0 : 1;  // measurable amortization is the acceptance bar
+
+  BenchJson json("runtime_throughput");
+  json.metric("frames", static_cast<double>(af.total_frames));
+  json.metric("roundrobin_reconfig_cycles", static_cast<double>(rr.total_reconfig_cycles));
+  json.metric("affinity_reconfig_cycles", static_cast<double>(af.total_reconfig_cycles));
+  json.metric("roundrobin_switches", static_cast<double>(rr.total_switches));
+  json.metric("affinity_switches", static_cast<double>(af.total_switches));
+  json.metric("affinity_frames_per_second", af.frames_per_second);
+  // Measurable amortization is the acceptance bar.
+  json.bar("reconfig_cycles_saved_by_affinity", static_cast<double>(saved), ">", 0.0);
+  json.write();
+  return json.all_passed() ? 0 : 1;
 }

@@ -96,5 +96,11 @@ int main() {
       ++mismatches;
   }
   std::printf("\nresult: %d/5 Table 1 columns reproduced exactly\n", 5 - mismatches);
-  return mismatches == 0 ? 0 : 1;
+
+  BenchJson json("table1_dct_area");
+  for (int c = 0; c < 5; ++c)
+    json.metric(std::string("total_clusters_") + order[c], census[order[c]].total());
+  json.bar("table1_columns_mismatched", mismatches, "<=", 0.0);
+  json.write();
+  return json.all_passed() ? 0 : 1;
 }

@@ -161,7 +161,19 @@ inline void register_dct_benchmarks(const std::string& name,
 
 inline int run_dct_fig_bench(int argc, char** argv,
                              std::unique_ptr<dct::DctImplementation> impl) {
-  (void)print_impl_report(*impl);
+  const map::CompiledDesign design = print_impl_report(*impl);
+
+  // Machine-readable result next to the tables (BENCH_<binary>.json).
+  const AccuracyStats acc = measure_accuracy(*impl, 200, 99);
+  BenchJson json(BenchJson::name_from_argv0(argc > 0 ? argv[0] : nullptr));
+  json.metric("cycles_per_transform", impl->cycles_per_transform());
+  json.metric("clusters", impl->build_netlist().census().total());
+  json.metric("bitstream_bits", static_cast<double>(design.bitstream_size_bits()));
+  json.metric("fmax_mhz", design.timing.fmax_mhz);
+  json.metric("mean_abs_err_wide", acc.mean_abs_err);
+  json.metric("rms_err_wide", acc.rms_err);
+  json.write();
+
   const std::string name = impl->name();
   register_dct_benchmarks(name, std::move(impl));
   benchmark::Initialize(&argc, argv);

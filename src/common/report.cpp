@@ -1,8 +1,10 @@
 #include "common/report.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <sstream>
+#include <stdexcept>
 
 namespace dsra {
 
@@ -79,6 +81,107 @@ std::string paper_vs_measured(const std::string& metric, double paper, double me
      << format_double(measured, 1) << unit << " (delta " << format_double(measured - paper, 1)
      << unit << ")";
   return os.str();
+}
+
+namespace {
+
+/// JSON string escaping for the controlled ASCII keys benches use.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+/// Shortest round-trippable number formatting (%.17g is exact but ugly;
+/// bench metrics are counts and ratios, so %.10g is plenty). JSON has no
+/// inf/nan literals, so non-finite values (a +inf PSNR on a lossless
+/// frame) degrade to null instead of corrupting the artifact.
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.10g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string BenchJson::name_from_argv0(const char* argv0) {
+  std::string name = argv0 != nullptr ? argv0 : "bench";
+  const std::size_t slash = name.find_last_of("/\\");
+  if (slash != std::string::npos) name = name.substr(slash + 1);
+  if (name.rfind("bench_", 0) == 0) name = name.substr(6);
+  return name;
+}
+
+void BenchJson::metric(const std::string& key, double value) {
+  metrics_.emplace_back(key, value);
+}
+
+void BenchJson::bar(const std::string& key, double value, const std::string& op,
+                    double threshold) {
+  metric(key, value);  // bars are also plain metrics, as the header promises
+  bool pass = false;
+  if (op == ">=")
+    pass = value >= threshold;
+  else if (op == "<=")
+    pass = value <= threshold;
+  else if (op == ">")
+    pass = value > threshold;
+  else
+    throw std::invalid_argument("BenchJson::bar: unknown comparison op '" + op + "'");
+  bars_.push_back({key, value, op, threshold, pass});
+}
+
+bool BenchJson::all_passed() const {
+  for (const Bar& b : bars_)
+    if (!b.pass) return false;
+  return true;
+}
+
+std::string BenchJson::to_json() const {
+  std::ostringstream os;
+  os << "{\n  \"bench\": \"" << json_escape(name_) << "\",\n  \"metrics\": {";
+  for (std::size_t i = 0; i < metrics_.size(); ++i) {
+    os << (i == 0 ? "\n" : ",\n") << "    \"" << json_escape(metrics_[i].first)
+       << "\": " << json_number(metrics_[i].second);
+  }
+  os << (metrics_.empty() ? "" : "\n  ") << "},\n  \"bars\": [";
+  for (std::size_t i = 0; i < bars_.size(); ++i) {
+    const Bar& b = bars_[i];
+    os << (i == 0 ? "\n" : ",\n") << "    {\"name\": \"" << json_escape(b.key)
+       << "\", \"value\": " << json_number(b.value) << ", \"op\": \"" << json_escape(b.op)
+       << "\", \"threshold\": " << json_number(b.threshold)
+       << ", \"pass\": " << (b.pass ? "true" : "false") << "}";
+  }
+  os << (bars_.empty() ? "" : "\n  ") << "],\n  \"pass\": "
+     << (all_passed() ? "true" : "false") << "\n}\n";
+  return os.str();
+}
+
+bool BenchJson::write() const {
+  const std::string path = "BENCH_" + name_ + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return false;
+  }
+  const std::string body = to_json();
+  const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  std::fclose(f);
+  if (!ok) std::fprintf(stderr, "warning: short write to %s\n", path.c_str());
+  return ok;
 }
 
 }  // namespace dsra

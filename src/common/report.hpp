@@ -48,4 +48,45 @@ class ReportTable {
 [[nodiscard]] std::string paper_vs_measured(const std::string& metric, double paper,
                                             double measured, const std::string& unit);
 
+/// Machine-readable bench result.
+///
+/// Every bench binary writes a BENCH_<name>.json next to its stdout
+/// tables — flat metrics, acceptance bars with pass/fail, and an overall
+/// verdict — so the perf trajectory is trackable across PRs and CI can
+/// archive the numbers instead of scraping tables.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string name) : name_(std::move(name)) {}
+
+  /// Bench name derived from the binary path: ".../bench_foo" -> "foo".
+  [[nodiscard]] static std::string name_from_argv0(const char* argv0);
+
+  void metric(const std::string& key, double value);
+
+  /// Acceptance bar: passes iff `value op threshold`, op one of ">=",
+  /// "<=", ">". The bar's value is also recorded as a metric.
+  void bar(const std::string& key, double value, const std::string& op, double threshold);
+
+  /// True when every bar recorded so far passed (trivially true with none).
+  [[nodiscard]] bool all_passed() const;
+
+  [[nodiscard]] std::string to_json() const;
+
+  /// Write BENCH_<name>.json into the current directory. Returns false
+  /// (with a warning on stderr) when the file cannot be written.
+  bool write() const;
+
+ private:
+  struct Bar {
+    std::string key;
+    double value = 0.0;
+    std::string op;
+    double threshold = 0.0;
+    bool pass = false;
+  };
+  std::string name_;
+  std::vector<std::pair<std::string, double>> metrics_;
+  std::vector<Bar> bars_;
+};
+
 }  // namespace dsra

@@ -1,6 +1,11 @@
 #include "core/config_codec.hpp"
 
+#include <algorithm>
+#include <map>
+#include <set>
 #include <stdexcept>
+#include <string>
+#include <utility>
 
 #include "common/ints.hpp"
 
@@ -10,8 +15,41 @@ namespace {
 constexpr int kKindBits = 3;
 constexpr int kWidthBits = 6;
 constexpr int kOpBits = 3;
+/// AddShiftOp has 9 operating modes (kShiftRegLsb = 8): a 3-bit field
+/// would silently truncate it to kAdd, so this kind gets a wider field.
+constexpr int kAddShiftOpBits = 4;
 constexpr int kShiftBits = 6;
 constexpr int kWordsLogBits = 5;
+/// Largest memory-cluster geometry the decoder accepts: 2^16 words keeps
+/// a hostile length field from requesting a gigabyte allocation.
+constexpr int kMaxWordsLog = 16;
+
+[[noreturn]] void corrupt(const std::string& what) {
+  throw std::runtime_error("cluster config: " + what);
+}
+
+void require(bool ok, const char* what) {
+  if (!ok) corrupt(what);
+}
+
+/// Read an operating-mode field and range-check it against the enum's
+/// alternative count before the cast, so a corrupted stream cannot forge
+/// an out-of-range enumerator.
+template <typename E>
+E read_op(BitReader& r, int count, int bits = kOpBits) {
+  const std::uint64_t raw = r.read(bits);
+  require(r.ok(), "truncated");
+  if (raw >= static_cast<std::uint64_t>(count)) corrupt("unknown operating mode");
+  return static_cast<E>(raw);
+}
+
+int read_width(BitReader& r) {
+  const auto w = static_cast<int>(r.read(kWidthBits));
+  require(r.ok(), "truncated");
+  if (!is_legal_width(w)) corrupt("illegal datapath width " + std::to_string(w));
+  return w;
+}
+
 }  // namespace
 
 void encode_config(const ClusterConfig& cfg, BitWriter& w) {
@@ -35,7 +73,7 @@ void encode_config(const ClusterConfig& cfg, BitWriter& w) {
           w.write(static_cast<std::uint64_t>(c.op), kOpBits);
         } else if constexpr (std::is_same_v<T, AddShiftCfg>) {
           w.write(static_cast<std::uint64_t>(c.width), kWidthBits);
-          w.write(static_cast<std::uint64_t>(c.op), kOpBits);
+          w.write(static_cast<std::uint64_t>(c.op), kAddShiftOpBits);
           w.write(static_cast<std::uint64_t>(c.shift), kShiftBits);
           w.write(c.registered ? 1 : 0, 1);
         } else if constexpr (std::is_same_v<T, MemCfg>) {
@@ -54,56 +92,377 @@ void encode_config(const ClusterConfig& cfg, BitWriter& w) {
 }
 
 ClusterConfig decode_config(BitReader& r) {
-  const auto kind = static_cast<ClusterKind>(r.read(kKindBits));
+  const std::uint64_t kind_raw = r.read(kKindBits);
+  require(r.ok(), "truncated");
+  const auto kind = static_cast<ClusterKind>(kind_raw);
   switch (kind) {
     case ClusterKind::kMuxReg: {
       MuxRegCfg c;
-      c.width = static_cast<int>(r.read(kWidthBits));
+      c.width = read_width(r);
       c.registered = r.read(1) != 0;
+      require(r.ok(), "truncated");
       return c;
     }
     case ClusterKind::kAbsDiff: {
       AbsDiffCfg c;
-      c.width = static_cast<int>(r.read(kWidthBits));
-      c.op = static_cast<AbsDiffOp>(r.read(kOpBits));
+      c.width = read_width(r);
+      c.op = read_op<AbsDiffOp>(r, 3);
       c.registered = r.read(1) != 0;
+      require(r.ok(), "truncated");
       return c;
     }
     case ClusterKind::kAddAcc: {
       AddAccCfg c;
-      c.width = static_cast<int>(r.read(kWidthBits));
-      c.op = static_cast<AddAccOp>(r.read(kOpBits));
+      c.width = read_width(r);
+      c.op = read_op<AddAccOp>(r, 3);
       c.registered = r.read(1) != 0;
+      require(r.ok(), "truncated");
       return c;
     }
     case ClusterKind::kComp: {
       CompCfg c;
-      c.width = static_cast<int>(r.read(kWidthBits));
-      c.op = static_cast<CompOp>(r.read(kOpBits));
+      c.width = read_width(r);
+      c.op = read_op<CompOp>(r, 4);
       return c;
     }
     case ClusterKind::kAddShift: {
       AddShiftCfg c;
-      c.width = static_cast<int>(r.read(kWidthBits));
-      c.op = static_cast<AddShiftOp>(r.read(kOpBits));
+      c.width = read_width(r);
+      c.op = read_op<AddShiftOp>(r, 9, kAddShiftOpBits);
       c.shift = static_cast<int>(r.read(kShiftBits));
       c.registered = r.read(1) != 0;
+      require(r.ok(), "truncated");
+      const std::string err = validate(ClusterConfig{c});
+      if (!err.empty()) corrupt(err);
       return c;
     }
     case ClusterKind::kMem: {
+      const std::uint64_t words_log = r.read(kWordsLogBits);
+      require(r.ok(), "truncated");
+      if (words_log > kMaxWordsLog)
+        corrupt("memory geometry 2^" + std::to_string(words_log) + " words out of range");
       MemCfg c;
-      c.words = 1 << r.read(kWordsLogBits);
+      c.words = 1 << static_cast<int>(words_log);
       c.width = static_cast<int>(r.read(kWidthBits));
+      require(r.ok(), "truncated");
+      if (c.width <= 0 || c.width > kMaxClusterBits)
+        corrupt("memory width " + std::to_string(c.width) + " out of range");
       c.mode = r.read(1) != 0 ? MemMode::kRam : MemMode::kRom;
       c.addr_mode = r.read(1) != 0 ? MemAddrMode::kBit : MemAddrMode::kWord;
-      if (r.read(1) != 0) {
+      const bool has_contents = r.read(1) != 0;
+      require(r.ok(), "truncated");
+      if (has_contents) {
         c.contents.resize(static_cast<std::size_t>(c.words));
         for (auto& v : c.contents) v = sign_extend(r.read(c.width), c.width);
+        require(r.ok(), "truncated memory contents");
       }
       return c;
     }
   }
-  throw std::runtime_error("corrupt cluster configuration encoding");
+  corrupt("unknown cluster kind " + std::to_string(kind_raw));
+}
+
+// ---- frame-addressable format ----------------------------------------------
+
+namespace {
+
+constexpr std::uint32_t kFrameMagic = 0x44535246;  // "DSRF"
+constexpr std::uint32_t kDeltaMagic = 0x44535244;  // "DSRD"
+constexpr int kFormatVersion = 1;
+constexpr int kCoordBits = 16;
+constexpr int kCountBits = 16;
+constexpr int kLenBits = 16;  ///< frame payload length header, in bytes
+/// Largest value a kCoordBits / kCountBits / kLenBits field stores.
+constexpr std::size_t kFieldMax = (1u << kCoordBits) - 1;
+
+[[noreturn]] void bad_stream(const char* codec, const std::string& what) {
+  throw std::runtime_error(std::string(codec) + ": " + what);
+}
+
+bool frame_before(const ConfigFrame& a, const ConfigFrame& b) {
+  return std::pair(a.y, a.x) < std::pair(b.y, b.x);
+}
+
+void check_grid(const char* codec, int width, int height) {
+  if (width <= 0 || height <= 0 || width > static_cast<int>(kFieldMax) ||
+      height > static_cast<int>(kFieldMax))
+    bad_stream(codec, "grid dimensions " + std::to_string(width) + "x" +
+                          std::to_string(height) + " out of range");
+}
+
+/// Validate one frame against the grid and the occupancy seen so far.
+void check_frame(const char* codec, int x, int y, int width, int height,
+                 std::vector<bool>& occupied) {
+  if (x < 0 || x >= width || y < 0 || y >= height)
+    bad_stream(codec, "frame coordinate (" + std::to_string(x) + "," + std::to_string(y) +
+                          ") outside the " + std::to_string(width) + "x" +
+                          std::to_string(height) + " grid");
+  const auto idx = static_cast<std::size_t>(y) * static_cast<std::size_t>(width) +
+                   static_cast<std::size_t>(x);
+  if (occupied[idx])
+    bad_stream(codec, "overlapping frames at (" + std::to_string(x) + "," +
+                          std::to_string(y) + ")");
+  occupied[idx] = true;
+}
+
+/// The frame payload must be exactly one well-formed cluster programming
+/// (decode succeeds, no trailing garbage beyond byte padding).
+void check_payload(const char* codec, const ConfigFrame& frame) {
+  BitReader pr(frame.payload);
+  const ClusterConfig cfg = decode_config(pr);  // throws std::runtime_error if malformed
+  (void)cfg;
+  if (!pr.ok()) bad_stream(codec, "frame payload truncated");
+  if (frame.payload.size() * 8 - pr.bit_pos() >= 8)
+    bad_stream(codec, "frame payload longer than its cluster programming");
+}
+
+/// Encode-side range guard: BitWriter keeps only the low bits of an
+/// oversized value, which would silently truncate and then CRC the
+/// broken stream, so reject instead.
+void check_encodable(const char* codec, const char* what, std::size_t value) {
+  if (value > kFieldMax)
+    throw std::invalid_argument(std::string(codec) + ": " + what + " " +
+                                std::to_string(value) + " exceeds the 16-bit field");
+}
+
+void write_frame(const char* codec, BitWriter& w, const ConfigFrame& frame) {
+  // Negative coordinates wrap to huge values under the size_t cast and
+  // are rejected alongside the genuinely oversized ones.
+  check_encodable(codec, "frame x", static_cast<std::size_t>(frame.x));
+  check_encodable(codec, "frame y", static_cast<std::size_t>(frame.y));
+  check_encodable(codec, "frame payload bytes", frame.payload.size());
+  w.write(static_cast<std::uint64_t>(frame.x), kCoordBits);
+  w.write(static_cast<std::uint64_t>(frame.y), kCoordBits);
+  w.write(frame.payload.size(), kLenBits);
+  for (const std::uint8_t b : frame.payload) w.write(b, 8);
+}
+
+ConfigFrame read_frame(const char* codec, BitReader& r) {
+  ConfigFrame frame;
+  frame.x = static_cast<int>(r.read(kCoordBits));
+  frame.y = static_cast<int>(r.read(kCoordBits));
+  const std::uint64_t len = r.read(kLenBits);
+  if (!r.ok()) bad_stream(codec, "truncated frame header");
+  frame.payload.resize(static_cast<std::size_t>(len));
+  for (auto& b : frame.payload) b = static_cast<std::uint8_t>(r.read(8));
+  if (!r.ok()) bad_stream(codec, "frame length header runs past the stream");
+  return frame;
+}
+
+std::vector<std::uint8_t> seal(BitWriter& w) {
+  w.align_to_byte();
+  std::vector<std::uint8_t> bytes = w.bytes();
+  const std::uint32_t crc = crc32(bytes);
+  BitWriter tail;
+  tail.write_u32(crc);
+  for (const std::uint8_t b : tail.bytes()) bytes.push_back(b);
+  return bytes;
+}
+
+/// Split the CRC tail off and verify it; returns the body.
+std::vector<std::uint8_t> unseal(const char* codec, const std::vector<std::uint8_t>& bytes) {
+  if (bytes.size() < 4) bad_stream(codec, "truncated");
+  std::vector<std::uint8_t> body(bytes.begin(), bytes.end() - 4);
+  const std::vector<std::uint8_t> tail(bytes.end() - 4, bytes.end());
+  BitReader tail_r(tail);
+  if (crc32(body) != tail_r.read_u32()) bad_stream(codec, "CRC mismatch");
+  return body;
+}
+
+}  // namespace
+
+std::size_t ConfigFrameImage::payload_bytes() const {
+  std::size_t total = 0;
+  for (const ConfigFrame& f : frames) total += f.payload.size();
+  return total;
+}
+
+ConfigFrameImage build_frame_image(int width, int height,
+                                   const std::vector<PlacedClusterConfig>& placed) {
+  if (width <= 0 || height <= 0)
+    throw std::invalid_argument("frame image needs a positive grid");
+  ConfigFrameImage image;
+  image.width = width;
+  image.height = height;
+  std::set<std::pair<int, int>> seen;
+  image.frames.reserve(placed.size());
+  for (const PlacedClusterConfig& p : placed) {
+    if (p.x < 0 || p.x >= width || p.y < 0 || p.y >= height)
+      throw std::invalid_argument("placed cluster outside the grid at (" +
+                                  std::to_string(p.x) + "," + std::to_string(p.y) + ")");
+    if (!seen.emplace(p.y, p.x).second)
+      throw std::invalid_argument("two clusters placed on tile (" + std::to_string(p.x) +
+                                  "," + std::to_string(p.y) + ")");
+    BitWriter w;
+    encode_config(p.config, w);
+    w.align_to_byte();
+    image.frames.push_back({p.x, p.y, w.bytes()});
+  }
+  std::sort(image.frames.begin(), image.frames.end(), frame_before);
+  return image;
+}
+
+std::vector<std::uint8_t> encode_config_frames(const ConfigFrameImage& image) {
+  constexpr const char* kCodec = "config frames";
+  check_encodable(kCodec, "grid width", static_cast<std::size_t>(image.width));
+  check_encodable(kCodec, "grid height", static_cast<std::size_t>(image.height));
+  check_encodable(kCodec, "frame count", image.frames.size());
+  BitWriter w;
+  w.write_u32(kFrameMagic);
+  w.write(kFormatVersion, 8);
+  w.write(static_cast<std::uint64_t>(image.width), kCoordBits);
+  w.write(static_cast<std::uint64_t>(image.height), kCoordBits);
+  w.write(image.frames.size(), kCountBits);
+  for (const ConfigFrame& frame : image.frames) write_frame(kCodec, w, frame);
+  return seal(w);
+}
+
+ConfigFrameImage decode_config_frames(const std::vector<std::uint8_t>& bytes) {
+  constexpr const char* kCodec = "config frames";
+  const std::vector<std::uint8_t> body = unseal(kCodec, bytes);
+  BitReader r(body);
+  if (r.read_u32() != kFrameMagic || !r.ok()) bad_stream(kCodec, "bad magic");
+  if (r.read(8) != kFormatVersion) bad_stream(kCodec, "unsupported version");
+
+  ConfigFrameImage image;
+  image.width = static_cast<int>(r.read(kCoordBits));
+  image.height = static_cast<int>(r.read(kCoordBits));
+  if (!r.ok()) bad_stream(kCodec, "truncated header");
+  check_grid(kCodec, image.width, image.height);
+
+  const std::uint64_t count = r.read(kCountBits);
+  if (!r.ok()) bad_stream(kCodec, "truncated header");
+  std::vector<bool> occupied(static_cast<std::size_t>(image.width) *
+                             static_cast<std::size_t>(image.height));
+  image.frames.reserve(static_cast<std::size_t>(count));
+  const ConfigFrame* prev = nullptr;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    ConfigFrame frame = read_frame(kCodec, r);
+    check_frame(kCodec, frame.x, frame.y, image.width, image.height, occupied);
+    check_payload(kCodec, frame);
+    if (prev != nullptr && !frame_before(*prev, frame))
+      bad_stream(kCodec, "frames out of canonical (y, x) order");
+    image.frames.push_back(std::move(frame));
+    prev = &image.frames.back();
+  }
+  r.align_to_byte();
+  if (!r.ok() || r.bit_pos() != body.size() * 8)
+    bad_stream(kCodec, "trailing bytes after the last frame");
+  return image;
+}
+
+ConfigDelta diff_config_frames(const ConfigFrameImage& base, const ConfigFrameImage& target) {
+  if (base.width != target.width || base.height != target.height)
+    throw std::invalid_argument("cannot diff frame images over different grids");
+  ConfigDelta delta;
+  delta.width = target.width;
+  delta.height = target.height;
+  // Both frame lists are (y, x)-sorted, so one merge pass finds the
+  // rewrites (new or changed tiles) and the clears (abandoned tiles).
+  std::size_t b = 0, t = 0;
+  while (b < base.frames.size() || t < target.frames.size()) {
+    if (b == base.frames.size()) {
+      delta.rewrites.push_back(target.frames[t++]);
+    } else if (t == target.frames.size()) {
+      const ConfigFrame& gone = base.frames[b++];
+      delta.clears.push_back({gone.x, gone.y});
+    } else if (frame_before(base.frames[b], target.frames[t])) {
+      const ConfigFrame& gone = base.frames[b++];
+      delta.clears.push_back({gone.x, gone.y});
+    } else if (frame_before(target.frames[t], base.frames[b])) {
+      delta.rewrites.push_back(target.frames[t++]);
+    } else {
+      if (base.frames[b].payload != target.frames[t].payload)
+        delta.rewrites.push_back(target.frames[t]);
+      ++b;
+      ++t;
+    }
+  }
+  return delta;
+}
+
+ConfigFrameImage apply_config_delta(const ConfigFrameImage& base, const ConfigDelta& delta) {
+  if (base.width != delta.width || base.height != delta.height)
+    throw std::invalid_argument("delta grid does not match the base image");
+  std::map<std::pair<int, int>, const ConfigFrame*> tiles;
+  for (const ConfigFrame& f : base.frames) tiles[{f.y, f.x}] = &f;
+  for (const ConfigDelta::Clear& c : delta.clears) tiles.erase({c.y, c.x});
+  for (const ConfigFrame& f : delta.rewrites) tiles[{f.y, f.x}] = &f;
+
+  ConfigFrameImage out;
+  out.width = base.width;
+  out.height = base.height;
+  out.frames.reserve(tiles.size());
+  for (const auto& [coord, frame] : tiles) out.frames.push_back(*frame);
+  return out;  // map iteration order is (y, x) — already canonical
+}
+
+std::vector<std::uint8_t> encode_config_delta(const ConfigDelta& delta) {
+  constexpr const char* kCodec = "config delta";
+  check_encodable(kCodec, "grid width", static_cast<std::size_t>(delta.width));
+  check_encodable(kCodec, "grid height", static_cast<std::size_t>(delta.height));
+  check_encodable(kCodec, "rewrite count", delta.rewrites.size());
+  check_encodable(kCodec, "clear count", delta.clears.size());
+  BitWriter w;
+  w.write_u32(kDeltaMagic);
+  w.write(kFormatVersion, 8);
+  w.write(static_cast<std::uint64_t>(delta.width), kCoordBits);
+  w.write(static_cast<std::uint64_t>(delta.height), kCoordBits);
+  w.write(delta.rewrites.size(), kCountBits);
+  w.write(delta.clears.size(), kCountBits);
+  for (const ConfigFrame& frame : delta.rewrites) write_frame(kCodec, w, frame);
+  for (const ConfigDelta::Clear& c : delta.clears) {
+    check_encodable(kCodec, "clear x", static_cast<std::size_t>(c.x));
+    check_encodable(kCodec, "clear y", static_cast<std::size_t>(c.y));
+    w.write(static_cast<std::uint64_t>(c.x), kCoordBits);
+    w.write(static_cast<std::uint64_t>(c.y), kCoordBits);
+  }
+  return seal(w);
+}
+
+ConfigDelta decode_config_delta(const std::vector<std::uint8_t>& bytes) {
+  constexpr const char* kCodec = "config delta";
+  const std::vector<std::uint8_t> body = unseal(kCodec, bytes);
+  BitReader r(body);
+  if (r.read_u32() != kDeltaMagic || !r.ok()) bad_stream(kCodec, "bad magic");
+  if (r.read(8) != kFormatVersion) bad_stream(kCodec, "unsupported version");
+
+  ConfigDelta delta;
+  delta.width = static_cast<int>(r.read(kCoordBits));
+  delta.height = static_cast<int>(r.read(kCoordBits));
+  if (!r.ok()) bad_stream(kCodec, "truncated header");
+  check_grid(kCodec, delta.width, delta.height);
+
+  const std::uint64_t rewrites = r.read(kCountBits);
+  const std::uint64_t clears = r.read(kCountBits);
+  if (!r.ok()) bad_stream(kCodec, "truncated header");
+  // A tile may be addressed at most once across rewrites and clears.
+  std::vector<bool> occupied(static_cast<std::size_t>(delta.width) *
+                             static_cast<std::size_t>(delta.height));
+  delta.rewrites.reserve(static_cast<std::size_t>(rewrites));
+  for (std::uint64_t i = 0; i < rewrites; ++i) {
+    ConfigFrame frame = read_frame(kCodec, r);
+    check_frame(kCodec, frame.x, frame.y, delta.width, delta.height, occupied);
+    check_payload(kCodec, frame);
+    delta.rewrites.push_back(std::move(frame));
+  }
+  delta.clears.reserve(static_cast<std::size_t>(clears));
+  for (std::uint64_t i = 0; i < clears; ++i) {
+    ConfigDelta::Clear c;
+    c.x = static_cast<int>(r.read(kCoordBits));
+    c.y = static_cast<int>(r.read(kCoordBits));
+    if (!r.ok()) bad_stream(kCodec, "truncated clear list");
+    check_frame(kCodec, c.x, c.y, delta.width, delta.height, occupied);
+    delta.clears.push_back(c);
+  }
+  r.align_to_byte();
+  if (!r.ok() || r.bit_pos() != body.size() * 8)
+    bad_stream(kCodec, "trailing bytes after the clear list");
+  return delta;
+}
+
+std::uint64_t config_delta_bits(const ConfigDelta& delta) {
+  return static_cast<std::uint64_t>(encode_config_delta(delta).size()) * 8;
 }
 
 }  // namespace dsra

@@ -5,7 +5,19 @@
 // since the reconfiguration manager reloads implementations from stored
 // bitstreams at runtime (paper conclusion: dynamic reconfiguration between
 // implementations under changing run-time constraints).
+//
+// On top of the single-cluster codec sits the *frame-addressable* format
+// partial reconfiguration needs: a ConfigFrameImage serialises each
+// occupied cluster as an independently addressable frame (cluster
+// coordinate + length header), and a ConfigDelta is the minimal set of
+// frames to rewrite to turn one image into another. The round-trip
+// guarantee is apply_config_delta(base, diff_config_frames(base, target))
+// == target, bit for bit — the configuration port can replay a delta
+// instead of the whole stream and land on exactly the target programming.
 #pragma once
+
+#include <cstdint>
+#include <vector>
 
 #include "common/bitpack.hpp"
 #include "core/cluster.hpp"
@@ -16,7 +28,100 @@ namespace dsra {
 void encode_config(const ClusterConfig& cfg, BitWriter& w);
 
 /// Deserialise a cluster configuration written by encode_config.
-/// Throws std::runtime_error on malformed input.
+/// Throws std::runtime_error on malformed input (truncation, unknown
+/// kinds or operating modes, illegal widths or memory geometry) — never
+/// undefined behaviour.
 [[nodiscard]] ClusterConfig decode_config(BitReader& r);
+
+/// Frame-addressable configuration format ---------------------------------
+
+/// One independently addressable configuration frame: the complete
+/// programming of the cluster at tile (x, y), stored byte-aligned so a
+/// frame can be rewritten without touching its neighbours.
+struct ConfigFrame {
+  int x = 0;
+  int y = 0;
+  std::vector<std::uint8_t> payload;  ///< encode_config bytes, byte-padded
+  bool operator==(const ConfigFrame&) const = default;
+};
+
+/// A full configuration as per-cluster frames, sorted by (y, x) with
+/// unique coordinates, over a width x height tile grid.
+struct ConfigFrameImage {
+  int width = 0;
+  int height = 0;
+  std::vector<ConfigFrame> frames;
+  bool operator==(const ConfigFrameImage&) const = default;
+
+  /// Sum of the frame payload bytes (headers excluded).
+  [[nodiscard]] std::size_t payload_bytes() const;
+};
+
+/// A cluster configuration pinned to its tile (input to image building).
+struct PlacedClusterConfig {
+  int x = 0;
+  int y = 0;
+  ClusterConfig config;
+};
+
+/// Build the frame image of a placed design: one frame per occupied tile,
+/// payload = the tile's encoded cluster programming. Throws
+/// std::invalid_argument on out-of-grid coordinates or duplicate tiles.
+[[nodiscard]] ConfigFrameImage build_frame_image(int width, int height,
+                                                 const std::vector<PlacedClusterConfig>& placed);
+
+/// Serialise @p image: header (grid dims + frame count), then each frame
+/// as coordinate + length header + payload, protected by a CRC-32.
+[[nodiscard]] std::vector<std::uint8_t> encode_config_frames(const ConfigFrameImage& image);
+
+/// Parse a stream written by encode_config_frames. Verifies the CRC and
+/// that every frame has in-grid coordinates, no two frames overlap (same
+/// tile), the length headers stay inside the stream, and every payload
+/// decodes to a valid cluster configuration. Throws std::runtime_error on
+/// any violation.
+[[nodiscard]] ConfigFrameImage decode_config_frames(const std::vector<std::uint8_t>& bytes);
+
+/// Configuration delta -----------------------------------------------------
+
+/// The minimal frame rewrites turning one image into another: frames to
+/// (re)program, plus tiles occupied in the base that the target leaves
+/// empty (their programming is cleared).
+struct ConfigDelta {
+  int width = 0;
+  int height = 0;
+  std::vector<ConfigFrame> rewrites;
+  struct Clear {
+    int x = 0;
+    int y = 0;
+    bool operator==(const Clear&) const = default;
+  };
+  std::vector<Clear> clears;
+  bool operator==(const ConfigDelta&) const = default;
+
+  [[nodiscard]] bool empty() const { return rewrites.empty() && clears.empty(); }
+  /// Frames the configuration port must address (rewrites + clears).
+  [[nodiscard]] std::size_t frame_count() const { return rewrites.size() + clears.size(); }
+};
+
+/// Diff two images over the same grid (throws std::invalid_argument on a
+/// dimension mismatch): a frame is rewritten iff its payload differs or
+/// the tile is newly occupied; identical images produce an empty delta.
+[[nodiscard]] ConfigDelta diff_config_frames(const ConfigFrameImage& base,
+                                             const ConfigFrameImage& target);
+
+/// Replay @p delta on @p base. Guarantee: for any two images a, b over
+/// the same grid, apply_config_delta(a, diff_config_frames(a, b)) == b.
+/// Throws std::invalid_argument when the delta's grid does not match.
+[[nodiscard]] ConfigFrameImage apply_config_delta(const ConfigFrameImage& base,
+                                                  const ConfigDelta& delta);
+
+/// Serialise / parse a delta (same header + CRC discipline as the frame
+/// image codec; decode throws std::runtime_error on malformed input).
+[[nodiscard]] std::vector<std::uint8_t> encode_config_delta(const ConfigDelta& delta);
+[[nodiscard]] ConfigDelta decode_config_delta(const std::vector<std::uint8_t>& bytes);
+
+/// Bits the configuration port shifts to apply @p delta (its encoded
+/// size) — what a partial reload is charged instead of the full stream.
+[[nodiscard]] std::uint64_t config_delta_bits(const ConfigDelta& delta);
 
 }  // namespace dsra

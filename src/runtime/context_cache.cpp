@@ -5,13 +5,23 @@
 
 namespace dsra::runtime {
 
+soc::PartialReloadCost delta_reload_cost(const ConfigDelta& delta) {
+  const std::size_t bytes = encode_config_delta(delta).size();
+  return {static_cast<std::uint64_t>(bytes) * 8,
+          static_cast<std::uint64_t>(delta.frame_count()),
+          static_cast<std::uint64_t>(bytes)};
+}
+
 ContextCache::ContextCache(soc::ReconfigManager& manager, soc::Bus& bus, FetchFn fetch,
-                           ContextCacheConfig config, KernelFn kernel_of)
+                           ContextCacheConfig config, KernelFn kernel_of, ImageFn image_of)
     : manager_(manager), bus_(bus), fetch_(std::move(fetch)),
-      kernel_of_(std::move(kernel_of)), config_(config) {
+      kernel_of_(std::move(kernel_of)), image_of_(std::move(image_of)), config_(config) {
   // Pre-existing contexts (e.g. a manager seeded by hand) count as resident
   // in arbitrary recency order.
-  for (const auto& name : manager_.names()) lru_.push_back(name);
+  for (const auto& name : manager_.names()) {
+    lru_.push_back(name);
+    retain_image(name);
+  }
   manager_.set_eviction_hook(
       [this](const std::string& name, std::size_t freed) { on_eviction(name, freed); });
 }
@@ -43,6 +53,16 @@ void ContextCache::evict_down_to(std::size_t budget) {
 void ContextCache::trim() {
   drop_stale_bypass();
   if (config_.capacity_bytes > 0) evict_down_to(config_.capacity_bytes);
+  // Prune frame images whose context neither sits in the store nor runs
+  // on the fabric: they can no longer serve as a partial-reload base.
+  for (auto it = images_.begin(); it != images_.end();) {
+    const bool stored = manager_.has(it->first);
+    const bool resident = manager_.resident() && *manager_.resident() == it->first;
+    if (stored || resident)
+      ++it;
+    else
+      it = images_.erase(it);
+  }
 }
 
 void ContextCache::drop_stale_bypass() {
@@ -56,6 +76,27 @@ void ContextCache::drop_stale_bypass() {
       manager_.evict(victim);
     }
   }
+}
+
+void ContextCache::retain_image(const std::string& name) {
+  if (!image_of_ || images_.count(name) != 0) return;
+  if (const ConfigFrameImage* image = image_of_(name)) images_.emplace(name, *image);
+}
+
+const ConfigFrameImage* ContextCache::frame_image(const std::string& name) const {
+  const auto it = images_.find(name);
+  return it == images_.end() ? nullptr : &it->second;
+}
+
+std::optional<soc::PartialReloadCost> ContextCache::delta_cost(
+    const std::string& base, const std::string& target) const {
+  const ConfigFrameImage* base_image = frame_image(base);
+  const ConfigFrameImage* target_image = frame_image(target);
+  if (base_image == nullptr || target_image == nullptr) return std::nullopt;
+  if (base_image->width != target_image->width ||
+      base_image->height != target_image->height)
+    return std::nullopt;  // different array geometries: no partial path
+  return delta_reload_cost(diff_config_frames(*base_image, *target_image));
 }
 
 std::uint64_t ContextCache::touch(const std::string& name) {
@@ -85,6 +126,7 @@ std::uint64_t ContextCache::touch(const std::string& name) {
   stats_.bytes_fetched += bits.size();
   stats_.fetch_cycles += cycles;
   manager_.store(name, bits, kernel_of_ ? kernel_of_(name) : "dct");
+  retain_image(name);
   if (oversize) {
     // Larger than the whole capacity: the working context must exist, but
     // it bypasses the LRU set (instead of emptying it) and is dropped as
@@ -108,6 +150,10 @@ void ContextCache::on_eviction(const std::string& name, std::size_t freed_bytes)
   stats_.bytes_evicted += freed_bytes;
   lru_.remove(name);
   bypass_.erase(name);
+  // The image of the configuration the silicon still runs is pinned: a
+  // partial reload must be able to diff against it even though the store
+  // entry just went away (the eviction-race case).
+  if (!manager_.resident() || *manager_.resident() != name) images_.erase(name);
 }
 
 }  // namespace dsra::runtime

@@ -14,13 +14,20 @@
 #include <functional>
 #include <list>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "core/config_codec.hpp"
 #include "soc/bus.hpp"
 #include "soc/reconfig.hpp"
 
 namespace dsra::runtime {
+
+/// Configuration-port cost of replaying @p delta: one encode pass
+/// derives the {bits, frames, bytes} triple every partial-reload
+/// charging site (library table, cache fallback) must agree on.
+[[nodiscard]] soc::PartialReloadCost delta_reload_cost(const ConfigDelta& delta);
 
 struct ContextCacheConfig {
   std::size_t capacity_bytes = 0;  ///< 0 = unbounded
@@ -59,11 +66,17 @@ class ContextCache {
   /// so fetched contexts are stored with the right per-kernel charging tag.
   using KernelFn = std::function<std::string(const std::string&)>;
 
+  /// Resolves a context's frame-addressable configuration image (null
+  /// when the backing store has none). Fetched images are retained by
+  /// the cache — see frame_image().
+  using ImageFn = std::function<const ConfigFrameImage*(const std::string&)>;
+
   /// Installs itself as @p manager's eviction hook so external evictions
   /// keep the recency list consistent. A null @p kernel_of tags every
   /// context "dct" (the historical default).
   ContextCache(soc::ReconfigManager& manager, soc::Bus& bus, FetchFn fetch,
-               ContextCacheConfig config = {}, KernelFn kernel_of = nullptr);
+               ContextCacheConfig config = {}, KernelFn kernel_of = nullptr,
+               ImageFn image_of = nullptr);
   ~ContextCache();
 
   ContextCache(const ContextCache&) = delete;
@@ -100,6 +113,20 @@ class ContextCache {
   /// Resident contexts, least-recently-used first.
   [[nodiscard]] std::vector<std::string> lru_order() const;
 
+  /// Frame image of @p name if the cache holds one; null otherwise. The
+  /// image of the configuration *resident on the fabric* is pinned: it
+  /// survives the context's eviction from the byte-bounded store, so a
+  /// later partial reload can still diff against what the silicon runs
+  /// even when the eviction raced the switch.
+  [[nodiscard]] const ConfigFrameImage* frame_image(const std::string& name) const;
+
+  /// Cluster-frame delta cost between two retained images, computed on
+  /// demand; nullopt when either image is missing or the grids differ.
+  /// Backs the fabric's partial-reload path for context pairs outside
+  /// the library's precomputed table.
+  [[nodiscard]] std::optional<soc::PartialReloadCost> delta_cost(
+      const std::string& base, const std::string& target) const;
+
  private:
   void on_eviction(const std::string& name, std::size_t freed_bytes);
 
@@ -114,13 +141,19 @@ class ContextCache {
   /// Drop bypass-stored contexts the fabric is no longer running.
   void drop_stale_bypass();
 
+  /// Retain @p name's frame image (no-op without an ImageFn or when the
+  /// backing store knows no image for it).
+  void retain_image(const std::string& name);
+
   soc::ReconfigManager& manager_;
   soc::Bus& bus_;
   FetchFn fetch_;
   KernelFn kernel_of_;
+  ImageFn image_of_;
   ContextCacheConfig config_;
   std::list<std::string> lru_;  ///< front = LRU, back = MRU
   std::map<std::string, std::size_t> bypass_;  ///< oversize residents, name -> bytes
+  std::map<std::string, ConfigFrameImage> images_;  ///< name -> retained frame image
   ContextCacheStats stats_;
 };
 

@@ -8,6 +8,22 @@
 
 namespace dsra::runtime {
 
+namespace {
+
+/// Frame image of a compiled design: one frame per placed cluster.
+ConfigFrameImage image_of_design(const Netlist& netlist, const map::Placement& placement,
+                                 const ArrayArch& arch) {
+  std::vector<PlacedClusterConfig> placed;
+  placed.reserve(netlist.nodes().size());
+  for (std::size_t i = 0; i < netlist.nodes().size(); ++i) {
+    const TileCoord t = placement.node_tile[i];
+    placed.push_back({t.x, t.y, netlist.nodes()[i].config});
+  }
+  return build_frame_image(arch.width(), arch.height(), placed);
+}
+
+}  // namespace
+
 DctLibrary::DctLibrary(DctLibraryConfig config) {
   const ArrayArch array =
       ArrayArch::distributed_arithmetic(config.array_width, config.array_height);
@@ -17,6 +33,7 @@ DctLibrary::DctLibrary(DctLibraryConfig config) {
     map::FlowParams params;
     params.place.seed = 17;
     map::CompiledDesign design = map::compile(nl, array, params);
+    frame_images_.emplace(impl->name(), image_of_design(nl, design.placement, array));
     bitstreams_.emplace(impl->name(), std::move(design.bitstream));
   }
 
@@ -31,7 +48,30 @@ DctLibrary::DctLibrary(DctLibraryConfig config) {
   map::FlowParams me_flow;
   me_flow.place.seed = 11;
   map::CompiledDesign me_design = map::compile(me_nl, me_arch, me_flow);
+  frame_images_.emplace(kMeContextName, image_of_design(me_nl, me_design.placement, me_arch));
   bitstreams_.emplace(kMeContextName, std::move(me_design.bitstream));
+
+  // Precompute the pairwise delta table over every context pair sharing
+  // an array geometry (the DCT variants; the ME context stands alone, so
+  // a DCT <-> ME pair correctly has no entry and falls back to a full
+  // reload). Each entry is verified on the spot: base + delta must
+  // reproduce the target image bit-exactly or the library refuses to
+  // advertise the partial path.
+  for (const auto& [base_name, base_image] : frame_images_) {
+    for (const auto& [target_name, target_image] : frame_images_) {
+      if (base_name == target_name) continue;
+      if (base_image.width != target_image.width ||
+          base_image.height != target_image.height)
+        continue;
+      DeltaEntry entry;
+      entry.delta = diff_config_frames(base_image, target_image);
+      if (apply_config_delta(base_image, entry.delta) != target_image)
+        throw std::runtime_error("config delta " + base_name + " -> " + target_name +
+                                 " fails the round-trip guarantee");
+      entry.cost = delta_reload_cost(entry.delta);
+      deltas_.emplace(std::pair(base_name, target_name), std::move(entry));
+    }
+  }
 }
 
 const dct::DctImplementation* DctLibrary::impl(const std::string& name) const {
@@ -64,6 +104,26 @@ std::size_t DctLibrary::total_bytes() const {
   return total;
 }
 
+const ConfigFrameImage& DctLibrary::frame_image(const std::string& name) const {
+  const auto it = frame_images_.find(name);
+  if (it == frame_images_.end())
+    throw std::invalid_argument("unknown implementation '" + name + "'");
+  return it->second;
+}
+
+const ConfigDelta* DctLibrary::delta(const std::string& base,
+                                     const std::string& target) const {
+  const auto it = deltas_.find(std::pair(base, target));
+  return it == deltas_.end() ? nullptr : &it->second.delta;
+}
+
+std::optional<soc::PartialReloadCost> DctLibrary::delta_cost(
+    const std::string& base, const std::string& target) const {
+  const auto it = deltas_.find(std::pair(base, target));
+  if (it == deltas_.end()) return std::nullopt;
+  return it->second.cost;
+}
+
 Fabric::Fabric(int id, const DctLibrary& library, const FabricConfig& config)
     : id_(id),
       capabilities_(config.capabilities),
@@ -76,7 +136,26 @@ Fabric::Fabric(int id, const DctLibrary& library, const FabricConfig& config)
             return library_.bitstream(name);
           },
           ContextCacheConfig{config.context_capacity_bytes},
-          [this](const std::string& name) { return library_.kernel_of(name); }) {}
+          [this](const std::string& name) { return library_.kernel_of(name); },
+          [this](const std::string& name) -> const ConfigFrameImage* {
+            try {
+              return &library_.frame_image(name);
+            } catch (const std::invalid_argument&) {
+              return nullptr;
+            }
+          }) {
+  if (config.partial_reconfig) {
+    // Library pairs come from the precomputed table; anything else (e.g.
+    // a context whose store entry was replaced by hand) falls back to an
+    // on-demand diff over the cache's retained frame images.
+    reconfig_.enable_partial_reconfig(
+        [this](const std::string& base,
+               const std::string& target) -> std::optional<soc::PartialReloadCost> {
+          if (auto cost = library_.delta_cost(base, target)) return cost;
+          return cache_.delta_cost(base, target);
+        });
+  }
+}
 
 std::uint64_t Fabric::prepare(const std::string& impl_name) {
   const std::uint64_t fetch_cycles = cache_.touch(impl_name);
@@ -130,6 +209,30 @@ int FabricPool::total_switches() const {
 ContextCacheStats FabricPool::cache_totals() const {
   ContextCacheStats total;
   for (const auto& f : fabrics_) total += f->cache().stats();
+  return total;
+}
+
+std::uint64_t FabricPool::partial_reloads() const {
+  std::uint64_t total = 0;
+  for (const auto& f : fabrics_) total += f->reconfig().partial_reloads();
+  return total;
+}
+
+std::uint64_t FabricPool::full_reloads() const {
+  std::uint64_t total = 0;
+  for (const auto& f : fabrics_) total += f->reconfig().full_reloads();
+  return total;
+}
+
+std::uint64_t FabricPool::frames_rewritten() const {
+  std::uint64_t total = 0;
+  for (const auto& f : fabrics_) total += f->reconfig().frames_rewritten();
+  return total;
+}
+
+std::uint64_t FabricPool::delta_bytes_loaded() const {
+  std::uint64_t total = 0;
+  for (const auto& f : fabrics_) total += f->reconfig().delta_bytes_loaded();
   return total;
 }
 

@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "core/config_codec.hpp"
 #include "dct/impl.hpp"
 #include "runtime/context_cache.hpp"
 #include "runtime/kernel.hpp"
@@ -58,9 +59,34 @@ class DctLibrary {
   [[nodiscard]] std::vector<std::string> names() const;
   [[nodiscard]] std::size_t total_bytes() const;
 
+  /// Frame-addressable configuration image of @p name's context (one
+  /// frame per occupied cluster). Throws std::invalid_argument on
+  /// unknown names.
+  [[nodiscard]] const ConfigFrameImage& frame_image(const std::string& name) const;
+
+  /// Precomputed minimal frame rewrite turning @p base's cluster
+  /// programming into @p target's. Null when the pair has no delta
+  /// (unknown name, identical contexts, or contexts compiled onto
+  /// different array geometries such as a DCT <-> ME switch).
+  [[nodiscard]] const ConfigDelta* delta(const std::string& base,
+                                         const std::string& target) const;
+
+  /// Configuration-port cost of delta(base, target); nullopt when no
+  /// delta exists. This is what a fabric's ReconfigManager consults on
+  /// every partial switch, so it is precomputed at library build.
+  [[nodiscard]] std::optional<soc::PartialReloadCost> delta_cost(
+      const std::string& base, const std::string& target) const;
+
  private:
+  struct DeltaEntry {
+    ConfigDelta delta;
+    soc::PartialReloadCost cost;
+  };
+
   std::vector<std::unique_ptr<dct::DctImplementation>> impls_;
   std::map<std::string, std::vector<std::uint8_t>> bitstreams_;
+  std::map<std::string, ConfigFrameImage> frame_images_;
+  std::map<std::pair<std::string, std::string>, DeltaEntry> deltas_;
 };
 
 struct FabricConfig {
@@ -68,6 +94,11 @@ struct FabricConfig {
   soc::BusConfig bus;
   std::size_t context_capacity_bytes = 0;  ///< 0 = every context fits
   unsigned capabilities = kCapAllKernels;  ///< KernelCapability mask
+  /// Partial reconfiguration: a bitstream switch rewrites only the
+  /// cluster frames that differ from the fabric's resident programming
+  /// (library delta table, context-cache images as fallback) instead of
+  /// reloading the full stream through the configuration port.
+  bool partial_reconfig = false;
 };
 
 /// One simulated array fabric. Not thread-safe by design: the scheduler
@@ -127,6 +158,12 @@ class FabricPool {
 
   [[nodiscard]] int total_switches() const;
   [[nodiscard]] ContextCacheStats cache_totals() const;
+
+  /// Partial-reconfiguration accounting summed across the fabrics.
+  [[nodiscard]] std::uint64_t partial_reloads() const;
+  [[nodiscard]] std::uint64_t full_reloads() const;
+  [[nodiscard]] std::uint64_t frames_rewritten() const;
+  [[nodiscard]] std::uint64_t delta_bytes_loaded() const;
 
  private:
   std::vector<std::unique_ptr<Fabric>> fabrics_;

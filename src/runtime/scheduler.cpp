@@ -166,6 +166,10 @@ RunReport MultiStreamScheduler::run(std::vector<StreamJob>& streams) {
   report.me_reconfig_cycles = pool.reconfig_cycles_for_kernel("me");
   report.dct_reconfig_cycles = pool.reconfig_cycles_for_kernel("dct");
   report.total_switches = pool.total_switches();
+  report.partial_reloads = pool.partial_reloads();
+  report.full_reloads = pool.full_reloads();
+  report.frames_rewritten = pool.frames_rewritten();
+  report.delta_bytes = pool.delta_bytes_loaded();
   report.cache = pool.cache_totals();
   report.total_fetch_cycles = report.cache.fetch_cycles;
   report.dispatches = queue.dispatches();

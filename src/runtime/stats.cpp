@@ -129,6 +129,8 @@ ReportTable policy_compare_table(const RunReport& a, const RunReport& b) {
           static_cast<std::uint64_t>(b.total_switches));
   row_u64("reconfig cycles", a.total_reconfig_cycles, b.total_reconfig_cycles);
   row_u64("context fetch cycles", a.total_fetch_cycles, b.total_fetch_cycles);
+  row_u64("partial reloads", a.partial_reloads, b.partial_reloads);
+  row_u64("full reloads", a.full_reloads, b.full_reloads);
   row_u64("cache hits", a.cache.hits, b.cache.hits);
   row_u64("cache misses", a.cache.misses, b.cache.misses);
   row_u64("cache evictions", a.cache.evictions, b.cache.evictions);
@@ -137,6 +139,25 @@ ReportTable policy_compare_table(const RunReport& a, const RunReport& b) {
   const std::int64_t saved = static_cast<std::int64_t>(a.total_reconfig_cycles) -
                              static_cast<std::int64_t>(b.total_reconfig_cycles);
   table.add_row({"reconfig cycles saved by " + b.policy, "-", format_i64(saved)});
+  return table;
+}
+
+ReportTable reconfig_table(const RunReport& report) {
+  ReportTable table("Reconfiguration breakdown (" + std::to_string(report.fabrics) +
+                    " fabrics)");
+  table.set_header({"metric", "value"});
+  const auto row_u64 = [&](const std::string& name, std::uint64_t v) {
+    table.add_row({name, format_i64(static_cast<std::int64_t>(v))});
+  };
+  row_u64("bitstream switches", static_cast<std::uint64_t>(report.total_switches));
+  row_u64("partial reloads", report.partial_reloads);
+  row_u64("full reloads", report.full_reloads);
+  row_u64("cluster frames rewritten", report.frames_rewritten);
+  row_u64("delta bytes shifted", report.delta_bytes);
+  row_u64("port cycles (dct)", report.dct_reconfig_cycles);
+  row_u64("port cycles (me)", report.me_reconfig_cycles);
+  row_u64("port cycles total", report.total_reconfig_cycles);
+  row_u64("context fetch cycles", report.total_fetch_cycles);
   return table;
 }
 

@@ -61,6 +61,10 @@ struct RunReport {
   std::uint64_t dct_reconfig_cycles = 0;    ///< charged against the DCT kernel
   std::uint64_t total_fetch_cycles = 0;     ///< context-cache miss bus cycles
   int total_switches = 0;
+  std::uint64_t partial_reloads = 0;   ///< switches served by a frame delta
+  std::uint64_t full_reloads = 0;      ///< switches that reloaded the full stream
+  std::uint64_t frames_rewritten = 0;  ///< cluster frames the partial reloads addressed
+  std::uint64_t delta_bytes = 0;       ///< encoded delta bytes the port shifted
   ContextCacheStats cache;
   std::uint64_t dispatches = 0;
   std::uint64_t max_wait_dispatches = 0;
@@ -83,6 +87,11 @@ struct RunReport {
 /// (reconfig cycles, switches, cache behaviour, throughput), with a final
 /// "reconfig cycles saved" row of @p b relative to @p a.
 [[nodiscard]] ReportTable policy_compare_table(const RunReport& a, const RunReport& b);
+
+/// Reconfiguration breakdown of one run: partial vs full reloads, frames
+/// rewritten and delta bytes shifted, per-kernel port cycles and the
+/// context-fetch bus cycles.
+[[nodiscard]] ReportTable reconfig_table(const RunReport& report);
 
 /// Comparison of dispatch modes over the same workload and silicon
 /// (throughput, per-fabric utilization, per-kernel reconfiguration), with

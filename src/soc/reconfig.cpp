@@ -64,8 +64,33 @@ std::uint64_t ReconfigManager::switch_cycles(const std::string& name) const {
 
 std::uint64_t ReconfigManager::activate(const std::string& name) {
   if (active_ && *active_ == name) return 0;
-  const std::uint64_t cycles = switch_cycles(name);
+  const std::uint64_t full_cycles = switch_cycles(name);
+  std::uint64_t cycles = full_cycles;
+  bool partial = false;
+  if (delta_source_ && resident_) {
+    if (*resident_ == name) {
+      // The silicon still holds this exact programming (its store entry
+      // was evicted and re-fetched); only the handshake is paid.
+      cycles = static_cast<std::uint64_t>(config_.overhead_cycles);
+      partial = true;
+    } else if (const auto delta = delta_source_(*resident_, name)) {
+      const std::uint64_t delta_cycles =
+          static_cast<std::uint64_t>(
+              ceil_div(static_cast<std::int64_t>(delta->delta_bits), config_.width_bits)) +
+          static_cast<std::uint64_t>(config_.overhead_cycles);
+      // Rewrite only the differing cluster frames — unless the delta
+      // stream is no cheaper than the full bitstream (disjoint mappings).
+      if (delta_cycles < full_cycles) {
+        cycles = delta_cycles;
+        partial = true;
+        frames_rewritten_ += delta->frames;
+        delta_bytes_ += delta->delta_bytes;
+      }
+    }
+  }
+  partial ? ++partial_reloads_ : ++full_reloads_;
   active_ = name;
+  resident_ = name;
   total_cycles_ += cycles;
   cycles_by_kernel_[kernel_of(name)] += cycles;
   ++switches_;

@@ -23,6 +23,15 @@ struct ReconfigPortConfig {
   int overhead_cycles = 64;  ///< handshake + CRC check per load
 };
 
+/// Cost of rewriting only the cluster frames that differ between two
+/// contexts (see core/config_codec's ConfigDelta): what the configuration
+/// port shifts for a partial reload instead of the full bitstream.
+struct PartialReloadCost {
+  std::uint64_t delta_bits = 0;   ///< encoded delta stream size
+  std::uint64_t frames = 0;       ///< frames addressed (rewrites + clears)
+  std::uint64_t delta_bytes = 0;  ///< encoded delta stream bytes
+};
+
 class ReconfigManager {
  public:
   explicit ReconfigManager(ReconfigPortConfig config = {}) : config_(config) {}
@@ -58,17 +67,48 @@ class ReconfigManager {
   [[nodiscard]] std::size_t stored_bytes() const { return stored_bytes_; }
   [[nodiscard]] std::size_t stored_count() const { return store_.size(); }
 
-  /// Cycles to load @p name's bitstream through the configuration port.
+  /// Cycles to load @p name's bitstream through the configuration port
+  /// as a *full* reload (the partial path can only charge less).
   [[nodiscard]] std::uint64_t switch_cycles(const std::string& name) const;
+
+  /// Resolves the cluster-frame delta cost between two contexts by name;
+  /// nullopt when no delta exists (unknown context, or the pair spans
+  /// different array geometries). The source must be pure: activate()
+  /// may consult it on every switch.
+  using DeltaSource =
+      std::function<std::optional<PartialReloadCost>(const std::string& base,
+                                                     const std::string& target)>;
+
+  /// Enable the partial-reconfiguration path: activate() consults
+  /// @p source for a delta between the fabric's resident configuration
+  /// and the requested one and charges only ceil(delta_bits / port
+  /// width) + overhead, falling back to the full reload when no base is
+  /// resident or the delta is not cheaper than the full stream.
+  void enable_partial_reconfig(DeltaSource source) { delta_source_ = std::move(source); }
+  [[nodiscard]] bool partial_enabled() const { return delta_source_ != nullptr; }
 
   /// Switch the fabric to @p name; returns the cycles spent (0 when the
   /// implementation is already active). Throws on unknown names.
   std::uint64_t activate(const std::string& name);
 
   [[nodiscard]] const std::optional<std::string>& active() const { return active_; }
+
+  /// Configuration physically programmed into the fabric. Unlike
+  /// active(), it survives evicting its backing store — the silicon
+  /// keeps its programming — so it can serve as a partial-reload base.
+  [[nodiscard]] const std::optional<std::string>& resident() const { return resident_; }
+
   [[nodiscard]] const std::vector<std::uint8_t>& bitstream(const std::string& name) const;
   [[nodiscard]] std::uint64_t total_reconfig_cycles() const { return total_cycles_; }
   [[nodiscard]] int switches_performed() const { return switches_; }
+
+  /// Partial-reconfiguration accounting. A switch is a partial reload
+  /// when the delta path was taken, a full reload otherwise; the frame
+  /// and byte counters sum what the partial reloads shifted.
+  [[nodiscard]] std::uint64_t partial_reloads() const { return partial_reloads_; }
+  [[nodiscard]] std::uint64_t full_reloads() const { return full_reloads_; }
+  [[nodiscard]] std::uint64_t frames_rewritten() const { return frames_rewritten_; }
+  [[nodiscard]] std::uint64_t delta_bytes_loaded() const { return delta_bytes_; }
 
   /// Kernel tag @p name was stored under; "dct" for unknown names (the
   /// historical default).
@@ -84,9 +124,15 @@ class ReconfigManager {
   std::map<std::string, std::string> kernel_of_;
   std::map<std::string, std::uint64_t> cycles_by_kernel_;
   std::optional<std::string> active_;
+  std::optional<std::string> resident_;
+  DeltaSource delta_source_;
   std::uint64_t total_cycles_ = 0;
   std::size_t stored_bytes_ = 0;
   int switches_ = 0;
+  std::uint64_t partial_reloads_ = 0;
+  std::uint64_t full_reloads_ = 0;
+  std::uint64_t frames_rewritten_ = 0;
+  std::uint64_t delta_bytes_ = 0;
   EvictionHook eviction_hook_;
 };
 
