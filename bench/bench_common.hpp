@@ -1,0 +1,37 @@
+// Helpers shared by the acceptance benches (no Google Benchmark needed).
+#pragma once
+
+#include <vector>
+
+#include "runtime/job.hpp"
+
+namespace dsra::bench_common {
+
+/// Encoded outputs of two runs over the same workload must match bit for
+/// bit: scheduling, pool shape and reconfiguration strategy may only
+/// change where and when a job runs — never what the fabric computes.
+/// Returns the number of mismatching streams/frames.
+inline int count_output_mismatches(const std::vector<runtime::StreamJob>& a,
+                                   const std::vector<runtime::StreamJob>& b) {
+  int mismatches = 0;
+  if (a.size() != b.size()) return 1;
+  for (std::size_t s = 0; s < a.size(); ++s) {
+    const runtime::StreamJob& ja = a[s];
+    const runtime::StreamJob& jb = b[s];
+    if (ja.records.size() != jb.records.size() ||
+        ja.recon_state.data() != jb.recon_state.data()) {
+      ++mismatches;
+      continue;
+    }
+    for (std::size_t k = 0; k < ja.records.size(); ++k) {
+      const runtime::FrameRecord& ra = ja.records[k];
+      const runtime::FrameRecord& rb = jb.records[k];
+      if (ra.frame_index != rb.frame_index || ra.impl != rb.impl ||
+          ra.stats.bits != rb.stats.bits || ra.stats.psnr_db != rb.stats.psnr_db)
+        ++mismatches;
+    }
+  }
+  return mismatches;
+}
+
+}  // namespace dsra::bench_common

@@ -45,7 +45,7 @@ double throughput_kcycles(const RunReport& r) {
 
 int main() {
   std::printf("compiling the kernel library (6 DCT implementations + ME context)...\n");
-  const DctLibrary library;
+  const KernelLibrary library;
 
   std::vector<StreamJob> frozen_jobs, naive_jobs, hyst_jobs;
   const RunReport frozen =

@@ -27,6 +27,7 @@
 // paying more port cycles than the full-reload status quo.
 #include <cstdio>
 
+#include "bench_common.hpp"
 #include "dynamic_conditions_common.hpp"
 
 using namespace dsra;
@@ -36,36 +37,11 @@ namespace {
 
 constexpr double kNarrowBand = 0.02;
 
-/// Encoded outputs of two runs over the same workload must match bit for
-/// bit: partial reconfiguration may only change what the port shifts,
-/// never what the fabric computes. Returns the number of mismatches.
-int count_output_mismatches(const std::vector<StreamJob>& a, const std::vector<StreamJob>& b) {
-  int mismatches = 0;
-  if (a.size() != b.size()) return 1;
-  for (std::size_t s = 0; s < a.size(); ++s) {
-    const StreamJob& ja = a[s];
-    const StreamJob& jb = b[s];
-    if (ja.records.size() != jb.records.size() ||
-        ja.recon_state.data() != jb.recon_state.data()) {
-      ++mismatches;
-      continue;
-    }
-    for (std::size_t k = 0; k < ja.records.size(); ++k) {
-      const FrameRecord& ra = ja.records[k];
-      const FrameRecord& rb = jb.records[k];
-      if (ra.frame_index != rb.frame_index || ra.impl != rb.impl ||
-          ra.stats.bits != rb.stats.bits || ra.stats.psnr_db != rb.stats.psnr_db)
-        ++mismatches;
-    }
-  }
-  return mismatches;
-}
-
 }  // namespace
 
 int main() {
   std::printf("compiling the kernel library (6 DCT implementations + ME context)...\n");
-  const DctLibrary library;
+  const KernelLibrary library;
 
   std::vector<StreamJob> full_jobs, part_jobs, narrow_jobs;
   const RunReport full = bench_dyn::run_dynamic_policy(
@@ -117,7 +93,7 @@ int main() {
           ? static_cast<double>(full.sim_makespan_cycles) /
                 static_cast<double>(part.sim_makespan_cycles)
           : 0.0;
-  const int mismatches = count_output_mismatches(full_jobs, part_jobs);
+  const int mismatches = bench_common::count_output_mismatches(full_jobs, part_jobs);
 
   std::printf("\npartial reconfiguration: %.2fx fewer modeled configuration-port cycles "
               "than full reload (bar: >= 2.00x), %.2fx makespan speedup\n",

@@ -55,7 +55,7 @@ std::vector<StreamJob> build_workload() {
   return jobs;
 }
 
-RunReport run(const DctLibrary& library, DispatchMode mode,
+RunReport run(const KernelLibrary& library, DispatchMode mode,
               std::vector<FabricConfig> fabrics) {
   SchedulerConfig cfg;
   cfg.fabric_configs = std::move(fabrics);
@@ -75,7 +75,7 @@ FabricConfig fabric_with(unsigned capabilities, std::size_t capacity) {
 
 int main() {
   std::printf("compiling the kernel library (6 DCT implementations + ME context)...\n");
-  const DctLibrary library;
+  const KernelLibrary library;
   const std::size_t capacity = library.total_bytes() / 2;
 
   const FabricConfig me_fabric = fabric_with(kCapMotionEstimation, capacity);

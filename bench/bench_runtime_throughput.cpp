@@ -48,7 +48,7 @@ std::vector<StreamJob> build_workload() {
   return jobs;
 }
 
-RunReport run_policy(const DctLibrary& library, SchedulingPolicy policy, int fabrics) {
+RunReport run_policy(const KernelLibrary& library, SchedulingPolicy policy, int fabrics) {
   SchedulerConfig cfg;
   cfg.fabrics = fabrics;
   cfg.queue.policy = policy;
@@ -63,7 +63,7 @@ RunReport run_policy(const DctLibrary& library, SchedulingPolicy policy, int fab
 
 int main() {
   std::printf("compiling the kernel library (6 DCT implementations + ME context)...\n");
-  const DctLibrary library;
+  const KernelLibrary library;
   std::printf("library ready: %zu DCT bitstreams + the ME context, %zu bytes total\n\n",
               library.names().size(), library.total_bytes());
 

@@ -78,7 +78,7 @@ inline std::vector<runtime::StreamJob> build_dynamic_workload(soc::ConditionPoli
 /// a context store bounded to half the library. One fabric = one worker
 /// thread, so the dispatch order — and with it the modeled makespan — is
 /// exactly reproducible run to run; acceptance bars are hard numbers.
-inline runtime::RunReport run_dynamic_policy(const runtime::DctLibrary& library,
+inline runtime::RunReport run_dynamic_policy(const runtime::KernelLibrary& library,
                                              soc::ConditionPolicy policy,
                                              std::vector<runtime::StreamJob>& jobs_out,
                                              double band = kHysteresisBand,

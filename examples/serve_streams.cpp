@@ -16,8 +16,15 @@
 //
 // With --partial a bitstream switch rewrites only the cluster frames
 // that differ from the fabric's resident configuration (the library's
-// precomputed delta table) instead of reloading the full stream — the
-// run report shows partial vs full reloads and the delta bytes shifted.
+// precomputed delta table) instead of reloading the full stream, and a
+// context-cache miss fetches only the delta bytes over the bus — the
+// run report shows partial vs full reloads, the delta bytes shifted and
+// the bus bytes saved.
+//
+// With --hetero one transform fabric shrinks to the small 8x4 array the
+// scc mappings fit (cordic1/cordic2 do not): dispatch filters candidate
+// fabrics by placement feasibility, and the per-geometry table shows
+// how often routing steered around the small array.
 #include <cstdio>
 #include <cstring>
 
@@ -30,17 +37,24 @@ int main(int argc, char** argv) {
 
   bool dynamic = false;
   bool partial = false;
+  bool hetero = false;
   for (int a = 1; a < argc; ++a) {
     if (std::strcmp(argv[a], "--dynamic") == 0 || std::strcmp(argv[a], "-d") == 0)
       dynamic = true;
     else if (std::strcmp(argv[a], "--partial") == 0 || std::strcmp(argv[a], "-p") == 0)
       partial = true;
+    else if (std::strcmp(argv[a], "--hetero") == 0 || std::strcmp(argv[a], "-g") == 0)
+      hetero = true;
     else
-      std::fprintf(stderr, "unknown flag '%s' (known: --dynamic, --partial)\n", argv[a]);
+      std::fprintf(stderr, "unknown flag '%s' (known: --dynamic, --partial, --hetero)\n",
+                   argv[a]);
   }
 
-  std::printf("compiling the shared DCT library...\n");
-  const DctLibrary library;
+  std::printf("compiling the shared kernel library%s...\n",
+              hetero ? " (geometries 12x8 + 8x4)" : "");
+  KernelLibraryConfig lib_cfg;
+  if (hetero) lib_cfg.geometries = {kDefaultGeometry, kSmallSccGeometry};
+  const KernelLibrary library(lib_cfg);
 
   struct Caller {
     const char* label;
@@ -90,25 +104,36 @@ int main(int argc, char** argv) {
   cfg.queue.mode = DispatchMode::kStagePipeline;
   // The paper's SoC floorplan: one systolic ME fabric beside two
   // DA/CORDIC transform fabrics, each with a bounded context store.
+  // With --hetero the second transform fabric is the small 8x4 array.
   FabricConfig me_fabric, dct_fabric;
   me_fabric.capabilities = kCapMotionEstimation;
   me_fabric.partial_reconfig = partial;
+  me_fabric.delta_fetch = partial;
   dct_fabric.capabilities = kCapDctTransform;
-  dct_fabric.context_capacity_bytes = library.total_bytes() / 2;
+  dct_fabric.context_capacity_bytes = library.total_bytes(kDefaultGeometry) / 2;
   dct_fabric.partial_reconfig = partial;
-  cfg.fabric_configs = {me_fabric, dct_fabric, dct_fabric};
+  dct_fabric.delta_fetch = partial;
+  FabricConfig small_dct = dct_fabric;
+  small_dct.geometry = kSmallSccGeometry;
+  small_dct.context_capacity_bytes = 0;  // the small library fits whole
+  cfg.fabric_configs = {me_fabric, dct_fabric, hetero ? small_dct : dct_fabric};
 
   std::printf("\nserving %zu streams%s, stage-pipelined over %zu fabrics "
-              "(1 systolic ME + 2 DA/CORDIC)%s...\n\n",
+              "(1 systolic ME + %s)%s...\n\n",
               jobs.size(), dynamic ? " under drifting conditions" : "",
               cfg.fabric_configs.size(),
-              partial ? ", partial reconfiguration on" : "");
+              hetero ? "a 12x8 + an 8x4 DA/CORDIC" : "2 DA/CORDIC",
+              partial ? ", partial reconfiguration + delta fetch on" : "");
   const RunReport report = MultiStreamScheduler(library, cfg).run(jobs);
 
   stream_table(report).print();
   if (dynamic) {
     std::printf("\n");
     condition_table(report).print();
+  }
+  if (hetero) {
+    std::printf("\n");
+    geometry_table(report).print();
   }
   std::printf("\n");
   reconfig_table(report).print();
@@ -128,10 +153,17 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(report.condition_switches));
   if (partial)
     std::printf("partial reconfiguration served %llu of %d switches as cluster-frame "
-                "deltas (%llu bytes through the port instead of full bitstreams).\n",
+                "deltas (%llu bytes through the port instead of full bitstreams); "
+                "delta-aware fetch saved %llu bus bytes on %llu cache misses.\n",
                 static_cast<unsigned long long>(report.partial_reloads),
                 report.total_switches,
-                static_cast<unsigned long long>(report.delta_bytes));
+                static_cast<unsigned long long>(report.delta_bytes),
+                static_cast<unsigned long long>(report.cache.bytes_saved),
+                static_cast<unsigned long long>(report.cache.delta_fetches));
+  if (hetero)
+    std::printf("the small 8x4 array cannot place cordic1/cordic2; dispatch routed "
+                "around it %llu times and the streams it can host batched onto it.\n",
+                static_cast<unsigned long long>(report.placement_rejections));
   std::printf("the fabrics stay the same silicon; the scheduler just chooses when to "
               "pay the configuration port.\n");
   return 0;

@@ -13,9 +13,11 @@ soc::PartialReloadCost delta_reload_cost(const ConfigDelta& delta) {
 }
 
 ContextCache::ContextCache(soc::ReconfigManager& manager, soc::Bus& bus, FetchFn fetch,
-                           ContextCacheConfig config, KernelFn kernel_of, ImageFn image_of)
+                           ContextCacheConfig config, KernelFn kernel_of, ImageFn image_of,
+                           DeltaBytesFn delta_bytes_of)
     : manager_(manager), bus_(bus), fetch_(std::move(fetch)),
-      kernel_of_(std::move(kernel_of)), image_of_(std::move(image_of)), config_(config) {
+      kernel_of_(std::move(kernel_of)), image_of_(std::move(image_of)),
+      delta_bytes_of_(std::move(delta_bytes_of)), config_(config) {
   // Pre-existing contexts (e.g. a manager seeded by hand) count as resident
   // in arbitrary recency order.
   for (const auto& name : manager_.names()) {
@@ -122,8 +124,34 @@ std::uint64_t ContextCache::touch(const std::string& name) {
     evict_down_to(budget);
   }
 
-  const std::uint64_t cycles = bus_.transfer(bits.size() * 8);
-  stats_.bytes_fetched += bits.size();
+  // Delta-aware fetch (PR 4 follow-on): the resident configuration's
+  // frame image is pinned on the fabric, so when the backing store also
+  // knows the target's image on the same grid, the bus only has to move
+  // the encoded frame delta — the controller replays it on the resident
+  // image to rebuild the full context locally. The full stream is still
+  // what gets stored (capacity accounting and full reloads unchanged).
+  // Library pairs answer from the precomputed delta table; only pairs
+  // outside it pay the on-demand diff over the retained images.
+  std::size_t transfer_bytes = bits.size();
+  if (config_.delta_fetch && manager_.resident() && *manager_.resident() != name) {
+    std::optional<std::size_t> delta_bytes =
+        delta_bytes_of_ ? delta_bytes_of_(*manager_.resident(), name) : std::nullopt;
+    if (!delta_bytes) {
+      const ConfigFrameImage* base = frame_image(*manager_.resident());
+      const ConfigFrameImage* target = image_of_ ? image_of_(name) : nullptr;
+      if (base != nullptr && target != nullptr && base->width == target->width &&
+          base->height == target->height)
+        delta_bytes = encode_config_delta(diff_config_frames(*base, *target)).size();
+    }
+    if (delta_bytes && *delta_bytes < bits.size()) {
+      transfer_bytes = *delta_bytes;
+      ++stats_.delta_fetches;
+      stats_.bytes_saved += bits.size() - *delta_bytes;
+    }
+  }
+
+  const std::uint64_t cycles = bus_.transfer(transfer_bytes * 8);
+  stats_.bytes_fetched += transfer_bytes;
   stats_.fetch_cycles += cycles;
   manager_.store(name, bits, kernel_of_ ? kernel_of_(name) : "dct");
   retain_image(name);

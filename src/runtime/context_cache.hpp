@@ -31,6 +31,15 @@ namespace dsra::runtime {
 
 struct ContextCacheConfig {
   std::size_t capacity_bytes = 0;  ///< 0 = unbounded
+  /// Delta-aware fetch: on a miss where the fabric's resident frame
+  /// image is retained and the backing store knows the target's image on
+  /// the same grid, only the encoded delta bytes cross the bus — the
+  /// controller rebuilds the full context locally from the pinned
+  /// resident image. The stored context is still the full stream, so
+  /// capacity accounting and later full reloads are unchanged; with this
+  /// enabled, bytes_fetched counts actual bus bytes and no longer
+  /// balances against bytes_evicted.
+  bool delta_fetch = false;
 };
 
 struct ContextCacheStats {
@@ -42,6 +51,8 @@ struct ContextCacheStats {
   std::uint64_t fetch_cycles = 0;       ///< bus cycles spent on misses
   std::uint64_t oversize_fetches = 0;   ///< fetches larger than the whole capacity
   std::uint64_t bytes_bypassed = 0;     ///< bytes stored outside the LRU bound
+  std::uint64_t delta_fetches = 0;      ///< misses served by a delta-only bus fetch
+  std::uint64_t bytes_saved = 0;        ///< full-stream bytes the delta fetches avoided
 
   ContextCacheStats& operator+=(const ContextCacheStats& o) {
     hits += o.hits;
@@ -52,6 +63,8 @@ struct ContextCacheStats {
     fetch_cycles += o.fetch_cycles;
     oversize_fetches += o.oversize_fetches;
     bytes_bypassed += o.bytes_bypassed;
+    delta_fetches += o.delta_fetches;
+    bytes_saved += o.bytes_saved;
     return *this;
   }
 };
@@ -71,12 +84,20 @@ class ContextCache {
   /// the cache — see frame_image().
   using ImageFn = std::function<const ConfigFrameImage*(const std::string&)>;
 
+  /// Precomputed encoded-delta byte size of base -> target (nullopt when
+  /// the backing store has no delta for the pair). Lets the delta-aware
+  /// fetch answer the common case from the library's table instead of
+  /// re-diffing full frame images on every miss.
+  using DeltaBytesFn =
+      std::function<std::optional<std::size_t>(const std::string& base,
+                                               const std::string& target)>;
+
   /// Installs itself as @p manager's eviction hook so external evictions
   /// keep the recency list consistent. A null @p kernel_of tags every
   /// context "dct" (the historical default).
   ContextCache(soc::ReconfigManager& manager, soc::Bus& bus, FetchFn fetch,
                ContextCacheConfig config = {}, KernelFn kernel_of = nullptr,
-               ImageFn image_of = nullptr);
+               ImageFn image_of = nullptr, DeltaBytesFn delta_bytes_of = nullptr);
   ~ContextCache();
 
   ContextCache(const ContextCache&) = delete;
@@ -150,6 +171,7 @@ class ContextCache {
   FetchFn fetch_;
   KernelFn kernel_of_;
   ImageFn image_of_;
+  DeltaBytesFn delta_bytes_of_;
   ContextCacheConfig config_;
   std::list<std::string> lru_;  ///< front = LRU, back = MRU
   std::map<std::string, std::size_t> bypass_;  ///< oversize residents, name -> bytes

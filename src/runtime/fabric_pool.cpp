@@ -1,5 +1,6 @@
 #include "runtime/fabric_pool.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "core/arch.hpp"
@@ -22,142 +23,284 @@ ConfigFrameImage image_of_design(const Netlist& netlist, const map::Placement& p
   return build_frame_image(arch.width(), arch.height(), placed);
 }
 
+/// The systolic ME array instance a fabric of @p geometry carves out:
+/// one processing element spans a 2x2 cluster footprint, so a W x H grid
+/// hosts a (W/2) x (H/2) PE array (the 12x8 full array keeps the
+/// historical 6x4 ME instance). Too-small grids fail place/route, which
+/// is exactly how me_systolic becomes infeasible on the small scc
+/// geometries.
+ArrayArch me_arch_for(const ArrayGeometry& geometry) {
+  const int pe_cols = std::max(1, geometry.width / 2);
+  const int pe_rows = std::max(1, geometry.height / 2);
+  return ArrayArch::motion_estimation(pe_cols, pe_rows, ChannelSpec{6, 12});
+}
+
 }  // namespace
 
-DctLibrary::DctLibrary(DctLibraryConfig config) {
-  const ArrayArch array =
-      ArrayArch::distributed_arithmetic(config.array_width, config.array_height);
+KernelLibrary::KernelLibrary(KernelLibraryConfig config)
+    : geometries_(std::move(config.geometries)) {
+  if (geometries_.empty())
+    throw std::invalid_argument("kernel library needs at least one array geometry");
   impls_ = dct::all_implementations(config.precision);
-  for (const auto& impl : impls_) {
-    const Netlist nl = impl->build_netlist();
-    map::FlowParams params;
-    params.place.seed = 17;
-    map::CompiledDesign design = map::compile(nl, array, params);
-    frame_images_.emplace(impl->name(), image_of_design(nl, design.placement, array));
-    bitstreams_.emplace(impl->name(), std::move(design.bitstream));
-  }
 
-  // The systolic ME array's configuration context, compiled onto the ME
-  // fabric (a scaled instance keeps library construction cheap; the
-  // scheduler's cycle model is parameterised independently).
   me::SystolicParams me_params;
   me_params.block = 4;
   me_params.modules = 2;
-  const Netlist me_nl = me::build_systolic_netlist(me_params);
-  const ArrayArch me_arch = ArrayArch::motion_estimation(6, 4, ChannelSpec{6, 12});
-  map::FlowParams me_flow;
-  me_flow.place.seed = 11;
-  map::CompiledDesign me_design = map::compile(me_nl, me_arch, me_flow);
-  frame_images_.emplace(kMeContextName, image_of_design(me_nl, me_design.placement, me_arch));
-  bitstreams_.emplace(kMeContextName, std::move(me_design.bitstream));
+  const Netlist me_netlist = me::build_systolic_netlist(me_params);
 
-  // Precompute the pairwise delta table over every context pair sharing
-  // an array geometry (the DCT variants; the ME context stands alone, so
-  // a DCT <-> ME pair correctly has no entry and falls back to a full
-  // reload). Each entry is verified on the spot: base + delta must
-  // reproduce the target image bit-exactly or the library refuses to
-  // advertise the partial path.
-  for (const auto& [base_name, base_image] : frame_images_) {
-    for (const auto& [target_name, target_image] : frame_images_) {
-      if (base_name == target_name) continue;
-      if (base_image.width != target_image.width ||
-          base_image.height != target_image.height)
-        continue;
-      DeltaEntry entry;
-      entry.delta = diff_config_frames(base_image, target_image);
-      if (apply_config_delta(base_image, entry.delta) != target_image)
-        throw std::runtime_error("config delta " + base_name + " -> " + target_name +
-                                 " fails the round-trip guarantee");
-      entry.cost = delta_reload_cost(entry.delta);
-      deltas_.emplace(std::pair(base_name, target_name), std::move(entry));
+  for (const ArrayGeometry& geometry : geometries_) {
+    if (entries_.count(geometry) != 0) continue;  // duplicates compile once
+    GeometryEntry& entry = entries_[geometry];
+
+    // The DA/CORDIC contexts target a distributed-arithmetic grid of the
+    // geometry's size; whether an implementation fits is decided by
+    // actually running place/route, not by a side table that could drift
+    // from the mapper.
+    const ArrayArch array =
+        ArrayArch::distributed_arithmetic(geometry.width, geometry.height);
+    for (const auto& impl : impls_) {
+      const Netlist netlist = impl->build_netlist();
+      map::FlowParams params;
+      params.place.seed = 17;
+      try {
+        map::CompiledDesign design = map::compile(netlist, array, params);
+        entry.frame_images.emplace(impl->name(),
+                                   image_of_design(netlist, design.placement, array));
+        entry.bitstreams.emplace(impl->name(), std::move(design.bitstream));
+      } catch (const std::runtime_error& e) {
+        // The mapper signals infeasibility (site shortage, routing
+        // non-convergence) as std::runtime_error; anything else — a
+        // logic error, allocation failure — must stay loud.
+        entry.unfit_reasons.emplace(impl->name(), e.what());
+      }
+    }
+
+    // The systolic ME array's configuration context, compiled onto the
+    // ME instance this geometry can carve out (a scaled instance keeps
+    // library construction cheap; the scheduler's cycle model is
+    // parameterised independently).
+    const ArrayArch me_array = me_arch_for(geometry);
+    map::FlowParams me_flow;
+    me_flow.place.seed = 11;
+    try {
+      map::CompiledDesign me_design = map::compile(me_netlist, me_array, me_flow);
+      entry.frame_images.emplace(kMeContextName,
+                                 image_of_design(me_netlist, me_design.placement, me_array));
+      entry.bitstreams.emplace(kMeContextName, std::move(me_design.bitstream));
+    } catch (const std::runtime_error& e) {
+      entry.unfit_reasons.emplace(kMeContextName, e.what());
+    }
+
+    // Precompute the pairwise delta table over every context pair of
+    // this geometry sharing an array grid (the DCT variants; the ME
+    // context lives on its own grid, so a DCT <-> ME pair correctly has
+    // no entry and falls back to a full reload). Each entry is verified
+    // on the spot: base + delta must reproduce the target image
+    // bit-exactly or the library refuses to advertise the partial path.
+    for (const auto& [base_name, base_image] : entry.frame_images) {
+      for (const auto& [target_name, target_image] : entry.frame_images) {
+        if (base_name == target_name) continue;
+        if (base_image.width != target_image.width ||
+            base_image.height != target_image.height)
+          continue;
+        DeltaEntry delta_entry;
+        delta_entry.delta = diff_config_frames(base_image, target_image);
+        if (apply_config_delta(base_image, delta_entry.delta) != target_image)
+          throw std::runtime_error("config delta " + base_name + " -> " + target_name +
+                                   " on geometry " + to_string(geometry) +
+                                   " fails the round-trip guarantee");
+        delta_entry.cost = delta_reload_cost(delta_entry.delta);
+        entry.deltas.emplace(std::pair(base_name, target_name), std::move(delta_entry));
+      }
     }
   }
 }
 
-const dct::DctImplementation* DctLibrary::impl(const std::string& name) const {
+const KernelLibrary::GeometryEntry& KernelLibrary::entry_of(
+    const ArrayGeometry& geometry) const {
+  const auto it = entries_.find(geometry);
+  if (it == entries_.end())
+    throw std::invalid_argument("kernel library was not built for array geometry " +
+                                to_string(geometry) +
+                                "; list it in KernelLibraryConfig.geometries");
+  return it->second;
+}
+
+const dct::DctImplementation* KernelLibrary::impl(const std::string& name) const {
   for (const auto& impl : impls_)
     if (impl->name() == name) return impl.get();
   return nullptr;
 }
 
-const std::vector<std::uint8_t>& DctLibrary::bitstream(const std::string& name) const {
-  const auto it = bitstreams_.find(name);
-  if (it == bitstreams_.end())
-    throw std::invalid_argument("unknown implementation '" + name + "'");
-  return it->second;
+bool KernelLibrary::fits(const std::string& name, const ArrayGeometry& geometry) const {
+  const auto it = entries_.find(geometry);
+  return it != entries_.end() && it->second.bitstreams.count(name) != 0;
 }
 
-std::string DctLibrary::kernel_of(const std::string& name) const {
+const std::string& KernelLibrary::unfit_reason(const std::string& name,
+                                               const ArrayGeometry& geometry) const {
+  static const std::string empty;
+  const auto it = entries_.find(geometry);
+  if (it == entries_.end()) return empty;
+  const auto reason = it->second.unfit_reasons.find(name);
+  return reason == it->second.unfit_reasons.end() ? empty : reason->second;
+}
+
+const std::vector<std::uint8_t>& KernelLibrary::bitstream(
+    const std::string& name, const ArrayGeometry& geometry) const {
+  const GeometryEntry& entry = entry_of(geometry);
+  const auto it = entry.bitstreams.find(name);
+  if (it != entry.bitstreams.end()) return it->second;
+  const auto reason = entry.unfit_reasons.find(name);
+  if (reason != entry.unfit_reasons.end())
+    throw std::invalid_argument("implementation '" + name +
+                                "' does not fit array geometry " + to_string(geometry) +
+                                ": " + reason->second);
+  throw std::invalid_argument("unknown implementation '" + name + "'");
+}
+
+const std::vector<std::uint8_t>& KernelLibrary::bitstream(const std::string& name) const {
+  return bitstream(name, primary_geometry());
+}
+
+std::string KernelLibrary::kernel_of(const std::string& name) const {
   return name == kMeContextName ? "me" : "dct";
 }
 
-std::vector<std::string> DctLibrary::names() const {
+std::vector<std::string> KernelLibrary::names() const {
   std::vector<std::string> out;
   out.reserve(impls_.size());
   for (const auto& impl : impls_) out.push_back(impl->name());
   return out;
 }
 
-std::size_t DctLibrary::total_bytes() const {
+std::vector<std::string> KernelLibrary::context_names() const {
+  std::vector<std::string> out = names();
+  out.push_back(kMeContextName);
+  return out;
+}
+
+bool KernelLibrary::has_geometry(const ArrayGeometry& geometry) const {
+  return entries_.count(geometry) != 0;
+}
+
+std::size_t KernelLibrary::total_bytes() const {
   std::size_t total = 0;
-  for (const auto& [name, bits] : bitstreams_) total += bits.size();
+  for (const auto& [geometry, entry] : entries_)
+    for (const auto& [name, bits] : entry.bitstreams) total += bits.size();
   return total;
 }
 
-const ConfigFrameImage& DctLibrary::frame_image(const std::string& name) const {
-  const auto it = frame_images_.find(name);
-  if (it == frame_images_.end())
-    throw std::invalid_argument("unknown implementation '" + name + "'");
-  return it->second;
+std::size_t KernelLibrary::total_bytes(const ArrayGeometry& geometry) const {
+  std::size_t total = 0;
+  for (const auto& [name, bits] : entry_of(geometry).bitstreams) total += bits.size();
+  return total;
 }
 
-const ConfigDelta* DctLibrary::delta(const std::string& base,
-                                     const std::string& target) const {
-  const auto it = deltas_.find(std::pair(base, target));
-  return it == deltas_.end() ? nullptr : &it->second.delta;
+const ConfigFrameImage& KernelLibrary::frame_image(const std::string& name,
+                                                   const ArrayGeometry& geometry) const {
+  const GeometryEntry& entry = entry_of(geometry);
+  const auto it = entry.frame_images.find(name);
+  if (it != entry.frame_images.end()) return it->second;
+  const auto reason = entry.unfit_reasons.find(name);
+  if (reason != entry.unfit_reasons.end())
+    throw std::invalid_argument("implementation '" + name +
+                                "' does not fit array geometry " + to_string(geometry) +
+                                ": " + reason->second);
+  throw std::invalid_argument("unknown implementation '" + name + "'");
 }
 
-std::optional<soc::PartialReloadCost> DctLibrary::delta_cost(
-    const std::string& base, const std::string& target) const {
-  const auto it = deltas_.find(std::pair(base, target));
-  if (it == deltas_.end()) return std::nullopt;
+const ConfigFrameImage& KernelLibrary::frame_image(const std::string& name) const {
+  return frame_image(name, primary_geometry());
+}
+
+const ConfigDelta* KernelLibrary::delta(const ArrayGeometry& geometry,
+                                        const std::string& base,
+                                        const std::string& target) const {
+  const auto entry = entries_.find(geometry);
+  if (entry == entries_.end()) return nullptr;
+  const auto it = entry->second.deltas.find(std::pair(base, target));
+  return it == entry->second.deltas.end() ? nullptr : &it->second.delta;
+}
+
+const ConfigDelta* KernelLibrary::delta(const std::string& base,
+                                        const std::string& target) const {
+  return delta(primary_geometry(), base, target);
+}
+
+std::optional<soc::PartialReloadCost> KernelLibrary::delta_cost(
+    const ArrayGeometry& geometry, const std::string& base,
+    const std::string& target) const {
+  const auto entry = entries_.find(geometry);
+  if (entry == entries_.end()) return std::nullopt;
+  const auto it = entry->second.deltas.find(std::pair(base, target));
+  if (it == entry->second.deltas.end()) return std::nullopt;
   return it->second.cost;
 }
 
-Fabric::Fabric(int id, const DctLibrary& library, const FabricConfig& config)
+std::optional<soc::PartialReloadCost> KernelLibrary::delta_cost(
+    const std::string& base, const std::string& target) const {
+  return delta_cost(primary_geometry(), base, target);
+}
+
+Fabric::Fabric(int id, const KernelLibrary& library, const FabricConfig& config)
     : id_(id),
       capabilities_(config.capabilities),
+      geometry_(config.geometry),
       library_(library),
       reconfig_(config.reconfig_port),
       bus_(config.bus),
       cache_(
           reconfig_, bus_,
           [this](const std::string& name) -> const std::vector<std::uint8_t>& {
-            return library_.bitstream(name);
+            return library_.bitstream(name, geometry_);
           },
-          ContextCacheConfig{config.context_capacity_bytes},
+          ContextCacheConfig{config.context_capacity_bytes, config.delta_fetch},
           [this](const std::string& name) { return library_.kernel_of(name); },
           [this](const std::string& name) -> const ConfigFrameImage* {
             try {
-              return &library_.frame_image(name);
+              return &library_.frame_image(name, geometry_);
             } catch (const std::invalid_argument&) {
               return nullptr;
             }
+          },
+          [this](const std::string& base,
+                 const std::string& target) -> std::optional<std::size_t> {
+            if (auto cost = library_.delta_cost(geometry_, base, target))
+              return static_cast<std::size_t>(cost->delta_bytes);
+            return std::nullopt;
           }) {
+  if (!library.has_geometry(config.geometry))
+    throw std::invalid_argument("fabric " + std::to_string(id) +
+                                ": kernel library was not built for array geometry " +
+                                to_string(config.geometry) +
+                                "; list it in KernelLibraryConfig.geometries");
   if (config.partial_reconfig) {
-    // Library pairs come from the precomputed table; anything else (e.g.
-    // a context whose store entry was replaced by hand) falls back to an
-    // on-demand diff over the cache's retained frame images.
+    // Library pairs come from the precomputed per-geometry table;
+    // anything else (e.g. a context whose store entry was replaced by
+    // hand) falls back to an on-demand diff over the cache's retained
+    // frame images.
     reconfig_.enable_partial_reconfig(
         [this](const std::string& base,
                const std::string& target) -> std::optional<soc::PartialReloadCost> {
-          if (auto cost = library_.delta_cost(base, target)) return cost;
+          if (auto cost = library_.delta_cost(geometry_, base, target)) return cost;
           return cache_.delta_cost(base, target);
         });
   }
 }
 
+bool Fabric::hosts(const std::string& impl_name) const {
+  return library_.fits(impl_name, geometry_);
+}
+
 std::uint64_t Fabric::prepare(const std::string& impl_name) {
+  if (!hosts(impl_name)) {
+    const std::string& reason = library_.unfit_reason(impl_name, geometry_);
+    throw std::invalid_argument(
+        "fabric " + std::to_string(id_) + " (geometry " + to_string(geometry_) +
+        ") cannot host context '" + impl_name + "'" +
+        (reason.empty() ? std::string(": unknown implementation") : ": " + reason));
+  }
   const std::uint64_t fetch_cycles = cache_.touch(impl_name);
   const std::uint64_t switch_cycles = reconfig_.activate(impl_name);
   // The pre-switch context was pinned while the load was in flight; with
@@ -170,22 +313,51 @@ const dct::DctImplementation* Fabric::active_impl() const {
   return reconfig_.active() ? library_.impl(*reconfig_.active()) : nullptr;
 }
 
-FabricPool::FabricPool(int count, const DctLibrary& library, const FabricConfig& config)
+FabricPool::FabricPool(int count, const KernelLibrary& library, const FabricConfig& config)
     : FabricPool(std::vector<FabricConfig>(static_cast<std::size_t>(count > 0 ? count : 0),
                                            config),
                  library) {}
 
-FabricPool::FabricPool(const std::vector<FabricConfig>& configs, const DctLibrary& library) {
+FabricPool::FabricPool(const std::vector<FabricConfig>& configs, const KernelLibrary& library) {
   if (configs.empty()) throw std::invalid_argument("fabric pool needs at least one fabric");
   fabrics_.reserve(configs.size());
   for (std::size_t k = 0; k < configs.size(); ++k)
     fabrics_.push_back(std::make_unique<Fabric>(static_cast<int>(k), library, configs[k]));
 }
 
+Fabric& FabricPool::at(int i) {
+  if (i < 0 || i >= size())
+    throw std::out_of_range("fabric pool: index " + std::to_string(i) +
+                            " out of range [0, " + std::to_string(size()) + ")");
+  return *fabrics_[static_cast<std::size_t>(i)];
+}
+
+const Fabric& FabricPool::at(int i) const {
+  if (i < 0 || i >= size())
+    throw std::out_of_range("fabric pool: index " + std::to_string(i) +
+                            " out of range [0, " + std::to_string(size()) + ")");
+  return *fabrics_[static_cast<std::size_t>(i)];
+}
+
 unsigned FabricPool::combined_capabilities() const {
   unsigned caps = 0;
   for (const auto& f : fabrics_) caps |= f->capabilities();
   return caps;
+}
+
+bool FabricPool::any_fabric_hosts(const std::string& context, unsigned capability) const {
+  for (const auto& f : fabrics_)
+    if ((f->capabilities() & capability) != 0 && f->hosts(context)) return true;
+  return false;
+}
+
+std::string FabricPool::geometry_list() const {
+  std::string out;
+  for (const auto& f : fabrics_) {
+    if (!out.empty()) out += ", ";
+    out += to_string(f->geometry());
+  }
+  return out;
 }
 
 std::uint64_t FabricPool::total_reconfig_cycles() const {
@@ -233,6 +405,12 @@ std::uint64_t FabricPool::frames_rewritten() const {
 std::uint64_t FabricPool::delta_bytes_loaded() const {
   std::uint64_t total = 0;
   for (const auto& f : fabrics_) total += f->reconfig().delta_bytes_loaded();
+  return total;
+}
+
+int FabricPool::total_tiles() const {
+  int total = 0;
+  for (const auto& f : fabrics_) total += f->geometry().tiles();
   return total;
 }
 

@@ -1,17 +1,19 @@
 // Pool of simulated array fabrics.
 //
-// Each fabric is one array instance fronted by its own ReconfigManager
-// (the configuration port) and a bounded bitstream context cache; the
-// compiled kernel library (netlist -> place/route -> bitstream, once per
-// implementation) is shared read-only by every fabric. A fabric also
+// Each fabric is one array instance of a specific ArrayGeometry fronted
+// by its own ReconfigManager (the configuration port) and a bounded
+// bitstream context cache; the compiled kernel library (netlist ->
+// place/route -> bitstream, once per implementation per geometry that
+// can host it) is shared read-only by every fabric. A fabric also
 // advertises which kernel classes its silicon hosts: the paper's SoC has
 // a systolic ME array and a DA/CORDIC transform array as separate
 // domain-specific fabrics, and the stage scheduler routes each stage job
-// to a capable fabric only. prepare() is the single entry the scheduler
-// uses: on a cache miss it charges bus cycles to fetch the context from
-// main memory, and on a bitstream switch it charges the
-// configuration-port cycles — soc::Platform's cost model, multiplied
-// across K fabrics.
+// to a fabric that is both *capable* (kernel class) and *feasible* (the
+// job's context places and routes on the fabric's geometry). prepare()
+// is the single entry the scheduler uses: on a cache miss it charges bus
+// cycles to fetch the context from main memory, and on a bitstream
+// switch it charges the configuration-port cycles — soc::Platform's cost
+// model, multiplied across K fabrics.
 #pragma once
 
 #include <cstddef>
@@ -25,30 +27,58 @@
 #include "core/config_codec.hpp"
 #include "dct/impl.hpp"
 #include "runtime/context_cache.hpp"
+#include "runtime/geometry.hpp"
 #include "runtime/kernel.hpp"
 #include "soc/bus.hpp"
 #include "soc/reconfig.hpp"
 
 namespace dsra::runtime {
 
-struct DctLibraryConfig {
-  int array_width = 12;
-  int array_height = 8;
+struct KernelLibraryConfig {
+  /// Distinct array geometries the library compiles for. Every fabric's
+  /// geometry must be listed here; the first entry is the *primary*
+  /// geometry the single-argument lookups resolve against.
+  std::vector<ArrayGeometry> geometries{kDefaultGeometry};
   dct::DaPrecision precision = dct::DaPrecision::wide();
 };
 
-/// All six DCT implementations compiled onto the DA array, plus the
-/// systolic ME array's configuration context compiled onto the ME fabric
-/// — once each, shared read-only by every fabric in the pool.
-class DctLibrary {
+/// Geometry-indexed kernel library: the paper's six DCT implementations
+/// plus the systolic ME array's configuration context, each compiled
+/// once per distinct array geometry that can host it. Place/route
+/// feasibility decides what "can host" means — the small scc mappings
+/// fit small arrays, cordic1/cordic2/me_systolic need the full array —
+/// and the precomputed fits() matrix is what dispatch, validation and
+/// Fabric::prepare consult. Per geometry the library also keeps the
+/// frame-addressable configuration images and the pairwise delta table
+/// partial reconfiguration charges against.
+class KernelLibrary {
  public:
-  explicit DctLibrary(DctLibraryConfig config = {});
+  explicit KernelLibrary(KernelLibraryConfig config = {});
 
-  /// Null when @p name is unknown.
+  /// Null when @p name is unknown. The functional model is geometry-
+  /// independent: every geometry's bitstream of one implementation
+  /// computes bit-identical transforms.
   [[nodiscard]] const dct::DctImplementation* impl(const std::string& name) const;
 
-  /// Throws std::invalid_argument on unknown names. Knows the DCT
-  /// implementations and kMeContextName.
+  /// Placement feasibility: true iff @p name compiled (place + route +
+  /// bitstream + frame image) onto @p geometry. False for unknown names
+  /// and unknown geometries.
+  [[nodiscard]] bool fits(const std::string& name, const ArrayGeometry& geometry) const;
+
+  /// Why fits() is false: the place/route failure message recorded at
+  /// library build ("architecture ... provides 24 AddShift sites but
+  /// netlist ... needs 36"). Empty when the pair fits or is unknown.
+  [[nodiscard]] const std::string& unfit_reason(const std::string& name,
+                                                const ArrayGeometry& geometry) const;
+
+  /// Bitstream of @p name compiled for @p geometry. Throws
+  /// std::invalid_argument on unknown names, geometries the library was
+  /// not built for, and infeasible (impl, geometry) pairs — the latter
+  /// naming both the implementation and the geometry.
+  [[nodiscard]] const std::vector<std::uint8_t>& bitstream(
+      const std::string& name, const ArrayGeometry& geometry) const;
+
+  /// bitstream(name, primary geometry).
   [[nodiscard]] const std::vector<std::uint8_t>& bitstream(const std::string& name) const;
 
   /// Kernel tag of @p name's context: "me" for kMeContextName, "dct"
@@ -57,23 +87,43 @@ class DctLibrary {
 
   /// DCT implementation names (the ME context is listed separately).
   [[nodiscard]] std::vector<std::string> names() const;
-  [[nodiscard]] std::size_t total_bytes() const;
 
-  /// Frame-addressable configuration image of @p name's context (one
-  /// frame per occupied cluster). Throws std::invalid_argument on
-  /// unknown names.
+  /// Every context name the library compiles: the DCT implementations
+  /// plus kMeContextName — the row axis of the feasibility matrix.
+  [[nodiscard]] std::vector<std::string> context_names() const;
+
+  [[nodiscard]] const std::vector<ArrayGeometry>& geometries() const { return geometries_; }
+  [[nodiscard]] bool has_geometry(const ArrayGeometry& geometry) const;
+  [[nodiscard]] const ArrayGeometry& primary_geometry() const { return geometries_.front(); }
+
+  /// Compiled bitstream bytes across every geometry / the one geometry.
+  [[nodiscard]] std::size_t total_bytes() const;
+  [[nodiscard]] std::size_t total_bytes(const ArrayGeometry& geometry) const;
+
+  /// Frame-addressable configuration image of @p name's context on
+  /// @p geometry (one frame per occupied cluster). Same error contract
+  /// as bitstream().
+  [[nodiscard]] const ConfigFrameImage& frame_image(const std::string& name,
+                                                    const ArrayGeometry& geometry) const;
   [[nodiscard]] const ConfigFrameImage& frame_image(const std::string& name) const;
 
   /// Precomputed minimal frame rewrite turning @p base's cluster
-  /// programming into @p target's. Null when the pair has no delta
-  /// (unknown name, identical contexts, or contexts compiled onto
-  /// different array geometries such as a DCT <-> ME switch).
+  /// programming into @p target's on @p geometry. Null when the pair has
+  /// no delta (unknown name, identical contexts, or contexts compiled
+  /// onto different array grids such as a DCT <-> ME switch).
+  [[nodiscard]] const ConfigDelta* delta(const ArrayGeometry& geometry,
+                                         const std::string& base,
+                                         const std::string& target) const;
   [[nodiscard]] const ConfigDelta* delta(const std::string& base,
                                          const std::string& target) const;
 
-  /// Configuration-port cost of delta(base, target); nullopt when no
-  /// delta exists. This is what a fabric's ReconfigManager consults on
-  /// every partial switch, so it is precomputed at library build.
+  /// Configuration-port cost of delta(geometry, base, target); nullopt
+  /// when no delta exists. This is what a fabric's ReconfigManager
+  /// consults on every partial switch, so it is precomputed at library
+  /// build.
+  [[nodiscard]] std::optional<soc::PartialReloadCost> delta_cost(
+      const ArrayGeometry& geometry, const std::string& base,
+      const std::string& target) const;
   [[nodiscard]] std::optional<soc::PartialReloadCost> delta_cost(
       const std::string& base, const std::string& target) const;
 
@@ -82,12 +132,26 @@ class DctLibrary {
     ConfigDelta delta;
     soc::PartialReloadCost cost;
   };
+  /// Everything compiled for one geometry: per-context bitstreams and
+  /// frame images for the feasible contexts, the recorded place/route
+  /// failure for the infeasible ones, and the pairwise delta table.
+  struct GeometryEntry {
+    std::map<std::string, std::vector<std::uint8_t>> bitstreams;
+    std::map<std::string, ConfigFrameImage> frame_images;
+    std::map<std::string, std::string> unfit_reasons;
+    std::map<std::pair<std::string, std::string>, DeltaEntry> deltas;
+  };
+
+  [[nodiscard]] const GeometryEntry& entry_of(const ArrayGeometry& geometry) const;
 
   std::vector<std::unique_ptr<dct::DctImplementation>> impls_;
-  std::map<std::string, std::vector<std::uint8_t>> bitstreams_;
-  std::map<std::string, ConfigFrameImage> frame_images_;
-  std::map<std::pair<std::string, std::string>, DeltaEntry> deltas_;
+  std::vector<ArrayGeometry> geometries_;
+  std::map<ArrayGeometry, GeometryEntry> entries_;
 };
+
+/// Historical name from when the library knew one geometry and only DCT
+/// contexts; the runtime's call sites now say KernelLibrary.
+using DctLibrary = KernelLibrary;
 
 struct FabricConfig {
   soc::ReconfigPortConfig reconfig_port;
@@ -99,24 +163,46 @@ struct FabricConfig {
   /// (library delta table, context-cache images as fallback) instead of
   /// reloading the full stream through the configuration port.
   bool partial_reconfig = false;
+  /// Array grid of this fabric's silicon. The library must be built for
+  /// it, and only contexts that place and route on it can be prepared —
+  /// dispatch filters by fits(context, geometry) before handing this
+  /// fabric a job.
+  ArrayGeometry geometry = kDefaultGeometry;
+  /// Delta-aware context fetch: on a cache miss where the fabric's
+  /// resident frame image is known, only the delta bytes cross the bus
+  /// (the controller rebuilds the full context locally from the pinned
+  /// resident image) instead of the full bitstream.
+  bool delta_fetch = false;
 };
 
 /// One simulated array fabric. Not thread-safe by design: the scheduler
 /// dedicates one worker thread per fabric.
 class Fabric {
  public:
-  Fabric(int id, const DctLibrary& library, const FabricConfig& config);
+  /// Throws std::invalid_argument when the library was not built for
+  /// @p config.geometry.
+  Fabric(int id, const KernelLibrary& library, const FabricConfig& config);
 
   Fabric(const Fabric&) = delete;
   Fabric& operator=(const Fabric&) = delete;
 
   /// Ensure @p impl_name is resident and active; returns the cycles
   /// charged (context-fetch bus cycles + configuration-port switch
-  /// cycles; 0 when the fabric already runs this bitstream).
+  /// cycles; 0 when the fabric already runs this bitstream). Throws
+  /// std::invalid_argument — naming the fabric, its geometry and the
+  /// place/route failure — when @p impl_name does not fit this fabric's
+  /// geometry: the scheduler's feasibility filter must never hand such a
+  /// job to this fabric.
   std::uint64_t prepare(const std::string& impl_name);
+
+  /// Placement feasibility of @p impl_name on this fabric's geometry —
+  /// the predicate dispatch filters candidates by (alongside the kernel
+  /// capability mask).
+  [[nodiscard]] bool hosts(const std::string& impl_name) const;
 
   [[nodiscard]] int id() const { return id_; }
   [[nodiscard]] unsigned capabilities() const { return capabilities_; }
+  [[nodiscard]] const ArrayGeometry& geometry() const { return geometry_; }
   [[nodiscard]] const std::optional<std::string>& active() const { return reconfig_.active(); }
   [[nodiscard]] const dct::DctImplementation* active_impl() const;
   [[nodiscard]] const soc::ReconfigManager& reconfig() const { return reconfig_; }
@@ -125,7 +211,8 @@ class Fabric {
  private:
   int id_;
   unsigned capabilities_;
-  const DctLibrary& library_;
+  ArrayGeometry geometry_;
+  const KernelLibrary& library_;
   soc::ReconfigManager reconfig_;
   soc::Bus bus_;
   ContextCache cache_;
@@ -134,20 +221,32 @@ class Fabric {
 class FabricPool {
  public:
   /// Homogeneous pool: @p count identical fabrics.
-  FabricPool(int count, const DctLibrary& library, const FabricConfig& config = {});
+  FabricPool(int count, const KernelLibrary& library, const FabricConfig& config = {});
 
-  /// Heterogeneous pool: one fabric per config (e.g. a systolic-ME-only
-  /// fabric next to a DA/CORDIC-only fabric, the paper's SoC floorplan).
-  FabricPool(const std::vector<FabricConfig>& configs, const DctLibrary& library);
+  /// Heterogeneous pool: one fabric per config (e.g. one full-size
+  /// DA/CORDIC fabric next to two small scc-only fabrics — the sized-to-
+  /// the-kernel floorplan the hetero-pool bench measures).
+  FabricPool(const std::vector<FabricConfig>& configs, const KernelLibrary& library);
 
   [[nodiscard]] int size() const { return static_cast<int>(fabrics_.size()); }
-  [[nodiscard]] Fabric& at(int i) { return *fabrics_.at(static_cast<std::size_t>(i)); }
-  [[nodiscard]] const Fabric& at(int i) const {
-    return *fabrics_.at(static_cast<std::size_t>(i));
-  }
+
+  /// Bounds-checked access; throws std::out_of_range naming the index
+  /// and the valid range.
+  [[nodiscard]] Fabric& at(int i);
+  [[nodiscard]] const Fabric& at(int i) const;
 
   /// Union of every fabric's capability mask.
   [[nodiscard]] unsigned combined_capabilities() const;
+
+  /// True iff some fabric both has a capability bit of @p capability and
+  /// can place @p context on its geometry — the pool-level feasibility
+  /// test scheduler validation fails fast on.
+  [[nodiscard]] bool any_fabric_hosts(const std::string& context,
+                                      unsigned capability) const;
+
+  /// Distinct fabric geometries, in fabric order ("12x8, 8x4, 8x4"
+  /// joined) — what pool-level diagnostics name.
+  [[nodiscard]] std::string geometry_list() const;
 
   /// Configuration-port cycles paid across all fabrics.
   [[nodiscard]] std::uint64_t total_reconfig_cycles() const;
@@ -164,6 +263,10 @@ class FabricPool {
   [[nodiscard]] std::uint64_t full_reloads() const;
   [[nodiscard]] std::uint64_t frames_rewritten() const;
   [[nodiscard]] std::uint64_t delta_bytes_loaded() const;
+
+  /// Total cluster sites across the pool's fabrics — the array-area
+  /// denominator of per-area throughput.
+  [[nodiscard]] int total_tiles() const;
 
  private:
   std::vector<std::unique_ptr<Fabric>> fabrics_;

@@ -1,0 +1,44 @@
+// Array geometry of one reconfigurable fabric.
+//
+// The paper's SoC hosts domain-specific arrays of *different sizes*: the
+// full DA/CORDIC transform array is large enough for every DCT mapping
+// and the systolic ME array, while a cost-reduced derivative can shrink
+// its array to just what the small single-coefficient-correlation
+// mappings need. A geometry is the cluster grid of one such array
+// instance; the kernel library compiles each implementation once per
+// distinct geometry that can host it (place/route feasibility decides),
+// and dispatch routes a job only to fabrics whose geometry its context
+// actually fits.
+#pragma once
+
+#include <compare>
+#include <string>
+
+namespace dsra::runtime {
+
+struct ArrayGeometry {
+  int width = 12;
+  int height = 8;
+
+  auto operator<=>(const ArrayGeometry&) const = default;
+
+  /// Cluster sites of the grid — the "array area" unit the hetero-pool
+  /// bench normalizes throughput by.
+  [[nodiscard]] int tiles() const { return width * height; }
+};
+
+/// "12x8" — the spelling every feasibility diagnostic uses.
+[[nodiscard]] inline std::string to_string(const ArrayGeometry& g) {
+  return std::to_string(g.width) + "x" + std::to_string(g.height);
+}
+
+/// The paper's full DA array grid: hosts all six DCT mappings and the
+/// systolic ME context.
+inline constexpr ArrayGeometry kDefaultGeometry{12, 8};
+
+/// A small array sized for the single-coefficient-correlation family
+/// (scc_full / scc_even_odd / da_basic / mixed_rom place and route;
+/// cordic1 / cordic2 / me_systolic do not fit).
+inline constexpr ArrayGeometry kSmallSccGeometry{8, 4};
+
+}  // namespace dsra::runtime

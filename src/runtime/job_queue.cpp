@@ -28,11 +28,15 @@ JobQueue::JobQueue(std::vector<StreamJob>& streams, JobQueueConfig config)
     if (s.finished()) continue;
     const int stream_id = static_cast<int>(k);
     // A stream may arrive partially encoded (e.g. a second scheduler run
-    // over the same jobs); only the frames still ahead count.
+    // over the same jobs); only the frames still ahead count. Jobs are
+    // counted per required context so a worker can tell whether any
+    // remaining work is runnable on *its* fabric (capability and
+    // placement), not just on some fabric.
     const auto remaining =
         static_cast<std::uint64_t>(static_cast<int>(s.frames.size()) - s.next_frame);
     if (config_.mode == DispatchMode::kMonolithicFrames) {
-      dct_jobs_left_ += remaining;
+      for (int f = s.next_frame; f < static_cast<int>(s.frames.size()); ++f)
+        ++jobs_left_by_context_[s.impl_for(f)];
       total_jobs += remaining;
       enqueue_locked(stream_id, StageKind::kWholeFrame, s.next_frame);
     } else {
@@ -43,8 +47,9 @@ JobQueue::JobQueue(std::vector<StreamJob>& streams, JobQueueConfig config)
       lane.me_done_upto = lane.me_next - 1;
       const auto me_jobs =
           static_cast<std::uint64_t>(static_cast<int>(s.frames.size()) - lane.me_next);
-      me_jobs_left_ += me_jobs;
-      dct_jobs_left_ += 2 * remaining;
+      jobs_left_by_context_[kMeContextName] += me_jobs;
+      for (int f = s.next_frame; f < static_cast<int>(s.frames.size()); ++f)
+        jobs_left_by_context_[s.impl_for(f)] += 2;  // TQ + reconstruct
       total_jobs += 2 * remaining + me_jobs;
       advance_dct_lane_locked(stream_id);
       advance_me_lane_locked(stream_id);
@@ -53,6 +58,16 @@ JobQueue::JobQueue(std::vector<StreamJob>& streams, JobQueueConfig config)
   events_.reserve(2 * total_jobs);
 }
 
+namespace {
+
+/// Kernel capability a context configures: the shared ME context runs on
+/// the systolic array, every DCT bitstream on the transform array.
+constexpr unsigned context_kernel(const std::string& context) {
+  return context == kMeContextName ? kCapMotionEstimation : kCapDctTransform;
+}
+
+}  // namespace
+
 const std::string& JobQueue::context_for(StageKind stage, int stream_id,
                                          int frame_index) const {
   static const std::string me_key{kMeContextName};
@@ -60,16 +75,18 @@ const std::string& JobQueue::context_for(StageKind stage, int stream_id,
   return streams_[static_cast<std::size_t>(stream_id)].impl_for(frame_index);
 }
 
-bool JobQueue::eligible(const Ready& entry, unsigned capabilities) const {
-  return (kernel_of(entry.stage) & capabilities) != 0;
+bool JobQueue::eligible(const Ready& entry, unsigned capabilities,
+                        const HostFilter& can_host) const {
+  if ((kernel_of(entry.stage) & capabilities) == 0) return false;
+  return !can_host || can_host(context_for(entry.stage, entry.stream_id, entry.frame_index));
 }
 
 std::optional<std::size_t> JobQueue::pick_locked(
     const std::optional<std::string>& fabric_impl, const FabricRun& run,
-    unsigned capabilities) const {
+    unsigned capabilities, const HostFilter& can_host) const {
   std::optional<std::size_t> oldest;
   for (std::size_t i = 0; i < ready_.size(); ++i) {
-    if (!eligible(ready_[i], capabilities)) continue;
+    if (!eligible(ready_[i], capabilities, can_host)) continue;
     if (!oldest || ready_[i].ready_seq < ready_[*oldest].ready_seq) oldest = i;
   }
   if (!oldest) return std::nullopt;
@@ -88,7 +105,7 @@ std::optional<std::size_t> JobQueue::pick_locked(
   if (fabric_impl && run.impl == *fabric_impl && run.length < config_.max_affinity_run) {
     std::optional<std::size_t> best;
     for (std::size_t i = 0; i < ready_.size(); ++i)
-      if (eligible(ready_[i], capabilities) && key_of(ready_[i]) == *fabric_impl &&
+      if (eligible(ready_[i], capabilities, can_host) && key_of(ready_[i]) == *fabric_impl &&
           (!best || ready_[i].ready_seq < ready_[*best].ready_seq))
         best = i;
     if (best) return *best;
@@ -103,15 +120,18 @@ std::optional<std::size_t> JobQueue::pick_locked(
   const bool must_rotate =
       fabric_impl && run.impl == *fabric_impl && run.length >= config_.max_affinity_run &&
       std::any_of(ready_.begin(), ready_.end(), [&](const Ready& r) {
-        return eligible(r, capabilities) && key_of(r) != *fabric_impl;
+        return eligible(r, capabilities, can_host) && key_of(r) != *fabric_impl;
       });
+  // Group sizes only count jobs this fabric can host, so a small fabric
+  // forced to switch picks the largest batch *it can run* — the
+  // (geometry, context) affinity the heterogeneous pool batches by.
   std::map<std::string, int> group_size;
   for (std::size_t i = 0; i < ready_.size(); ++i)
-    if (eligible(ready_[i], capabilities)) ++group_size[key_of(ready_[i])];
+    if (eligible(ready_[i], capabilities, can_host)) ++group_size[key_of(ready_[i])];
   std::optional<std::size_t> chosen;
   int chosen_size = -1;
   for (std::size_t i = 0; i < ready_.size(); ++i) {
-    if (!eligible(ready_[i], capabilities)) continue;
+    if (!eligible(ready_[i], capabilities, can_host)) continue;
     if (must_rotate && key_of(ready_[i]) == *fabric_impl) continue;
     const int size = group_size[key_of(ready_[i])];
     if (size > chosen_size ||
@@ -165,15 +185,19 @@ void JobQueue::advance_dct_lane_locked(int stream_id) {
 
 std::optional<FrameTask> JobQueue::acquire(int fabric_id,
                                            const std::optional<std::string>& fabric_impl,
-                                           unsigned capabilities) {
+                                           unsigned capabilities,
+                                           const HostFilter& can_host) {
   std::unique_lock lock(mutex_);
   const auto has_eligible = [&] {
     return std::any_of(ready_.begin(), ready_.end(),
-                       [&](const Ready& r) { return eligible(r, capabilities); });
+                       [&](const Ready& r) { return eligible(r, capabilities, can_host); });
   };
   const auto work_possible = [&] {
-    return ((capabilities & kCapMotionEstimation) != 0 && me_jobs_left_ > 0) ||
-           ((capabilities & kCapDctTransform) != 0 && dct_jobs_left_ > 0);
+    for (const auto& [context, left] : jobs_left_by_context_)
+      if (left > 0 && (context_kernel(context) & capabilities) != 0 &&
+          (!can_host || can_host(context)))
+        return true;
+    return false;
   };
   cv_.wait(lock, [&] { return has_eligible() || !work_possible(); });
   if (!has_eligible()) return std::nullopt;
@@ -183,7 +207,21 @@ std::optional<FrameTask> JobQueue::acquire(int fabric_id,
     runs_.resize(static_cast<std::size_t>(fabric_id) + 1);
   FabricRun& run = runs_[static_cast<std::size_t>(fabric_id)];
 
-  const std::optional<std::size_t> chosen = pick_locked(fabric_impl, run, capabilities);
+  // Placement-rejection accounting: this dispatch had to route around at
+  // least one job its kernel capability covers but its geometry cannot
+  // place.
+  if (can_host &&
+      std::any_of(ready_.begin(), ready_.end(), [&](const Ready& r) {
+        return (kernel_of(r.stage) & capabilities) != 0 &&
+               !can_host(context_for(r.stage, r.stream_id, r.frame_index));
+      })) {
+    if (fabric_id >= static_cast<int>(placement_skips_.size()))
+      placement_skips_.resize(static_cast<std::size_t>(fabric_id) + 1, 0);
+    ++placement_skips_[static_cast<std::size_t>(fabric_id)];
+  }
+
+  const std::optional<std::size_t> chosen =
+      pick_locked(fabric_impl, run, capabilities, can_host);
   const Ready entry = ready_[*chosen];
   ready_[*chosen] = ready_.back();
   ready_.pop_back();
@@ -198,10 +236,9 @@ std::optional<FrameTask> JobQueue::acquire(int fabric_id,
   const std::uint64_t wait = dispatch_seq_ - 1 - entry.ready_seq;
   max_wait_ = std::max(max_wait_, wait);
 
-  auto& jobs_left =
-      kernel_of(entry.stage) == kCapMotionEstimation ? me_jobs_left_ : dct_jobs_left_;
+  auto& jobs_left = jobs_left_by_context_[key];
   --jobs_left;
-  if (jobs_left == 0) cv_.notify_all();  // capability-starved workers may now exit
+  if (jobs_left == 0) cv_.notify_all();  // starved workers may now exit
 
   events_.push_back(
       {++event_tick_, true, entry.stream_id, entry.frame_index, fabric_id, entry.stage});
@@ -256,6 +293,18 @@ std::string JobQueue::required_context(const FrameTask& task) const {
 std::uint64_t JobQueue::dispatches() const {
   std::lock_guard lock(mutex_);
   return dispatch_seq_;
+}
+
+std::vector<std::uint64_t> JobQueue::placement_skips() const {
+  std::lock_guard lock(mutex_);
+  return placement_skips_;
+}
+
+std::uint64_t JobQueue::placement_rejections() const {
+  std::lock_guard lock(mutex_);
+  std::uint64_t total = 0;
+  for (const std::uint64_t skips : placement_skips_) total += skips;
+  return total;
 }
 
 std::uint64_t JobQueue::max_wait_dispatches() const {

@@ -31,13 +31,24 @@
 //    switches to the configuration with the most eligible ready jobs,
 //    setting up the largest next batch.
 //
-// Fabrics advertise kernel capabilities; a job is only eligible on a
-// fabric whose capability mask covers its stage's kernel, and a worker
-// exits once no job its fabric could ever run remains.
+// Fabrics advertise kernel capabilities AND a placement-feasibility
+// filter: a job is only eligible on a fabric whose capability mask
+// covers its stage's kernel and whose array geometry can actually host
+// the job's required context (the library's fits() matrix, threaded in
+// as the acquire() host filter). The affinity key is therefore
+// effectively (geometry, context): a stream whose context only places on
+// the large fabric can never be batched onto a small one, and a worker
+// exits once no job its fabric could ever run — by capability or by
+// placement — remains. Dispatch decisions that had to pass over a
+// capability-eligible job on placement grounds are counted per fabric
+// (placement_skips) so the per-geometry report shows how often
+// feasibility steered routing.
 #pragma once
 
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
+#include <map>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -68,12 +79,26 @@ class JobQueue {
   /// and (in stage mode) sizes each stream's pipeline state.
   JobQueue(std::vector<StreamJob>& streams, JobQueueConfig config = {});
 
-  /// Block until a job is available that @p capabilities can run (the
-  /// fabric's active bitstream is @p fabric_impl) or no such job can ever
-  /// appear again; nullopt means the worker should exit.
+  /// Placement-feasibility predicate of one fabric: true iff the named
+  /// context places and routes on the fabric's array geometry. A null
+  /// filter hosts everything (the homogeneous-pool world).
+  using HostFilter = std::function<bool(const std::string& context)>;
+
+  /// Block until a job is available that @p capabilities can run AND
+  /// whose required context @p can_host accepts (the fabric's active
+  /// bitstream is @p fabric_impl), or no such job can ever appear again;
+  /// nullopt means the worker should exit.
   [[nodiscard]] std::optional<FrameTask> acquire(
       int fabric_id, const std::optional<std::string>& fabric_impl,
-      unsigned capabilities = kCapAllKernels);
+      unsigned capabilities = kCapAllKernels, const HostFilter& can_host = nullptr);
+
+  /// Dispatch decisions in which @p fabric_id passed over at least one
+  /// capability-eligible ready job because its context does not place on
+  /// the fabric's geometry (indexed by fabric id; missing = 0).
+  [[nodiscard]] std::vector<std::uint64_t> placement_skips() const;
+
+  /// Sum of placement_skips() across the fabrics.
+  [[nodiscard]] std::uint64_t placement_rejections() const;
 
   /// Mark @p task done on @p fabric_id; releases the jobs the completion
   /// unblocks (next stage, next frame, or the ME window advancing).
@@ -122,13 +147,15 @@ class JobQueue {
   /// Dynamic streams resolve it per frame, so the key changes mid-flight.
   [[nodiscard]] const std::string& context_for(StageKind stage, int stream_id,
                                                int frame_index) const;
-  [[nodiscard]] bool eligible(const Ready& entry, unsigned capabilities) const;
+  [[nodiscard]] bool eligible(const Ready& entry, unsigned capabilities,
+                              const HostFilter& can_host) const;
 
-  /// Index into ready_ of the job to serve among those @p capabilities can
-  /// run; nullopt when none is eligible. Requires mutex_ held.
+  /// Index into ready_ of the job to serve among those @p capabilities
+  /// can run and @p can_host accepts; nullopt when none is eligible.
+  /// Requires mutex_ held.
   [[nodiscard]] std::optional<std::size_t> pick_locked(
       const std::optional<std::string>& fabric_impl, const FabricRun& run,
-      unsigned capabilities) const;
+      unsigned capabilities, const HostFilter& can_host) const;
 
   void enqueue_locked(int stream_id, StageKind stage, int frame_index);
   void advance_me_lane_locked(int stream_id);
@@ -142,8 +169,12 @@ class JobQueue {
   std::vector<Ready> ready_;
   std::vector<FabricRun> runs_;  ///< indexed by fabric id (grown on demand)
   std::vector<Lane> lanes_;      ///< indexed by stream id (stage mode)
-  std::uint64_t me_jobs_left_ = 0;   ///< undispatched ME-kernel jobs
-  std::uint64_t dct_jobs_left_ = 0;  ///< undispatched DCT-kernel jobs
+  /// Undispatched jobs per required context (counting jobs not yet
+  /// enqueued). The worker-exit test consults this *per fabric*: a
+  /// worker may leave once every context with work left is one its
+  /// fabric cannot run, by capability or by placement.
+  std::map<std::string, std::uint64_t> jobs_left_by_context_;
+  std::vector<std::uint64_t> placement_skips_;  ///< indexed by fabric id
   std::uint64_t dispatch_seq_ = 0;
   std::uint64_t max_wait_ = 0;
   std::uint64_t event_tick_ = 0;

@@ -1,6 +1,7 @@
 #include "runtime/scheduler.hpp"
 
 #include <chrono>
+#include <set>
 #include <stdexcept>
 #include <thread>
 
@@ -18,10 +19,22 @@ double ms_since(std::chrono::steady_clock::time_point start) {
 
 }  // namespace
 
-MultiStreamScheduler::MultiStreamScheduler(const DctLibrary& library, SchedulerConfig config)
-    : library_(library), config_(config) {
-  if (config_.fabric_configs.empty() && config_.fabrics <= 0)
-    throw std::invalid_argument("scheduler needs >= 1 fabric");
+std::vector<FabricConfig> SchedulerConfig::resolved_fabrics() const {
+  if (!fabric_configs.empty()) return fabric_configs;
+  if (fabrics <= 0) throw std::invalid_argument("scheduler needs >= 1 fabric");
+  return std::vector<FabricConfig>(static_cast<std::size_t>(fabrics), fabric);
+}
+
+MultiStreamScheduler::MultiStreamScheduler(const KernelLibrary& library,
+                                           SchedulerConfig config)
+    : library_(library), config_(std::move(config)) {
+  const std::vector<FabricConfig> resolved = config_.resolved_fabrics();
+  for (std::size_t k = 0; k < resolved.size(); ++k)
+    if (!library_.has_geometry(resolved[k].geometry))
+      throw std::invalid_argument(
+          "fabric " + std::to_string(k) + ": kernel library was not built for array "
+          "geometry " + to_string(resolved[k].geometry) +
+          "; list it in KernelLibraryConfig.geometries");
 }
 
 RunReport MultiStreamScheduler::run(std::vector<StreamJob>& streams) {
@@ -50,16 +63,38 @@ RunReport MultiStreamScheduler::run(std::vector<StreamJob>& streams) {
       needs_me_kernel = true;
   }
 
-  FabricPool pool = config_.fabric_configs.empty()
-                        ? FabricPool(config_.fabrics, library_, config_.fabric)
-                        : FabricPool(config_.fabric_configs, library_);
+  FabricPool pool(config_.resolved_fabrics(), library_);
   const unsigned pool_caps = pool.combined_capabilities();
   if ((pool_caps & kCapDctTransform) == 0)
     throw std::invalid_argument("no fabric in the pool hosts the DCT/transform kernel");
+
+  // Placement-feasibility fail-fast: every context a stream can select
+  // over its lifetime (static impl_name, or the trajectory's per-frame
+  // resolution) must place on at least one capable fabric geometry, and
+  // the stage pipeline's shared ME context must place on an ME-capable
+  // fabric. Checking here turns a mid-flight Fabric::prepare throw —
+  // or a silent never-dispatched job — into an up-front diagnostic that
+  // names the implementation, the frame, and the pool's geometries.
+  for (const StreamJob& s : streams) {
+    const int frame_count = static_cast<int>(s.frames.size());
+    for (int f = 0; f < frame_count; ++f) {
+      const std::string& impl = s.impl_for(f);
+      if (f > 0 && impl == s.impl_for(f - 1)) continue;  // only first selections
+      if (!pool.any_fabric_hosts(impl, kCapDctTransform))
+        throw std::invalid_argument(
+            "stream '" + s.config.name + "': implementation '" + impl +
+            "' selected at frame " + std::to_string(f) +
+            " is not placeable on any DCT-capable fabric in the pool (geometries: " +
+            pool.geometry_list() + ")");
+    }
+  }
+  // Covers both the capability-less pool and an ME-capable fabric whose
+  // geometry cannot place the systolic context.
   if (config_.queue.mode == DispatchMode::kStagePipeline && needs_me_kernel &&
-      (pool_caps & kCapMotionEstimation) == 0)
+      !pool.any_fabric_hosts(kMeContextName, kCapMotionEstimation))
     throw std::invalid_argument(
-        "stage pipeline needs a motion-estimation-capable fabric for inter frames");
+        "stage pipeline needs a motion-estimation-capable fabric that can place '" +
+        std::string(kMeContextName) + "' (pool geometries: " + pool.geometry_list() + ")");
 
   JobQueue queue(streams, config_.queue);
   std::vector<double> busy_ms(static_cast<std::size_t>(pool.size()), 0.0);
@@ -69,7 +104,23 @@ RunReport MultiStreamScheduler::run(std::vector<StreamJob>& streams) {
     Fabric& fabric = pool.at(fabric_id);
     const video::MotionSearchFn me_fn = me::systolic_search_fn(config_.me);
     double& busy = busy_ms[static_cast<std::size_t>(fabric_id)];
-    while (auto task = queue.acquire(fabric.id(), fabric.active(), fabric.capabilities())) {
+    // Dispatch filters by capability AND placement feasibility: this
+    // fabric is only handed jobs whose context places on its geometry.
+    // The library's context set is small and fixed, so resolve the
+    // fits() matrix once into a set here — the queue consults the filter
+    // on every ready-list scan under its mutex. A fabric that hosts the
+    // whole library gets a null filter (the homogeneous fast path).
+    std::set<std::string> hostable;
+    for (const std::string& context : library_.context_names())
+      if (fabric.hosts(context)) hostable.insert(context);
+    const bool hosts_all = hostable.size() == library_.context_names().size();
+    const JobQueue::HostFilter can_host =
+        hosts_all ? JobQueue::HostFilter(nullptr)
+                  : [hostable = std::move(hostable)](const std::string& context) {
+                      return hostable.count(context) != 0;
+                    };
+    while (auto task =
+               queue.acquire(fabric.id(), fabric.active(), fabric.capabilities(), can_host)) {
       const auto job_start = std::chrono::steady_clock::now();
       StreamJob& stream = streams[static_cast<std::size_t>(task->stream_id)];
       const int f = task->frame_index;
@@ -176,6 +227,28 @@ RunReport MultiStreamScheduler::run(std::vector<StreamJob>& streams) {
   report.max_wait_dispatches = queue.max_wait_dispatches();
   report.fabric_busy_ms = std::move(busy_ms);
   report.timeline = queue.timeline();
+
+  // Per-geometry breakdown: one entry per distinct fabric geometry, in
+  // first-seen fabric order, folding in the queue's placement skips.
+  const std::vector<std::uint64_t> skips = queue.placement_skips();
+  report.total_tiles = pool.total_tiles();
+  for (int f = 0; f < pool.size(); ++f) {
+    const Fabric& fabric = pool.at(f);
+    GeometrySummary* entry = nullptr;
+    for (GeometrySummary& g : report.geometry_stats)
+      if (g.geometry == fabric.geometry()) entry = &g;
+    if (entry == nullptr) {
+      report.geometry_stats.push_back(GeometrySummary{fabric.geometry()});
+      entry = &report.geometry_stats.back();
+    }
+    ++entry->fabrics;
+    entry->switches += fabric.reconfig().switches_performed();
+    entry->reconfig_cycles += fabric.reconfig().total_reconfig_cycles();
+    if (f < static_cast<int>(skips.size()))
+      entry->placement_rejections += skips[static_cast<std::size_t>(f)];
+  }
+  for (const GeometrySummary& g : report.geometry_stats)
+    report.placement_rejections += g.placement_rejections;
   const SimSchedule sim =
       simulate_timeline(streams, report.timeline, config_.queue.pipeline_lookahead);
   report.sim_makespan_cycles = sim.makespan_cycles;

@@ -38,22 +38,36 @@ struct SchedulerConfig {
   JobQueueConfig queue;
   FabricConfig fabric;    ///< template for the homogeneous pool
   me::SystolicParams me;  ///< ME array model the workers search with
+
+  /// The one normalization point of the two construction paths: the
+  /// explicit per-fabric list when set, otherwise `fabrics` copies of
+  /// the homogeneous `fabric` template. Everything downstream (the
+  /// scheduler, the pool, validation, reports) consumes this resolved
+  /// vector only. Throws std::invalid_argument on an empty resolution.
+  [[nodiscard]] std::vector<FabricConfig> resolved_fabrics() const;
 };
 
 class MultiStreamScheduler {
  public:
-  /// @p library outlives the scheduler; it is shared read-only.
-  explicit MultiStreamScheduler(const DctLibrary& library, SchedulerConfig config = {});
+  /// @p library outlives the scheduler; it is shared read-only. The
+  /// config's fabric list is resolved and validated here (every fabric
+  /// geometry must be compiled into the library) — the single
+  /// validation site for both pool construction paths.
+  explicit MultiStreamScheduler(const KernelLibrary& library, SchedulerConfig config = {});
 
   /// Encode every stream to completion (blocking); @p streams is mutated
   /// in place (reconstructions, per-frame records). Returns the aggregate
-  /// report. Streams whose impl_name the library does not know are
-  /// rejected up front with std::invalid_argument, as are pools whose
-  /// combined kernel capabilities cannot run the workload.
+  /// report. Rejected up front with std::invalid_argument: streams whose
+  /// impl_name the library does not know, pools whose combined kernel
+  /// capabilities cannot run the workload, and — the placement-
+  /// feasibility fail-fast — streams whose condition trajectory can
+  /// select an implementation no fabric geometry in the pool places
+  /// (the diagnostic names the implementation, the frame it is first
+  /// selected at, and the pool's geometries).
   RunReport run(std::vector<StreamJob>& streams);
 
  private:
-  const DctLibrary& library_;
+  const KernelLibrary& library_;
   SchedulerConfig config_;
 };
 

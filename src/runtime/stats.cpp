@@ -158,6 +158,26 @@ ReportTable reconfig_table(const RunReport& report) {
   row_u64("port cycles (me)", report.me_reconfig_cycles);
   row_u64("port cycles total", report.total_reconfig_cycles);
   row_u64("context fetch cycles", report.total_fetch_cycles);
+  row_u64("delta-only bus fetches", report.cache.delta_fetches);
+  row_u64("bus bytes saved by deltas", report.cache.bytes_saved);
+  return table;
+}
+
+ReportTable geometry_table(const RunReport& report) {
+  ReportTable table("Per-geometry breakdown (" + std::to_string(report.fabrics) +
+                    " fabrics, " + std::to_string(report.total_tiles) + " cluster sites)");
+  table.set_header({"geometry", "fabrics", "switches", "port cycles", "placement skips"});
+  for (const GeometrySummary& g : report.geometry_stats) {
+    table.add_row({to_string(g.geometry), std::to_string(g.fabrics),
+                   std::to_string(g.switches),
+                   format_i64(static_cast<std::int64_t>(g.reconfig_cycles)),
+                   format_i64(static_cast<std::int64_t>(g.placement_rejections))});
+  }
+  table.add_separator();
+  table.add_row({"total", std::to_string(report.fabrics),
+                 std::to_string(report.total_switches),
+                 format_i64(static_cast<std::int64_t>(report.total_reconfig_cycles)),
+                 format_i64(static_cast<std::int64_t>(report.placement_rejections))});
   return table;
 }
 

@@ -9,6 +9,7 @@
 
 #include "common/report.hpp"
 #include "runtime/context_cache.hpp"
+#include "runtime/geometry.hpp"
 #include "runtime/job.hpp"
 
 namespace dsra::runtime {
@@ -47,6 +48,19 @@ struct StreamSummary {
 };
 [[nodiscard]] StreamSummary summarize_stream(const StreamJob& job);
 
+/// Reconfiguration and placement accounting of one array geometry's
+/// fabrics within a heterogeneous pool.
+struct GeometrySummary {
+  ArrayGeometry geometry;
+  int fabrics = 0;                       ///< pool fabrics of this geometry
+  int switches = 0;                      ///< bitstream switches they performed
+  std::uint64_t reconfig_cycles = 0;     ///< configuration-port cycles they paid
+  /// Dispatch decisions in which a fabric of this geometry passed over a
+  /// capability-eligible job because the job's context does not place on
+  /// the geometry — how often feasibility steered routing.
+  std::uint64_t placement_rejections = 0;
+};
+
 struct RunReport {
   std::string policy;
   std::string mode;  ///< dispatch mode (monolithic-frames / stage-pipeline)
@@ -74,6 +88,11 @@ struct RunReport {
   std::vector<StageEvent> timeline;       ///< dispatch/completion event log
   std::uint64_t sim_makespan_cycles = 0;  ///< modeled-array makespan (sim_schedule)
   double sim_utilization = 0.0;           ///< mean busy fraction of the active fabrics
+  /// Per-geometry reconfiguration + placement-rejection breakdown, in
+  /// first-seen fabric order (one entry per distinct geometry).
+  std::vector<GeometrySummary> geometry_stats;
+  std::uint64_t placement_rejections = 0;  ///< sum over geometry_stats
+  int total_tiles = 0;                     ///< pool array area (cluster sites)
 };
 
 /// Per-stream table (impl, frames, p50/p95 latency, PSNR, cycles).
@@ -90,8 +109,13 @@ struct RunReport {
 
 /// Reconfiguration breakdown of one run: partial vs full reloads, frames
 /// rewritten and delta bytes shifted, per-kernel port cycles and the
-/// context-fetch bus cycles.
+/// context-fetch bus cycles (including delta-only fetches).
 [[nodiscard]] ReportTable reconfig_table(const RunReport& report);
+
+/// Per-geometry breakdown of a heterogeneous-pool run: fabrics, switches
+/// and port cycles per array geometry, plus how often dispatch routed a
+/// job away from the geometry on placement grounds.
+[[nodiscard]] ReportTable geometry_table(const RunReport& report);
 
 /// Comparison of dispatch modes over the same workload and silicon
 /// (throughput, per-fabric utilization, per-kernel reconfiguration), with

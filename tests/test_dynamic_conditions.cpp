@@ -19,8 +19,8 @@ namespace {
 
 // The compiled library (six DCT place-and-route runs plus the ME context)
 // is expensive; share one instance across the tests.
-const DctLibrary& library() {
-  static const DctLibrary lib;
+const KernelLibrary& library() {
+  static const KernelLibrary lib;
   return lib;
 }
 

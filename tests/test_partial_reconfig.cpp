@@ -17,12 +17,12 @@
 namespace dsra {
 namespace {
 
-using runtime::DctLibrary;
+using runtime::KernelLibrary;
 
 // The compiled library (six DCT place-and-route runs plus the ME context)
 // is expensive; share one instance across the tests.
-const DctLibrary& library() {
-  static const DctLibrary lib;
+const KernelLibrary& library() {
+  static const KernelLibrary lib;
   return lib;
 }
 
@@ -104,7 +104,7 @@ TEST(ConfigDelta, IdenticalImagesDiffToNothing) {
 }
 
 TEST(ConfigDelta, LibraryPairwiseTableRoundTripsBitExactly) {
-  const DctLibrary& lib = library();
+  const KernelLibrary& lib = library();
   const auto names = lib.names();
   for (const std::string& base : names) {
     for (const std::string& target : names) {
@@ -199,7 +199,7 @@ TEST(PartialReconfig, ResidentConfigurationSurvivesEviction) {
 }
 
 TEST(PartialReconfig, CachePinsTheResidentFrameImage) {
-  const DctLibrary& lib = library();
+  const KernelLibrary& lib = library();
   soc::ReconfigManager mgr;
   soc::Bus bus;
   runtime::ContextCache cache(

@@ -16,8 +16,8 @@ namespace {
 
 // The compiled library (six place-and-route runs) is expensive; share one
 // instance across the scheduler tests.
-const DctLibrary& library() {
-  static const DctLibrary lib;
+const KernelLibrary& library() {
+  static const KernelLibrary lib;
   return lib;
 }
 
