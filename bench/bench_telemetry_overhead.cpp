@@ -1,0 +1,180 @@
+// Telemetry overhead: tracing must observe, never perturb.
+//
+// Runs the hetero-pool workload (9 mixed-condition streams over a
+// 12x8 + 2x 8x4 fabric pool) twice per round — telemetry off, then
+// telemetry on (span tracing + metrics) — for several interleaved
+// rounds, and compares:
+//
+//  * host wall time: the traced run's minimum over rounds must stay
+//    within 10% of the untraced minimum (min-of-N suppresses scheduler
+//    noise on a loaded host);
+//  * modeled array cycles: bit-exact either way — on a single fabric,
+//    where the dispatch order is deterministic, the makespan must not
+//    change by a single cycle, because recording only observes the run
+//    (on the multi-fabric pool the job->fabric assignment is a live
+//    scheduling decision that varies run to run regardless of tracing);
+//  * encoded outputs: bit-exact on the full pool — the encode chain is
+//    fabric-independent, so tracing must not change a single bit;
+//  * attribution exactness: every stream's queue + bus + reconfig +
+//    compute components sum exactly (integer cycles) to its end-to-end
+//    modeled latency;
+//  * artifact validity: the exported trace and metrics JSON are written
+//    next to BENCH_telemetry_overhead.json for the CI schema validator.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/report.hpp"
+#include "runtime/scheduler.hpp"
+#include "runtime/telemetry/export.hpp"
+#include "runtime/telemetry/metrics.hpp"
+#include "runtime/telemetry/trace.hpp"
+
+using namespace dsra;
+using namespace dsra::runtime;
+
+namespace {
+
+std::vector<StreamJob> mixed_workload() {
+  // Same mix as bench_hetero_pool: three cordic streams pinned to the
+  // full-size array by placement, six scc/mixed_rom streams the small
+  // arrays can host.
+  const soc::RuntimeCondition conditions[] = {
+      {1.0, 1.0}, {0.1, 0.9}, {0.9, 0.3}, {0.5, 0.9}, {0.1, 0.9},
+      {0.9, 0.3}, {1.0, 1.0}, {0.1, 0.9}, {0.9, 0.3},
+  };
+  std::vector<StreamJob> jobs;
+  for (int k = 0; k < 9; ++k) {
+    StreamConfig cfg;
+    cfg.name = "s" + std::to_string(k);
+    cfg.width = 32;
+    cfg.height = 32;
+    cfg.frame_budget = 6;
+    cfg.condition = conditions[k];
+    cfg.codec.me_range = 4;
+    cfg.seed = 7100 + static_cast<std::uint64_t>(k);
+    jobs.push_back(make_synthetic_job(k, cfg));
+  }
+  return jobs;
+}
+
+SchedulerConfig pool_config(const std::vector<FabricConfig>& fabrics) {
+  SchedulerConfig cfg;
+  cfg.fabric_configs = fabrics;
+  cfg.queue.mode = DispatchMode::kMonolithicFrames;
+  cfg.queue.policy = SchedulingPolicy::kAffinityBatched;
+  cfg.queue.max_affinity_run = 8;
+  cfg.queue.aging_threshold = 24;
+  return cfg;
+}
+
+}  // namespace
+
+int main() {
+  BenchJson json("telemetry_overhead");
+  std::printf("compiling the kernel library for geometries 12x8 and 8x4...\n");
+  const KernelLibrary library(KernelLibraryConfig{{kDefaultGeometry, kSmallSccGeometry}});
+
+  FabricConfig large;
+  large.geometry = kDefaultGeometry;
+  FabricConfig small;
+  small.geometry = kSmallSccGeometry;
+  const std::vector<FabricConfig> fabrics = {large, small, small};
+
+  constexpr int kRounds = 3;
+  double off_min_s = 0.0, on_min_s = 0.0;
+  std::uint64_t off_makespan = 0, on_makespan = 0;
+  std::vector<StreamJob> off_jobs, on_jobs;
+  RunReport traced;  // last traced report: spans + attribution + exports
+  telemetry::MetricsRegistry metrics;
+
+  // Interleave off/on rounds so slow-host drift (thermal, competing
+  // load) hits both variants alike; keep the per-variant minimum.
+  for (int round = 0; round < kRounds; ++round) {
+    {
+      off_jobs = mixed_workload();
+      MultiStreamScheduler scheduler(library, pool_config(fabrics));
+      const RunReport report = scheduler.run(off_jobs);
+      off_min_s = round == 0 ? report.wall_seconds : std::min(off_min_s, report.wall_seconds);
+      off_makespan = report.sim_makespan_cycles;
+    }
+    {
+      on_jobs = mixed_workload();
+      telemetry::TraceRecorder recorder;
+      metrics.clear();
+      SchedulerConfig cfg = pool_config(fabrics);
+      cfg.trace = &recorder;
+      cfg.metrics = &metrics;
+      MultiStreamScheduler scheduler(library, cfg);
+      traced = scheduler.run(on_jobs);
+      on_min_s = round == 0 ? traced.wall_seconds : std::min(on_min_s, traced.wall_seconds);
+      on_makespan = traced.sim_makespan_cycles;
+    }
+  }
+
+  const double overhead_pct =
+      off_min_s > 0.0 ? 100.0 * (on_min_s - off_min_s) / off_min_s : 0.0;
+  const int mismatches = bench_common::count_output_mismatches(off_jobs, on_jobs);
+
+  // Modeled bit-exactness is asserted on a single fabric, where the
+  // dispatch order is deterministic: tracing off and on must yield the
+  // same makespan to the cycle.
+  std::uint64_t single_off = 0, single_on = 0;
+  {
+    auto jobs = mixed_workload();
+    MultiStreamScheduler scheduler(library, pool_config({large}));
+    single_off = scheduler.run(jobs).sim_makespan_cycles;
+  }
+  {
+    auto jobs = mixed_workload();
+    telemetry::TraceRecorder recorder;
+    SchedulerConfig cfg = pool_config({large});
+    cfg.trace = &recorder;
+    MultiStreamScheduler scheduler(library, cfg);
+    single_on = scheduler.run(jobs).sim_makespan_cycles;
+  }
+  const std::int64_t makespan_diff =
+      std::abs(static_cast<std::int64_t>(single_on) - static_cast<std::int64_t>(single_off));
+
+  // Attribution exactness: components must sum to end-to-end, per
+  // stream, in integer cycles — no rounding slack.
+  std::uint64_t attribution_mismatches = 0;
+  for (const telemetry::StreamAttribution& a : traced.attribution)
+    if (a.components_sum() != a.end_to_end_cycles) ++attribution_mismatches;
+
+  attribution_table(traced).print();
+  std::printf("\ntracing on vs off over %d interleaved rounds (min wall time):\n", kRounds);
+  std::printf("  host wall: off %.4fs, on %.4fs -> %+.1f%% overhead (bar: <= 10%%)\n",
+              off_min_s, on_min_s, overhead_pct);
+  std::printf("  single-fabric modeled makespan: off %llu, on %llu cycles "
+              "(diff %lld; bar: 0)\n",
+              static_cast<unsigned long long>(single_off),
+              static_cast<unsigned long long>(single_on),
+              static_cast<long long>(makespan_diff));
+  std::printf("  encoded output mismatches: %d (bar: 0)\n", mismatches);
+  std::printf("  spans: %zu, streams attributed: %zu, attribution sum mismatches: %llu\n",
+              traced.spans.size(), traced.attribution.size(),
+              static_cast<unsigned long long>(attribution_mismatches));
+
+  telemetry::write_chrome_trace("TRACE_telemetry_overhead.json", traced);
+  telemetry::write_metrics_json("METRICS_telemetry_overhead.json", metrics, on_min_s);
+  std::printf("artifacts: TRACE_telemetry_overhead.json, METRICS_telemetry_overhead.json\n");
+
+  json.metric("rounds", kRounds);
+  json.metric("off_wall_seconds", off_min_s);
+  json.metric("on_wall_seconds", on_min_s);
+  json.metric("off_makespan_cycles", static_cast<double>(off_makespan));
+  json.metric("on_makespan_cycles", static_cast<double>(on_makespan));
+  json.metric("spans", static_cast<double>(traced.spans.size()));
+  json.metric("streams_attributed", static_cast<double>(traced.attribution.size()));
+  json.bar("host_overhead_pct", overhead_pct, "<=", 10.0);
+  json.bar("modeled_makespan_diff_cycles", static_cast<double>(makespan_diff), "<=", 0.0);
+  json.bar("output_mismatches", static_cast<double>(mismatches), "<=", 0.0);
+  json.bar("attribution_sum_mismatches", static_cast<double>(attribution_mismatches), "<=",
+           0.0);
+  json.bar("span_count", static_cast<double>(traced.spans.size()), ">", 0.0);
+  json.write();
+  return json.all_passed() ? 0 : 1;
+}

@@ -25,10 +25,21 @@
 // scc mappings fit (cordic1/cordic2 do not): dispatch filters candidate
 // fabrics by placement feasibility, and the per-geometry table shows
 // how often routing steered around the small array.
+//
+// With --trace <file> the run is span-traced and exported as Chrome
+// trace-event JSON (open in Perfetto or chrome://tracing: one track per
+// modeled fabric and per stream, plus host worker tracks), and the
+// per-stream stall attribution table is printed. --metrics <file> writes
+// the run's counters, latency histograms and per-epoch utilization /
+// queue-depth timelines as metrics JSON.
 #include <cstdio>
 #include <cstring>
+#include <string>
 
 #include "runtime/scheduler.hpp"
+#include "runtime/telemetry/export.hpp"
+#include "runtime/telemetry/metrics.hpp"
+#include "runtime/telemetry/trace.hpp"
 #include "soc/trajectory.hpp"
 
 int main(int argc, char** argv) {
@@ -38,6 +49,8 @@ int main(int argc, char** argv) {
   bool dynamic = false;
   bool partial = false;
   bool hetero = false;
+  std::string trace_path;
+  std::string metrics_path;
   for (int a = 1; a < argc; ++a) {
     if (std::strcmp(argv[a], "--dynamic") == 0 || std::strcmp(argv[a], "-d") == 0)
       dynamic = true;
@@ -45,8 +58,14 @@ int main(int argc, char** argv) {
       partial = true;
     else if (std::strcmp(argv[a], "--hetero") == 0 || std::strcmp(argv[a], "-g") == 0)
       hetero = true;
+    else if (std::strcmp(argv[a], "--trace") == 0 && a + 1 < argc)
+      trace_path = argv[++a];
+    else if (std::strcmp(argv[a], "--metrics") == 0 && a + 1 < argc)
+      metrics_path = argv[++a];
     else
-      std::fprintf(stderr, "unknown flag '%s' (known: --dynamic, --partial, --hetero)\n",
+      std::fprintf(stderr,
+                   "unknown flag '%s' (known: --dynamic, --partial, --hetero, "
+                   "--trace <file>, --metrics <file>)\n",
                    argv[a]);
   }
 
@@ -118,6 +137,11 @@ int main(int argc, char** argv) {
   small_dct.context_capacity_bytes = 0;  // the small library fits whole
   cfg.fabric_configs = {me_fabric, dct_fabric, hetero ? small_dct : dct_fabric};
 
+  telemetry::TraceRecorder recorder;
+  telemetry::MetricsRegistry metrics;
+  if (!trace_path.empty()) cfg.trace = &recorder;
+  if (!metrics_path.empty() || !trace_path.empty()) cfg.metrics = &metrics;
+
   std::printf("\nserving %zu streams%s, stage-pipelined over %zu fabrics "
               "(1 systolic ME + %s)%s...\n\n",
               jobs.size(), dynamic ? " under drifting conditions" : "",
@@ -134,6 +158,10 @@ int main(int argc, char** argv) {
   if (hetero) {
     std::printf("\n");
     geometry_table(report).print();
+  }
+  if (!report.attribution.empty()) {
+    std::printf("\n");
+    attribution_table(report).print();
   }
   std::printf("\n");
   reconfig_table(report).print();
@@ -166,5 +194,11 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(report.placement_rejections));
   std::printf("the fabrics stay the same silicon; the scheduler just chooses when to "
               "pay the configuration port.\n");
+  if (!trace_path.empty() && telemetry::write_chrome_trace(trace_path, report))
+    std::printf("trace written to %s (%zu spans; open in Perfetto or chrome://tracing)\n",
+                trace_path.c_str(), report.spans.size());
+  if (!metrics_path.empty() &&
+      telemetry::write_metrics_json(metrics_path, metrics, report.wall_seconds))
+    std::printf("metrics written to %s\n", metrics_path.c_str());
   return 0;
 }

@@ -83,9 +83,6 @@ std::string paper_vs_measured(const std::string& metric, double paper, double me
   return os.str();
 }
 
-namespace {
-
-/// JSON string escaping for the controlled ASCII keys benches use.
 std::string json_escape(const std::string& s) {
   std::string out;
   out.reserve(s.size());
@@ -104,18 +101,14 @@ std::string json_escape(const std::string& s) {
   return out;
 }
 
-/// Shortest round-trippable number formatting (%.17g is exact but ugly;
-/// bench metrics are counts and ratios, so %.10g is plenty). JSON has no
-/// inf/nan literals, so non-finite values (a +inf PSNR on a lossless
-/// frame) degrade to null instead of corrupting the artifact.
+// %.17g is exact but ugly; bench metrics are counts and ratios, so
+// %.10g is plenty.
 std::string json_number(double v) {
   if (!std::isfinite(v)) return "null";
   char buf[64];
   std::snprintf(buf, sizeof buf, "%.10g", v);
   return buf;
 }
-
-}  // namespace
 
 std::string BenchJson::name_from_argv0(const char* argv0) {
   std::string name = argv0 != nullptr ? argv0 : "bench";
@@ -151,8 +144,12 @@ bool BenchJson::all_passed() const {
 }
 
 std::string BenchJson::to_json() const {
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
   std::ostringstream os;
-  os << "{\n  \"bench\": \"" << json_escape(name_) << "\",\n  \"metrics\": {";
+  os << "{\n  \"bench\": \"" << json_escape(name_) << "\",\n  \"schema_version\": "
+     << kSchemaVersion << ",\n  \"host_wall_seconds\": " << json_number(wall_seconds)
+     << ",\n  \"metrics\": {";
   for (std::size_t i = 0; i < metrics_.size(); ++i) {
     os << (i == 0 ? "\n" : ",\n") << "    \"" << json_escape(metrics_[i].first)
        << "\": " << json_number(metrics_[i].second);

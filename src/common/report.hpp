@@ -4,6 +4,7 @@
 // ReportTable, so "paper vs measured" output has a single consistent look.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -48,6 +49,14 @@ class ReportTable {
 [[nodiscard]] std::string paper_vs_measured(const std::string& metric, double paper,
                                             double measured, const std::string& unit);
 
+/// JSON string escaping (quotes, backslashes, control characters) shared
+/// by every artifact writer: BENCH_*.json, trace and metrics exports.
+[[nodiscard]] std::string json_escape(const std::string& s);
+
+/// Round-trippable JSON number formatting; non-finite values degrade to
+/// null (JSON has no inf/nan literals) instead of corrupting the file.
+[[nodiscard]] std::string json_number(double v);
+
 /// Machine-readable bench result.
 ///
 /// Every bench binary writes a BENCH_<name>.json next to its stdout
@@ -56,7 +65,16 @@ class ReportTable {
 /// archive the numbers instead of scraping tables.
 class BenchJson {
  public:
-  explicit BenchJson(std::string name) : name_(std::move(name)) {}
+  /// Construction starts the host wall clock the emitted
+  /// "host_wall_seconds" field measures — construct the object at the top
+  /// of main so the field covers the whole bench run.
+  explicit BenchJson(std::string name)
+      : name_(std::move(name)), start_(std::chrono::steady_clock::now()) {}
+
+  /// Version of the BENCH_*.json layout, emitted as "schema_version" so
+  /// downstream tooling can reject files it does not understand.
+  /// 2: added schema_version and host_wall_seconds.
+  static constexpr int kSchemaVersion = 2;
 
   /// Bench name derived from the binary path: ".../bench_foo" -> "foo".
   [[nodiscard]] static std::string name_from_argv0(const char* argv0);
@@ -85,6 +103,7 @@ class BenchJson {
     bool pass = false;
   };
   std::string name_;
+  std::chrono::steady_clock::time_point start_;
   std::vector<std::pair<std::string, double>> metrics_;
   std::vector<Bar> bars_;
 };

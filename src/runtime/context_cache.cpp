@@ -23,6 +23,10 @@ ContextCache::ContextCache(soc::ReconfigManager& manager, soc::Bus& bus, FetchFn
   for (const auto& name : manager_.names()) {
     lru_.push_back(name);
     retain_image(name);
+    // Seeded contexts enter the conservation ledger here — they can be
+    // evicted later, and an insert the ledger never saw would make
+    // byte_balance_ok() report phantom drift.
+    stats_.bytes_inserted += manager_.bytes(name);
   }
   manager_.set_eviction_hook(
       [this](const std::string& name, std::size_t freed) { on_eviction(name, freed); });
@@ -152,6 +156,7 @@ std::uint64_t ContextCache::touch(const std::string& name) {
 
   const std::uint64_t cycles = bus_.transfer(transfer_bytes * 8);
   stats_.bytes_fetched += transfer_bytes;
+  stats_.bytes_inserted += bits.size();  // the store always holds the full stream
   stats_.fetch_cycles += cycles;
   manager_.store(name, bits, kernel_of_ ? kernel_of_(name) : "dct");
   retain_image(name);
@@ -171,6 +176,17 @@ std::uint64_t ContextCache::touch(const std::string& name) {
 
 std::vector<std::string> ContextCache::lru_order() const {
   return {lru_.begin(), lru_.end()};
+}
+
+std::size_t ContextCache::bypass_bytes() const {
+  std::size_t total = 0;
+  for (const auto& [name, bytes] : bypass_) total += bytes;
+  return total;
+}
+
+bool ContextCache::byte_balance_ok() const {
+  return stats_.bytes_inserted ==
+         stats_.bytes_evicted + resident_bytes() + bypass_bytes();
 }
 
 void ContextCache::on_eviction(const std::string& name, std::size_t freed_bytes) {

@@ -47,6 +47,13 @@ struct ContextCacheStats {
   std::uint64_t misses = 0;
   std::uint64_t evictions = 0;
   std::uint64_t bytes_fetched = 0;
+  /// Full-stream bytes entered into the store: every miss-path store plus
+  /// contexts pre-seeded in the manager at cache construction. Unlike
+  /// bytes_fetched this is bus-independent (a delta fetch still inserts
+  /// the full stream), so conservation holds at any instant:
+  ///   bytes_inserted == bytes_evicted + resident LRU bytes + bypass bytes
+  /// — the self-check byte_balance_ok() asserts.
+  std::uint64_t bytes_inserted = 0;
   std::uint64_t bytes_evicted = 0;
   std::uint64_t fetch_cycles = 0;       ///< bus cycles spent on misses
   std::uint64_t oversize_fetches = 0;   ///< fetches larger than the whole capacity
@@ -59,6 +66,7 @@ struct ContextCacheStats {
     misses += o.misses;
     evictions += o.evictions;
     bytes_fetched += o.bytes_fetched;
+    bytes_inserted += o.bytes_inserted;
     bytes_evicted += o.bytes_evicted;
     fetch_cycles += o.fetch_cycles;
     oversize_fetches += o.oversize_fetches;
@@ -130,6 +138,21 @@ class ContextCache {
   [[nodiscard]] bool resident(const std::string& name) const { return manager_.has(name); }
   [[nodiscard]] const ContextCacheStats& stats() const { return stats_; }
   [[nodiscard]] const ContextCacheConfig& config() const { return config_; }
+
+  /// Bytes currently resident under the LRU bound (bypass-stored oversize
+  /// contexts excluded).
+  [[nodiscard]] std::size_t resident_bytes() const { return cached_bytes(); }
+
+  /// Bytes currently bypass-stored outside the LRU bound.
+  [[nodiscard]] std::size_t bypass_bytes() const;
+
+  /// Byte-conservation self-check: every byte ever inserted is either
+  /// still resident (LRU or bypass) or was evicted —
+  ///   bytes_inserted == bytes_evicted + resident_bytes() + bypass_bytes().
+  /// A false return means a counter drifted (a store/evict path missed
+  /// its accounting); tests assert this across the delta-fetch and
+  /// oversize-bypass paths.
+  [[nodiscard]] bool byte_balance_ok() const;
 
   /// Resident contexts, least-recently-used first.
   [[nodiscard]] std::vector<std::string> lru_order() const;

@@ -294,6 +294,10 @@ bool Fabric::hosts(const std::string& impl_name) const {
 }
 
 std::uint64_t Fabric::prepare(const std::string& impl_name) {
+  return prepare_detailed(impl_name).total();
+}
+
+PrepareResult Fabric::prepare_detailed(const std::string& impl_name) {
   if (!hosts(impl_name)) {
     const std::string& reason = library_.unfit_reason(impl_name, geometry_);
     throw std::invalid_argument(
@@ -301,12 +305,18 @@ std::uint64_t Fabric::prepare(const std::string& impl_name) {
         ") cannot host context '" + impl_name + "'" +
         (reason.empty() ? std::string(": unknown implementation") : ": " + reason));
   }
-  const std::uint64_t fetch_cycles = cache_.touch(impl_name);
-  const std::uint64_t switch_cycles = reconfig_.activate(impl_name);
+  PrepareResult result;
+  const std::uint64_t hits_before = cache_.stats().hits;
+  const int switches_before = reconfig_.switches_performed();
+  result.fetch_cycles = cache_.touch(impl_name);
+  result.switch_cycles = reconfig_.activate(impl_name);
+  result.cache_hit = cache_.stats().hits > hits_before;
+  result.switched = reconfig_.switches_performed() > switches_before;
+  result.partial = result.switched && reconfig_.last_activation_partial();
   // The pre-switch context was pinned while the load was in flight; with
   // the switch done it is evictable again, so restore the byte bound.
   cache_.trim();
-  return fetch_cycles + switch_cycles;
+  return result;
 }
 
 const dct::DctImplementation* Fabric::active_impl() const {

@@ -175,6 +175,19 @@ struct FabricConfig {
   bool delta_fetch = false;
 };
 
+/// What one Fabric::prepare_detailed() call charged and decided —
+/// telemetry's view of a context activation, split into the bus (cache
+/// fetch) and configuration-port (bitstream switch) components a stall
+/// attribution must keep apart.
+struct PrepareResult {
+  std::uint64_t fetch_cycles = 0;   ///< context-cache miss bus cycles
+  std::uint64_t switch_cycles = 0;  ///< configuration-port cycles
+  bool cache_hit = false;           ///< the context was already resident
+  bool switched = false;            ///< the fabric changed bitstreams
+  bool partial = false;             ///< the switch took the delta path
+  [[nodiscard]] std::uint64_t total() const { return fetch_cycles + switch_cycles; }
+};
+
 /// One simulated array fabric. Not thread-safe by design: the scheduler
 /// dedicates one worker thread per fabric.
 class Fabric {
@@ -194,6 +207,12 @@ class Fabric {
   /// geometry: the scheduler's feasibility filter must never hand such a
   /// job to this fabric.
   std::uint64_t prepare(const std::string& impl_name);
+
+  /// prepare() with the charge broken down for telemetry: bus fetch vs
+  /// port switch cycles, plus what happened (cache hit, switch taken,
+  /// full vs delta reload). Same cost model and same error contract —
+  /// prepare() is this call's total().
+  PrepareResult prepare_detailed(const std::string& impl_name);
 
   /// Placement feasibility of @p impl_name on this fabric's geometry —
   /// the predicate dispatch filters candidates by (alongside the kernel

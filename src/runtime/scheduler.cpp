@@ -6,6 +6,8 @@
 #include <thread>
 
 #include "runtime/sim_schedule.hpp"
+#include "runtime/telemetry/metrics.hpp"
+#include "runtime/telemetry/trace.hpp"
 #include "video/codec.hpp"
 
 namespace dsra::runtime {
@@ -98,12 +100,26 @@ RunReport MultiStreamScheduler::run(std::vector<StreamJob>& streams) {
 
   JobQueue queue(streams, config_.queue);
   std::vector<double> busy_ms(static_cast<std::size_t>(pool.size()), 0.0);
+
+  // Telemetry resolution: the caller's recorder, or — when only metrics
+  // were requested — an internal one (histograms and timelines are
+  // derived from spans). Null `rec` is the zero-cost-off state: each
+  // worker's recording sites reduce to one untaken pointer test.
+  telemetry::TraceRecorder local_recorder;
+  telemetry::TraceRecorder* rec =
+      config_.trace != nullptr ? config_.trace
+                               : (config_.metrics != nullptr ? &local_recorder : nullptr);
+  if (rec != nullptr) rec->begin_run(pool.size());
+
   const auto wall_start = std::chrono::steady_clock::now();
 
   const auto worker = [&](int fabric_id) {
     Fabric& fabric = pool.at(fabric_id);
     const video::MotionSearchFn me_fn = me::systolic_search_fn(config_.me);
     double& busy = busy_ms[static_cast<std::size_t>(fabric_id)];
+    // The worker's private append-only buffer — no lock, no sharing.
+    std::vector<telemetry::JobTrace>* trace_buf =
+        rec != nullptr ? &rec->worker(fabric_id) : nullptr;
     // Dispatch filters by capability AND placement feasibility: this
     // fabric is only handed jobs whose context places on its geometry.
     // The library's context set is small and fixed, so resolve the
@@ -126,7 +142,9 @@ RunReport MultiStreamScheduler::run(std::vector<StreamJob>& streams) {
       const int f = task->frame_index;
       const video::Frame& frame = stream.frames[static_cast<std::size_t>(f)];
       const std::string context = queue.required_context(*task);
-      const std::uint64_t reconfig_cycles = fabric.prepare(context);
+      const PrepareResult prep = fabric.prepare_detailed(context);
+      const std::uint64_t reconfig_cycles = prep.total();
+      const std::int64_t prepared_ns = trace_buf != nullptr ? rec->now_ns() : 0;
 
       if (task->stage == StageKind::kWholeFrame) {
         FrameRecord record;
@@ -186,7 +204,26 @@ RunReport MultiStreamScheduler::run(std::vector<StreamJob>& streams) {
             break;
         }
       }
-      busy += ms_since(job_start);
+      const auto job_end = std::chrono::steady_clock::now();
+      busy += std::chrono::duration<double, std::milli>(job_end - job_start).count();
+      if (trace_buf != nullptr) {
+        telemetry::JobTrace t;
+        t.stream_id = task->stream_id;
+        t.frame_index = f;
+        t.stage = task->stage;
+        t.fabric_id = fabric.id();
+        t.context = context;
+        t.ready_ns = rec->to_ns(task->ready_time);
+        t.dispatch_ns = rec->to_ns(job_start);
+        t.prepared_ns = prepared_ns;
+        t.done_ns = rec->to_ns(job_end);
+        t.fetch_cycles = prep.fetch_cycles;
+        t.switch_cycles = prep.switch_cycles;
+        t.cache_hit = prep.cache_hit;
+        t.switched = prep.switched;
+        t.partial_switch = prep.partial;
+        trace_buf->push_back(std::move(t));
+      }
       queue.complete(*task, fabric.id(), reconfig_cycles);
     }
   };
@@ -253,6 +290,63 @@ RunReport MultiStreamScheduler::run(std::vector<StreamJob>& streams) {
       simulate_timeline(streams, report.timeline, config_.queue.pipeline_lookahead);
   report.sim_makespan_cycles = sim.makespan_cycles;
   report.sim_utilization = sim.mean_utilization;
+
+  for (int f = 0; f < pool.size(); ++f)
+    report.fabric_labels.push_back("fabric " + std::to_string(f) + " (" +
+                                   to_string(pool.at(f).geometry()) + ")");
+
+  if (rec != nullptr) {
+    // Modeled-cycle span bounds come from the deterministic sim replay;
+    // the recorded buffers contribute host timestamps and the per-job
+    // fetch/switch breakdown. The attribution then decomposes each
+    // stream's end-to-end modeled latency exactly.
+    report.spans = telemetry::build_spans(rec->merged(), sim);
+    report.attribution = telemetry::attribute_streams(report.spans);
+  }
+
+  if (config_.metrics != nullptr) {
+    telemetry::MetricsRegistry& m = *config_.metrics;
+    m.count("dispatches", report.dispatches);
+    m.count("frames", report.total_frames);
+    m.count("bitstream_switches", static_cast<std::uint64_t>(report.total_switches));
+    m.count("partial_reloads", report.partial_reloads);
+    m.count("full_reloads", report.full_reloads);
+    m.count("cache_hits", report.cache.hits);
+    m.count("cache_misses", report.cache.misses);
+    m.count("cache_evictions", report.cache.evictions);
+    m.count("cache_delta_fetches", report.cache.delta_fetches);
+    m.count("placement_rejections", report.placement_rejections);
+    m.count("condition_switches", report.condition_switches);
+    m.count("stale_frames", report.stale_frames);
+    m.gauge("sim_makespan_cycles", static_cast<double>(report.sim_makespan_cycles));
+    m.gauge("sim_utilization", report.sim_utilization);
+    m.gauge("wall_seconds", report.wall_seconds);
+    m.gauge("frames_per_second", report.frames_per_second);
+    for (const telemetry::Span& s : report.spans) {
+      const auto cycles = static_cast<double>(s.cycle_end - s.cycle_start);
+      switch (s.kind) {
+        case telemetry::SpanKind::kQueueWait:
+          m.histogram("queue_wait_cycles").record(cycles);
+          break;
+        case telemetry::SpanKind::kCacheFetch:
+          m.histogram("cache_fetch_cycles").record(cycles);
+          break;
+        case telemetry::SpanKind::kReconfigFull:
+        case telemetry::SpanKind::kReconfigDelta:
+          m.histogram("reconfig_cycles").record(cycles);
+          break;
+        case telemetry::SpanKind::kStageCompute:
+          m.histogram("stage_compute_cycles").record(cycles);
+          break;
+        case telemetry::SpanKind::kDispatch:
+          m.histogram("job_host_ms")
+              .record(static_cast<double>(s.host_end_ns - s.host_start_ns) / 1e6);
+          break;
+      }
+    }
+    telemetry::sample_epoch_timelines(report.spans, pool.size(), report.sim_makespan_cycles,
+                                      32, m);
+  }
   return report;
 }
 

@@ -32,12 +32,28 @@
 
 namespace dsra::runtime {
 
+namespace telemetry {
+class TraceRecorder;   // telemetry/trace.hpp
+class MetricsRegistry;  // telemetry/metrics.hpp
+}  // namespace telemetry
+
 struct SchedulerConfig {
   int fabrics = 2;  ///< homogeneous pool size (ignored when fabric_configs set)
   std::vector<FabricConfig> fabric_configs;  ///< heterogeneous pool, one per fabric
   JobQueueConfig queue;
   FabricConfig fabric;    ///< template for the homogeneous pool
   me::SystolicParams me;  ///< ME array model the workers search with
+
+  /// Span tracing. Null (the default) is the zero-cost-off state: every
+  /// recording site in the worker loop is guarded by this one pointer
+  /// test, and modeled-cycle results are bit-exact either way — the
+  /// recorder only observes. When set, the run's RunReport carries the
+  /// typed span stream and per-stream stall attribution.
+  telemetry::TraceRecorder* trace = nullptr;
+  /// Metrics sink. When set, the scheduler fills it after the run with
+  /// counters, gauges, latency histograms and per-epoch timelines (an
+  /// internal recorder supplies the spans if `trace` is null).
+  telemetry::MetricsRegistry* metrics = nullptr;
 
   /// The one normalization point of the two construction paths: the
   /// explicit per-fabric list when set, otherwise `fabrics` copies of

@@ -106,6 +106,7 @@ SimSchedule simulate_timeline(const std::vector<StreamJob>& streams,
     job.fabric_id = e.fabric_id;
     job.stage = e.stage;
     job.reconfig_cycles = reconfig;
+    job.ready_cycles = ready;
     job.start_cycles = std::max(ready, clock);
     job.end_cycles = job.start_cycles + duration;
     clock = job.end_cycles;

@@ -31,6 +31,9 @@ struct SimStageJob {
   int frame_index = 0;
   int fabric_id = -1;
   StageKind stage = StageKind::kWholeFrame;
+  /// Cycle at which the job's data dependencies were satisfied; the gap
+  /// up to start_cycles is time spent waiting for the assigned fabric.
+  std::uint64_t ready_cycles = 0;
   std::uint64_t start_cycles = 0;
   std::uint64_t end_cycles = 0;
   std::uint64_t reconfig_cycles = 0;  ///< context-fetch + switch share of the duration

@@ -5,13 +5,23 @@
 
 namespace dsra::runtime {
 
-double percentile(std::vector<double> samples, double pct) {
-  if (samples.empty()) return 0.0;
-  std::sort(samples.begin(), samples.end());
+std::uint64_t percentile_rank(std::uint64_t n, double pct) {
+  if (n == 0) return 0;
+  // A non-finite pct (a NaN fed in from a broken ratio) must not reach
+  // the cast below — that would be undefined behaviour, not a bad
+  // answer. Collapse it to the conservative end: the worst sample.
+  if (!std::isfinite(pct)) pct = 100.0;
   const double clamped = std::clamp(pct, 0.0, 100.0);
-  const auto rank = static_cast<std::size_t>(
-      std::ceil(clamped / 100.0 * static_cast<double>(samples.size())));
-  return samples[rank == 0 ? 0 : rank - 1];
+  const auto rank =
+      static_cast<std::uint64_t>(std::ceil(clamped / 100.0 * static_cast<double>(n)));
+  return std::clamp<std::uint64_t>(rank, 1, n);
+}
+
+double percentile(std::vector<double> samples, double pct) {
+  const std::uint64_t rank = percentile_rank(samples.size(), pct);
+  if (rank == 0) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  return samples[static_cast<std::size_t>(rank - 1)];
 }
 
 LatencySummary summarize_latencies(const std::vector<double>& samples_ms) {
@@ -112,6 +122,40 @@ ReportTable condition_table(const RunReport& report) {
                  format_i64(static_cast<std::int64_t>(report.stale_frames)),
                  format_i64(static_cast<std::int64_t>(report.total_reconfig_cycles +
                                                       report.total_fetch_cycles))});
+  return table;
+}
+
+ReportTable attribution_table(const RunReport& report) {
+  ReportTable table("Per-stream stall attribution (modeled array cycles)");
+  table.set_header({"stream", "e2e cyc", "queue cyc", "bus cyc", "reconfig cyc",
+                    "compute cyc", "delta share"});
+  std::uint64_t e2e = 0, queue = 0, bus = 0, reconfig = 0, compute = 0;
+  for (const telemetry::StreamAttribution& a : report.attribution) {
+    const auto id = static_cast<std::size_t>(a.stream_id);
+    const std::string name = id < report.streams.size() ? report.streams[id].name
+                                                        : "stream " + std::to_string(a.stream_id);
+    const double delta_pct = a.reconfig_cycles > 0
+                                 ? 100.0 * static_cast<double>(a.delta_reconfig_cycles) /
+                                       static_cast<double>(a.reconfig_cycles)
+                                 : 0.0;
+    table.add_row({name, format_i64(static_cast<std::int64_t>(a.end_to_end_cycles)),
+                   format_i64(static_cast<std::int64_t>(a.queue_cycles)),
+                   format_i64(static_cast<std::int64_t>(a.bus_cycles)),
+                   format_i64(static_cast<std::int64_t>(a.reconfig_cycles)),
+                   format_i64(static_cast<std::int64_t>(a.compute_cycles)),
+                   format_double(delta_pct, 0) + "%"});
+    e2e = std::max(e2e, a.end_to_end_cycles);
+    queue += a.queue_cycles;
+    bus += a.bus_cycles;
+    reconfig += a.reconfig_cycles;
+    compute += a.compute_cycles;
+  }
+  table.add_separator();
+  table.add_row({"total (makespan)", format_i64(static_cast<std::int64_t>(e2e)),
+                 format_i64(static_cast<std::int64_t>(queue)),
+                 format_i64(static_cast<std::int64_t>(bus)),
+                 format_i64(static_cast<std::int64_t>(reconfig)),
+                 format_i64(static_cast<std::int64_t>(compute)), "-"});
   return table;
 }
 

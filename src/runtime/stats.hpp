@@ -11,10 +11,23 @@
 #include "runtime/context_cache.hpp"
 #include "runtime/geometry.hpp"
 #include "runtime/job.hpp"
+#include "runtime/telemetry/attribution.hpp"
+#include "runtime/telemetry/trace.hpp"
 
 namespace dsra::runtime {
 
-/// Nearest-rank percentile (pct in [0, 100]); 0 on an empty sample set.
+/// 1-based nearest rank of the @p pct percentile among @p n ordered
+/// samples; 0 when there are no samples. The single selection rule both
+/// the sample-based percentile below and the telemetry histograms'
+/// bucket percentiles share, so the degenerate cases (zero samples, one
+/// sample, out-of-range or non-finite pct) are guarded in exactly one
+/// place: pct is clamped into [0, 100], a non-finite pct collapses to
+/// 100 (the conservative end — report the worst sample, not a garbage
+/// interpolation), and the rank never exceeds n.
+[[nodiscard]] std::uint64_t percentile_rank(std::uint64_t n, double pct);
+
+/// Nearest-rank percentile (pct in [0, 100]); 0 on an empty sample set,
+/// the sample itself on a single-sample set, for every pct.
 [[nodiscard]] double percentile(std::vector<double> samples, double pct);
 
 struct LatencySummary {
@@ -93,6 +106,13 @@ struct RunReport {
   std::vector<GeometrySummary> geometry_stats;
   std::uint64_t placement_rejections = 0;  ///< sum over geometry_stats
   int total_tiles = 0;                     ///< pool array area (cluster sites)
+  /// "fabric k (WxH)" labels, indexed by fabric id — what trace tracks
+  /// and diagnostics name a fabric.
+  std::vector<std::string> fabric_labels;
+  /// Telemetry (empty unless the run was traced): the typed two-domain
+  /// span stream and the per-stream stall attribution derived from it.
+  std::vector<telemetry::Span> spans;
+  std::vector<telemetry::StreamAttribution> attribution;
 };
 
 /// Per-stream table (impl, frames, p50/p95 latency, PSNR, cycles).
@@ -101,6 +121,11 @@ struct RunReport {
 /// Per-stream condition-adaptation table: policy, first -> last context,
 /// mid-flight switches, stale frames, reconfiguration cycles.
 [[nodiscard]] ReportTable condition_table(const RunReport& report);
+
+/// Per-stream stall attribution: where each stream's end-to-end modeled
+/// latency went — queueing / bus fetch / reconfiguration / compute, which
+/// sum exactly to the end-to-end cycles. Empty-bodied for untraced runs.
+[[nodiscard]] ReportTable attribution_table(const RunReport& report);
 
 /// Aggregate comparison of two scheduling runs over the same workload
 /// (reconfig cycles, switches, cache behaviour, throughput), with a final

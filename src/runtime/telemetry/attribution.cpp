@@ -1,0 +1,98 @@
+#include "runtime/telemetry/attribution.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace dsra::runtime::telemetry {
+
+namespace {
+
+/// Priority of a fabric-track span kind in the sweep: where classes
+/// overlap, each cycle counts once under the highest class present.
+int class_of(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kStageCompute: return 3;
+    case SpanKind::kReconfigFull:
+    case SpanKind::kReconfigDelta: return 2;
+    case SpanKind::kCacheFetch: return 1;
+    default: return 0;  // stream-track kinds carry no silicon time
+  }
+}
+
+struct Interval {
+  std::uint64_t start = 0;
+  std::uint64_t end = 0;
+  int cls = 0;
+  bool delta = false;  ///< cls 2 only: the partial-reload path
+};
+
+}  // namespace
+
+std::vector<StreamAttribution> attribute_streams(const std::vector<Span>& spans) {
+  std::map<int, std::vector<Interval>> busy_of;  ///< stream -> classified intervals
+  std::map<int, std::uint64_t> end_of;           ///< stream -> last completion cycle
+  for (const Span& s : spans) {
+    auto& end = end_of[s.stream_id];
+    end = std::max(end, s.cycle_end);
+    const int cls = class_of(s.kind);
+    if (s.track != TrackKind::kFabric || cls == 0 || s.cycle_end <= s.cycle_start) continue;
+    busy_of[s.stream_id].push_back(
+        {s.cycle_start, s.cycle_end, cls, s.kind == SpanKind::kReconfigDelta});
+  }
+
+  std::vector<StreamAttribution> out;
+  out.reserve(end_of.size());
+  for (const auto& [stream_id, e2e] : end_of) {
+    StreamAttribution a;
+    a.stream_id = stream_id;
+    a.end_to_end_cycles = e2e;
+
+    // Elementary-interval sweep: between two consecutive boundaries the
+    // set of covering intervals is constant, so each slice is charged
+    // whole to the highest class present. Every slice of [0, e2e] not
+    // covered at all is queueing.
+    auto it = busy_of.find(stream_id);
+    const std::vector<Interval> empty;
+    const std::vector<Interval>& busy = it == busy_of.end() ? empty : it->second;
+    std::vector<std::uint64_t> bounds;
+    bounds.reserve(2 * busy.size() + 2);
+    bounds.push_back(0);
+    bounds.push_back(e2e);
+    for (const Interval& v : busy) {
+      bounds.push_back(std::min(v.start, e2e));
+      bounds.push_back(std::min(v.end, e2e));
+    }
+    std::sort(bounds.begin(), bounds.end());
+    bounds.erase(std::unique(bounds.begin(), bounds.end()), bounds.end());
+
+    for (std::size_t k = 0; k + 1 < bounds.size(); ++k) {
+      const std::uint64_t lo = bounds[k];
+      const std::uint64_t hi = bounds[k + 1];
+      const std::uint64_t len = hi - lo;
+      int cls = 0;
+      bool delta = false;
+      for (const Interval& v : busy) {
+        if (v.start >= hi || v.end <= lo) continue;
+        if (v.cls > cls) {
+          cls = v.cls;
+          delta = v.delta;
+        } else if (v.cls == cls && v.cls == 2) {
+          delta = delta && v.delta;  // mixed overlap: only pure-delta slices count
+        }
+      }
+      switch (cls) {
+        case 3: a.compute_cycles += len; break;
+        case 2:
+          a.reconfig_cycles += len;
+          if (delta) a.delta_reconfig_cycles += len;
+          break;
+        case 1: a.bus_cycles += len; break;
+        default: a.queue_cycles += len; break;
+      }
+    }
+    out.push_back(a);
+  }
+  return out;
+}
+
+}  // namespace dsra::runtime::telemetry

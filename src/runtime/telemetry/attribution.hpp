@@ -1,0 +1,49 @@
+// Stall attribution: where did each stream's latency go?
+//
+// Decomposes a stream's end-to-end modeled latency (cycle 0 — every
+// stream is ready the moment the run starts — to the completion of its
+// last job) into four exhaustive, mutually exclusive components:
+//
+//  * compute  — some job of the stream is computing on an array
+//  * reconfig — a fabric is shifting configuration for the stream
+//               (full reloads and cluster-frame deltas combined; the
+//               delta share is reported separately)
+//  * bus      — a context-cache miss is fetching the stream's bitstream
+//  * queueing — none of the above: the stream is waiting for silicon
+//
+// The decomposition is an exact interval sweep over the stream's
+// fabric-track spans: wherever the stream's own jobs overlap in modeled
+// time (ME of frame k+1 against DCT/quant of frame k), each cycle is
+// counted once under the highest-priority class present (compute >
+// reconfig > bus), and every uncovered cycle is queueing. By
+// construction the four components sum to the end-to-end latency —
+// exactly, in integer cycles — which is what the acceptance bar checks.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/telemetry/trace.hpp"
+
+namespace dsra::runtime::telemetry {
+
+struct StreamAttribution {
+  int stream_id = 0;
+  std::uint64_t end_to_end_cycles = 0;  ///< run start to last job completion
+  std::uint64_t queue_cycles = 0;       ///< waiting for silicon
+  std::uint64_t bus_cycles = 0;         ///< context fetches over the SoC bus
+  std::uint64_t reconfig_cycles = 0;    ///< configuration-port shifting
+  std::uint64_t compute_cycles = 0;     ///< array compute
+  std::uint64_t delta_reconfig_cycles = 0;  ///< reconfig share served by deltas
+
+  [[nodiscard]] std::uint64_t components_sum() const {
+    return queue_cycles + bus_cycles + reconfig_cycles + compute_cycles;
+  }
+};
+
+/// Attribute every stream that appears in @p spans, in ascending
+/// stream-id order. Streams with no spans are absent.
+[[nodiscard]] std::vector<StreamAttribution> attribute_streams(
+    const std::vector<Span>& spans);
+
+}  // namespace dsra::runtime::telemetry

@@ -1,0 +1,58 @@
+// Telemetry exporters.
+//
+// Two artifacts, both plain JSON written next to the BENCH_*.json files:
+//
+//  * Chrome trace-event JSON (chrome://tracing, Perfetto) — one track
+//    per modeled fabric (the fetch / reconfig / compute breakdown), one
+//    per stream (queue wait + job occupancy), and optionally one per
+//    host worker in host wall time. The modeled tracks tick in array
+//    cycles (1 "us" in the viewer = 1 modeled cycle) so the timeline is
+//    bit-deterministic across runs; the host tracks are excluded from
+//    determinism comparisons.
+//
+//  * Metrics JSON — the MetricsRegistry's counters, gauges, histograms
+//    (with precomputed p50/p95/p99 and the non-empty buckets) and
+//    per-epoch timelines, following the BENCH_*.json conventions
+//    (schema_version + host_wall_seconds fields, null for non-finite
+//    numbers).
+#pragma once
+
+#include <string>
+
+#include "runtime/stats.hpp"
+#include "runtime/telemetry/metrics.hpp"
+
+namespace dsra::runtime::telemetry {
+
+struct TraceExportOptions {
+  /// Also emit host-wall-time tracks (one per worker). Off for
+  /// determinism comparisons: host timestamps differ between runs even
+  /// when the modeled timeline is bit-identical.
+  bool include_host_tracks = true;
+};
+
+/// Version stamped into the exported trace and metrics files as
+/// "schema_version" so tools/validate_trace.py can reject layouts it
+/// does not understand.
+inline constexpr int kTelemetrySchemaVersion = 1;
+
+/// The run's spans as a Chrome trace-event JSON document. Deterministic
+/// for a deterministic span list when host tracks are off.
+[[nodiscard]] std::string chrome_trace_json(const RunReport& report,
+                                            const TraceExportOptions& opts = {});
+
+/// chrome_trace_json() to @p path; false (with a warning on stderr) when
+/// the file cannot be written.
+bool write_chrome_trace(const std::string& path, const RunReport& report,
+                        const TraceExportOptions& opts = {});
+
+/// The registry's contents as a metrics JSON document.
+[[nodiscard]] std::string metrics_json(const MetricsRegistry& registry,
+                                       double host_wall_seconds);
+
+/// metrics_json() to @p path; false (with a warning on stderr) when the
+/// file cannot be written.
+bool write_metrics_json(const std::string& path, const MetricsRegistry& registry,
+                        double host_wall_seconds);
+
+}  // namespace dsra::runtime::telemetry

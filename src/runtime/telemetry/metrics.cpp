@@ -1,0 +1,133 @@
+#include "runtime/telemetry/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "runtime/stats.hpp"
+
+namespace dsra::runtime::telemetry {
+
+std::vector<double> FixedBucketHistogram::default_bounds() {
+  std::vector<double> bounds;
+  bounds.reserve(48);
+  double bound = 1.0;
+  for (int k = 0; k < 48; ++k) {
+    bounds.push_back(bound);
+    bound *= 2.0;
+  }
+  return bounds;
+}
+
+FixedBucketHistogram::FixedBucketHistogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)), counts_(bounds_.size() + 1, 0) {}
+
+void FixedBucketHistogram::record(double value) {
+  if (!std::isfinite(value)) return;  // a NaN sample would poison min/max/sum
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  sum_ += value;
+  ++count_;
+}
+
+double FixedBucketHistogram::percentile(double pct) const {
+  // Shared degenerate-case contract with runtime/stats::percentile: no
+  // samples -> 0, one sample -> that sample (interpolating inside a
+  // bucket with a single occupant would fabricate a value no sample had).
+  if (count_ == 0) return 0.0;
+  if (count_ == 1) return min_;
+  const std::uint64_t rank = percentile_rank(count_, pct);
+
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    if (counts_[b] == 0) continue;
+    if (cumulative + counts_[b] < rank) {
+      cumulative += counts_[b];
+      continue;
+    }
+    // Linear interpolation inside the selected bucket, with the bucket
+    // edges clamped to the observed range so the overflow bucket (no
+    // upper bound) and sparse edge buckets stay finite.
+    const double lower = std::max(b == 0 ? min_ : bounds_[b - 1], min_);
+    const double upper = std::min(b < bounds_.size() ? bounds_[b] : max_, max_);
+    const double fraction =
+        static_cast<double>(rank - cumulative) / static_cast<double>(counts_[b]);
+    const double value = lower + fraction * (upper - lower);
+    return std::clamp(value, min_, max_);
+  }
+  return max_;  // rank beyond the last occupied bucket (pct == 100)
+}
+
+FixedBucketHistogram& MetricsRegistry::histogram(const std::string& name) {
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return it->second;
+  return histograms_.emplace(name, FixedBucketHistogram()).first->second;
+}
+
+FixedBucketHistogram& MetricsRegistry::histogram(const std::string& name,
+                                                 std::vector<double> bounds) {
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return it->second;
+  return histograms_.emplace(name, FixedBucketHistogram(std::move(bounds))).first->second;
+}
+
+void MetricsRegistry::clear() {
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+  timelines_.clear();
+}
+
+void sample_epoch_timelines(const std::vector<Span>& spans, int fabric_count,
+                            std::uint64_t makespan_cycles, int epochs,
+                            MetricsRegistry& registry) {
+  if (epochs <= 0 || makespan_cycles == 0) return;
+  const double epoch_len =
+      static_cast<double>(makespan_cycles) / static_cast<double>(epochs);
+
+  const auto overlap = [&](const Span& s, int epoch) -> double {
+    const double lo = epoch_len * epoch;
+    const double hi = epoch_len * (epoch + 1);
+    const double start = std::max(static_cast<double>(s.cycle_start), lo);
+    const double end = std::min(static_cast<double>(s.cycle_end), hi);
+    return std::max(0.0, end - start);
+  };
+  const auto epoch_of = [&](std::uint64_t cycle) {
+    const int e = static_cast<int>(static_cast<double>(cycle) / epoch_len);
+    return std::clamp(e, 0, epochs - 1);
+  };
+
+  std::vector<std::vector<double>> busy(static_cast<std::size_t>(std::max(0, fabric_count)),
+                                        std::vector<double>(static_cast<std::size_t>(epochs)));
+  std::vector<double> depth(static_cast<std::size_t>(epochs), 0.0);
+  for (const Span& s : spans) {
+    if (s.cycle_end <= s.cycle_start) continue;
+    const int first = epoch_of(s.cycle_start);
+    const int last = epoch_of(s.cycle_end - 1);
+    if (s.track == TrackKind::kFabric) {
+      if (s.fabric_id < 0 || s.fabric_id >= fabric_count) continue;
+      for (int e = first; e <= last; ++e)
+        busy[static_cast<std::size_t>(s.fabric_id)][static_cast<std::size_t>(e)] +=
+            overlap(s, e);
+    } else if (s.kind == SpanKind::kQueueWait) {
+      // Overlap-weighted: a job waiting through a whole epoch adds 1 to
+      // that epoch's mean depth, a job waiting half of it adds 0.5.
+      for (int e = first; e <= last; ++e)
+        depth[static_cast<std::size_t>(e)] += overlap(s, e) / epoch_len;
+    }
+  }
+
+  for (int f = 0; f < fabric_count; ++f) {
+    auto& samples = busy[static_cast<std::size_t>(f)];
+    for (double& v : samples) v = std::min(1.0, v / epoch_len);
+    registry.timeline("fabric" + std::to_string(f) + "_utilization", std::move(samples));
+  }
+  registry.timeline("queue_depth", std::move(depth));
+}
+
+}  // namespace dsra::runtime::telemetry

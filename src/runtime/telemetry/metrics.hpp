@@ -1,0 +1,110 @@
+// Metrics registry: named counters, gauges, fixed-bucket latency
+// histograms and per-epoch timelines.
+//
+// The histograms answer p50/p95/p99 without storing samples: values land
+// in fixed exponential buckets and percentiles interpolate within the
+// selected bucket, sharing the nearest-rank selection code path with the
+// per-stream latency percentiles in runtime/stats (one guarded
+// implementation of the degenerate cases — zero or one sample — instead
+// of two that could drift). Epoch timelines give the time-resolved view
+// end-of-run aggregates cannot: queue depth and per-fabric utilization
+// sampled over fixed windows of the modeled-cycle makespan.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "runtime/telemetry/trace.hpp"
+
+namespace dsra::runtime::telemetry {
+
+/// Histogram over fixed bucket upper bounds (ascending; an implicit
+/// overflow bucket catches everything above the last bound).
+class FixedBucketHistogram {
+ public:
+  /// @p upper_bounds must be ascending; an empty list is one catch-all
+  /// bucket.
+  explicit FixedBucketHistogram(std::vector<double> upper_bounds = default_bounds());
+
+  /// Power-of-two bounds 1, 2, 4, ... — 48 buckets, enough for any cycle
+  /// or nanosecond quantity the runtime produces.
+  [[nodiscard]] static std::vector<double> default_bounds();
+
+  void record(double value);
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double min() const { return count_ > 0 ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return count_ > 0 ? max_ : 0.0; }
+  [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
+  /// bounds().size() + 1 entries; the last is the overflow bucket.
+  [[nodiscard]] const std::vector<std::uint64_t>& counts() const { return counts_; }
+
+  /// Estimated percentile (pct in [0, 100]): nearest-rank bucket
+  /// selection (the runtime/stats percentile_rank code path) with linear
+  /// interpolation inside the bucket. Degenerate cases are exact, not
+  /// interpolated: 0 recorded values -> 0.0, a single value -> that
+  /// value; the result is always clamped into [min, max].
+  [[nodiscard]] double percentile(double pct) const;
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Named metrics of one run. Not thread-safe: the scheduler fills it
+/// after the workers have joined (per-worker data arrives through the
+/// TraceRecorder's buffers, not through shared counters).
+class MetricsRegistry {
+ public:
+  void count(const std::string& name, std::uint64_t delta = 1) { counters_[name] += delta; }
+  void gauge(const std::string& name, double value) { gauges_[name] = value; }
+
+  /// The named histogram, created with @p bounds (or the default
+  /// power-of-two bounds) on first use.
+  FixedBucketHistogram& histogram(const std::string& name);
+  FixedBucketHistogram& histogram(const std::string& name, std::vector<double> bounds);
+
+  /// Replace the named per-epoch timeline.
+  void timeline(const std::string& name, std::vector<double> samples) {
+    timelines_[name] = std::move(samples);
+  }
+
+  [[nodiscard]] const std::map<std::string, std::uint64_t>& counters() const {
+    return counters_;
+  }
+  [[nodiscard]] const std::map<std::string, double>& gauges() const { return gauges_; }
+  [[nodiscard]] const std::map<std::string, FixedBucketHistogram>& histograms() const {
+    return histograms_;
+  }
+  [[nodiscard]] const std::map<std::string, std::vector<double>>& timelines() const {
+    return timelines_;
+  }
+
+  void clear();
+
+ private:
+  std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, double> gauges_;
+  std::map<std::string, FixedBucketHistogram> histograms_;
+  std::map<std::string, std::vector<double>> timelines_;
+};
+
+/// Sample per-epoch timelines from a run's spans over @p epochs fixed
+/// windows of [0, makespan] in the modeled-cycle domain:
+///
+///  * "fabric<k>_utilization" — busy fraction of fabric k per epoch
+///    (every fabric-track span counts as busy: fetch, reconfig, compute);
+///  * "queue_depth" — mean number of concurrently waiting jobs per epoch
+///    (overlap-weighted queue_wait spans).
+void sample_epoch_timelines(const std::vector<Span>& spans, int fabric_count,
+                            std::uint64_t makespan_cycles, int epochs,
+                            MetricsRegistry& registry);
+
+}  // namespace dsra::runtime::telemetry

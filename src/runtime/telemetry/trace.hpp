@@ -1,0 +1,153 @@
+// Runtime span tracing.
+//
+// The scheduler's workers record one JobTrace per executed stage job into
+// a per-worker append-only buffer — no shared lock, no allocation beyond
+// the buffer's own growth — and the buffers are merged after the run has
+// drained. A merged trace plus the deterministic sim-schedule replay
+// yields typed spans in *two clock domains*:
+//
+//  * host wall time (steady-clock nanoseconds since the recorder epoch) —
+//    what the worker threads actually did, useful for profiling the
+//    scheduler itself;
+//  * modeled array cycles — where the simulated silicon spent the
+//    stream's latency. This domain is bit-deterministic: two identical
+//    runs produce byte-identical modeled-cycle span streams no matter
+//    how the host interleaved the workers.
+//
+// Zero cost when off: the scheduler holds a TraceRecorder pointer that is
+// null when telemetry is disabled, and every recording site is an inline
+// helper that reduces to a single pointer test — the null recorder is
+// compile-time-inlined away, so the hot path pays nothing but a
+// predictable untaken branch. Modeled-cycle results are bit-exact with
+// tracing on or off by construction: recording only *observes* the run.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runtime/kernel.hpp"
+
+namespace dsra::runtime {
+
+struct SimSchedule;  // sim_schedule.hpp
+
+namespace telemetry {
+
+/// Typed span kinds the recorder distinguishes.
+enum class SpanKind : std::uint8_t {
+  kDispatch,       ///< a stage job occupying its fabric, dispatch to done
+  kQueueWait,      ///< a job ready but not yet running (queue + fabric busy)
+  kReconfigFull,   ///< configuration port: full bitstream reload
+  kReconfigDelta,  ///< configuration port: partial (cluster-frame delta) reload
+  kCacheFetch,     ///< context-cache miss: bus fetch from main memory
+  kStageCompute,   ///< the kernel actually computing on the array
+};
+
+[[nodiscard]] constexpr const char* to_string(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kDispatch: return "dispatch";
+    case SpanKind::kQueueWait: return "queue_wait";
+    case SpanKind::kReconfigFull: return "reconfig_full";
+    case SpanKind::kReconfigDelta: return "reconfig_delta";
+    case SpanKind::kCacheFetch: return "cache_fetch";
+    case SpanKind::kStageCompute: return "stage_compute";
+  }
+  return "?";
+}
+
+/// Export track a span renders on: one track per fabric (the sub-job
+/// breakdown: fetch / reconfig / compute) and one per stream (queue wait
+/// and whole-job occupancy).
+enum class TrackKind : std::uint8_t { kFabric, kStream };
+
+/// One typed span in both clock domains. Modeled-cycle bounds come from
+/// the deterministic sim replay; host bounds from the live recording
+/// (0/0 when the host domain has no meaningful interval for the kind).
+struct Span {
+  SpanKind kind = SpanKind::kDispatch;
+  TrackKind track = TrackKind::kStream;
+  int track_id = 0;  ///< fabric id or stream id, per `track`
+  int stream_id = 0;
+  int frame_index = 0;
+  int fabric_id = -1;
+  StageKind stage = StageKind::kWholeFrame;
+  std::string context;  ///< bitstream the job ran under
+  std::uint64_t cycle_start = 0;  ///< modeled array cycles (bit-deterministic)
+  std::uint64_t cycle_end = 0;
+  std::int64_t host_start_ns = 0;  ///< steady-clock ns since recorder epoch
+  std::int64_t host_end_ns = 0;
+};
+
+/// What a worker records per executed stage job: the host-side timestamps
+/// of the job's phases and the modeled reconfiguration breakdown its
+/// fabric reported. The modeled start/end of the job itself is *not*
+/// recorded here — it is reconstructed bit-deterministically by the sim
+/// replay, so host scheduling jitter never leaks into the cycle domain.
+struct JobTrace {
+  int stream_id = 0;
+  int frame_index = 0;
+  StageKind stage = StageKind::kWholeFrame;
+  int fabric_id = -1;
+  std::string context;
+  std::int64_t ready_ns = 0;     ///< job became ready (queue-wait start)
+  std::int64_t dispatch_ns = 0;  ///< worker acquired the job
+  std::int64_t prepared_ns = 0;  ///< context fetched + switched
+  std::int64_t done_ns = 0;      ///< stage compute finished
+  std::uint64_t fetch_cycles = 0;   ///< modeled bus cycles of the cache miss
+  std::uint64_t switch_cycles = 0;  ///< modeled configuration-port cycles
+  bool cache_hit = false;           ///< no bus fetch was needed
+  bool switched = false;            ///< a bitstream switch was performed
+  bool partial_switch = false;      ///< the switch took the delta path
+};
+
+/// Per-worker span buffers. begin_run() sizes one buffer per worker;
+/// during the run each worker appends only to its own buffer, so the hot
+/// path takes no lock and the merge happens once, after the workers have
+/// joined. Not thread-safe across runs: one recorder serves one
+/// scheduler run at a time.
+class TraceRecorder {
+ public:
+  TraceRecorder() : epoch_(std::chrono::steady_clock::now()) {}
+
+  /// Drop any previous run's buffers and size one buffer per worker.
+  void begin_run(int workers) {
+    buffers_.assign(workers > 0 ? static_cast<std::size_t>(workers) : 0, {});
+  }
+
+  [[nodiscard]] int workers() const { return static_cast<int>(buffers_.size()); }
+
+  /// Worker @p id's private buffer; only that worker's thread may touch it
+  /// while the run is in flight.
+  [[nodiscard]] std::vector<JobTrace>& worker(int id) {
+    return buffers_[static_cast<std::size_t>(id)];
+  }
+
+  /// Nanoseconds since the recorder epoch.
+  [[nodiscard]] std::int64_t now_ns() const { return to_ns(std::chrono::steady_clock::now()); }
+  [[nodiscard]] std::int64_t to_ns(std::chrono::steady_clock::time_point t) const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(t - epoch_).count();
+  }
+
+  /// All workers' job traces in one deterministic order — (stream, frame,
+  /// stage) — independent of how the host interleaved the workers.
+  [[nodiscard]] std::vector<JobTrace> merged() const;
+
+ private:
+  std::chrono::steady_clock::time_point epoch_;
+  std::vector<std::vector<JobTrace>> buffers_;
+};
+
+/// Build the typed two-domain span list from a merged trace and the
+/// deterministic sim replay of the same run. Per job: a queue_wait and a
+/// dispatch span on the stream's track, and the cache_fetch ->
+/// reconfig_{full,delta} -> stage_compute breakdown on the fabric's track
+/// (sub-intervals of the job's modeled duration, in that order, so spans
+/// on one fabric track never overlap). Sorted deterministically by
+/// (track kind, track id, cycle_start, kind, stream, frame, stage).
+[[nodiscard]] std::vector<Span> build_spans(const std::vector<JobTrace>& jobs,
+                                            const SimSchedule& sim);
+
+}  // namespace telemetry
+}  // namespace dsra::runtime

@@ -89,6 +89,7 @@ std::uint64_t ReconfigManager::activate(const std::string& name) {
     }
   }
   partial ? ++partial_reloads_ : ++full_reloads_;
+  last_activation_partial_ = partial;
   active_ = name;
   resident_ = name;
   total_cycles_ += cycles;

@@ -107,6 +107,10 @@ class ReconfigManager {
   /// and byte counters sum what the partial reloads shifted.
   [[nodiscard]] std::uint64_t partial_reloads() const { return partial_reloads_; }
   [[nodiscard]] std::uint64_t full_reloads() const { return full_reloads_; }
+  /// Whether the most recent cycle-charging activate() took the delta
+  /// path — the bit telemetry needs to type the reconfiguration span it
+  /// just paid for (full vs delta) without re-deriving the decision.
+  [[nodiscard]] bool last_activation_partial() const { return last_activation_partial_; }
   [[nodiscard]] std::uint64_t frames_rewritten() const { return frames_rewritten_; }
   [[nodiscard]] std::uint64_t delta_bytes_loaded() const { return delta_bytes_; }
 
@@ -131,6 +135,7 @@ class ReconfigManager {
   int switches_ = 0;
   std::uint64_t partial_reloads_ = 0;
   std::uint64_t full_reloads_ = 0;
+  bool last_activation_partial_ = false;
   std::uint64_t frames_rewritten_ = 0;
   std::uint64_t delta_bytes_ = 0;
   EvictionHook eviction_hook_;

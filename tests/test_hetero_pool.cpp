@@ -425,6 +425,10 @@ TEST(DeltaFetch, CacheMissMovesOnlyDeltaBytesWhenResidentImageIsKnown) {
                                  library().bitstream("da_basic").size();
   EXPECT_LT(stats.bytes_fetched, full_bytes);
   EXPECT_EQ(stats.bytes_fetched + stats.bytes_saved, full_bytes);
+  // A delta fetch moves fewer bus bytes but still inserts the full
+  // stream: the conservation ledger must balance regardless.
+  EXPECT_EQ(stats.bytes_inserted, full_bytes);
+  EXPECT_TRUE(fabric.cache().byte_balance_ok());
 
   // Disabled by default: the same walk on a plain fabric moves the full
   // streams and keeps the historical byte balance.
@@ -450,6 +454,7 @@ TEST(DeltaFetch, FallsBackToTheFullStreamAcrossGrids) {
   EXPECT_EQ(stats.delta_fetches, 0u);
   EXPECT_EQ(stats.bytes_fetched, library().bitstream("scc_full").size() +
                                      library().bitstream(kMeContextName).size());
+  EXPECT_TRUE(fabric.cache().byte_balance_ok());
 }
 
 }  // namespace

@@ -4,6 +4,7 @@
 // over the stage pipeline.
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <map>
 #include <string>
 #include <vector>
@@ -145,6 +146,10 @@ TEST(ContextCache, OversizeFetchBypassesInsteadOfEmptyingTheCache) {
   EXPECT_EQ(cache.stats().oversize_fetches, 1u);  // the breach is explicit
   EXPECT_EQ(cache.stats().bytes_bypassed, 1000u);
   EXPECT_EQ(cache.lru_order(), (std::vector<std::string>{"a", "b"}));
+  // Conservation across the bypass path: the oversize insert is in the
+  // ledger even though it sits outside the LRU bound.
+  EXPECT_EQ(cache.bypass_bytes(), 1000u);
+  EXPECT_TRUE(cache.byte_balance_ok());
 
   // Once the fabric runs something else, the bypassed context is the
   // first thing dropped; an *active* oversize context stays pinned.
@@ -155,6 +160,9 @@ TEST(ContextCache, OversizeFetchBypassesInsteadOfEmptyingTheCache) {
   (void)cache.touch("c");
   EXPECT_FALSE(cache.resident("big"));
   EXPECT_LE(mgr.stored_bytes(), 250u);
+  // The dropped bypass context lands in bytes_evicted; balance still holds.
+  EXPECT_EQ(cache.bypass_bytes(), 0u);
+  EXPECT_TRUE(cache.byte_balance_ok());
 }
 
 TEST(Library, CompilesAllSixImplementations) {
@@ -400,6 +408,11 @@ TEST(Fabric, CacheByteAccountingBalancesExactly) {
   // fetched - evicted == resident, byte for byte.
   EXPECT_EQ(stats.bytes_fetched - stats.bytes_evicted,
             static_cast<std::uint64_t>(fabric.reconfig().stored_bytes()));
+  // Conservation ledger: every inserted byte is resident or was evicted.
+  EXPECT_TRUE(fabric.cache().byte_balance_ok());
+  EXPECT_EQ(stats.bytes_inserted,
+            stats.bytes_evicted + fabric.cache().resident_bytes() +
+                fabric.cache().bypass_bytes());
   EXPECT_LE(fabric.reconfig().stored_bytes(), cfg.context_capacity_bytes);
   // The ME context is charged against the ME kernel, DCT contexts against
   // the DCT kernel.
@@ -451,6 +464,28 @@ TEST(Stats, PercentileEdgeCases) {
   EXPECT_DOUBLE_EQ(single.p95_ms, 7.5);
   EXPECT_DOUBLE_EQ(single.mean_ms, 7.5);
   EXPECT_DOUBLE_EQ(single.max_ms, 7.5);
+}
+
+TEST(Stats, PercentileRankGuardsDegenerateInputs) {
+  // The shared rank-selection rule behind both sample percentiles and the
+  // telemetry histogram percentiles: 1-based, clamped into [1, n], 0 only
+  // when there are no samples.
+  EXPECT_EQ(percentile_rank(0, 50.0), 0u);
+  EXPECT_EQ(percentile_rank(1, 0.0), 1u);    // single-frame stream: rank 1 always
+  EXPECT_EQ(percentile_rank(1, 100.0), 1u);
+  EXPECT_EQ(percentile_rank(5, 50.0), 3u);
+  EXPECT_EQ(percentile_rank(5, 95.0), 5u);
+  EXPECT_EQ(percentile_rank(5, -10.0), 1u);  // out-of-range pct clamps
+  EXPECT_EQ(percentile_rank(5, 250.0), 5u);
+
+  // A non-finite pct must not reach the float->int cast (UB); it
+  // collapses to the conservative end instead.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(percentile_rank(5, nan), 5u);
+  const std::vector<double> samples{2.0, 9.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(samples, nan), 9.0);
+  EXPECT_DOUBLE_EQ(percentile({}, nan), 0.0);
+  EXPECT_DOUBLE_EQ(percentile({7.5}, nan), 7.5);
 }
 
 }  // namespace

@@ -1,0 +1,181 @@
+#!/usr/bin/env python3
+"""Schema validator for the repo's telemetry and bench JSON artifacts.
+
+Dispatches on content:
+
+  * ``traceEvents``            -> Chrome trace-event JSON (telemetry schema v1)
+  * ``counters``               -> metrics JSON (telemetry schema v1)
+  * ``bench``                  -> BENCH_*.json (bench schema v2)
+
+Usage:
+    python3 tools/validate_trace.py BENCH_*.json TRACE_*.json METRICS_*.json
+
+Exits non-zero if any file is malformed; CI runs this over every artifact
+the bench step produced so a schema regression fails the build instead of
+silently shipping a trace Perfetto cannot open.
+"""
+
+import json
+import sys
+
+TELEMETRY_SCHEMA_VERSION = 1
+BENCH_SCHEMA_VERSION = 2
+SPAN_NAMES = {
+    "dispatch",
+    "queue_wait",
+    "reconfig_full",
+    "reconfig_delta",
+    "cache_fetch",
+    "stage_compute",
+}
+PID_MODELED_FABRICS = 1
+
+
+class Invalid(Exception):
+    pass
+
+
+def require(cond, msg):
+    if not cond:
+        raise Invalid(msg)
+
+
+def is_num(v):
+    return isinstance(v, (int, float)) and not isinstance(v, bool)
+
+
+def validate_trace(doc):
+    events = doc.get("traceEvents")
+    require(isinstance(events, list) and events, "traceEvents must be a non-empty list")
+    other = doc.get("otherData")
+    require(isinstance(other, dict), "otherData must be an object")
+    require(
+        other.get("schema_version") == TELEMETRY_SCHEMA_VERSION,
+        f"otherData.schema_version must be {TELEMETRY_SCHEMA_VERSION}",
+    )
+    for key in ("modeled_time_unit", "policy", "mode", "fabrics", "streams",
+                "makespan_cycles"):
+        require(key in other, f"otherData.{key} missing")
+
+    fabric_tracks = {}
+    for i, e in enumerate(events):
+        require(isinstance(e, dict), f"event {i} is not an object")
+        ph = e.get("ph")
+        require(ph in ("M", "X"), f"event {i}: unknown ph {ph!r}")
+        if ph == "M":
+            require(e.get("name") in ("process_name", "thread_name"),
+                    f"event {i}: unknown metadata name {e.get('name')!r}")
+            require(isinstance(e.get("args"), dict) and "name" in e["args"],
+                    f"event {i}: metadata args.name missing")
+            continue
+        for key in ("pid", "tid", "ts", "dur"):
+            require(is_num(e.get(key)), f"event {i}: {key} must be a number")
+        require(e.get("name") in SPAN_NAMES,
+                f"event {i}: unknown span name {e.get('name')!r}")
+        require(e["dur"] >= 0 and e["ts"] >= 0,
+                f"event {i}: negative ts/dur")
+        if e["pid"] == PID_MODELED_FABRICS:
+            fabric_tracks.setdefault(e["tid"], []).append((e["ts"], e["dur"], i))
+
+    # The modeled fabric does one thing at a time: spans on one fabric
+    # track must not overlap.
+    for tid, spans in fabric_tracks.items():
+        spans.sort()
+        for (a_ts, a_dur, a_i), (b_ts, _, b_i) in zip(spans, spans[1:]):
+            require(a_ts + a_dur <= b_ts,
+                    f"fabric track {tid}: events {a_i} and {b_i} overlap")
+
+
+def validate_metrics(doc):
+    require(
+        doc.get("schema_version") == TELEMETRY_SCHEMA_VERSION,
+        f"schema_version must be {TELEMETRY_SCHEMA_VERSION}",
+    )
+    require(is_num(doc.get("host_wall_seconds")) and doc["host_wall_seconds"] >= 0,
+            "host_wall_seconds must be a non-negative number")
+    for section in ("counters", "gauges", "histograms", "timelines"):
+        require(isinstance(doc.get(section), dict), f"{section} must be an object")
+    for name, v in doc["counters"].items():
+        require(isinstance(v, int) and v >= 0, f"counter {name} must be a non-negative int")
+    for name, v in doc["gauges"].items():
+        require(is_num(v), f"gauge {name} must be a number")
+    for name, h in doc["histograms"].items():
+        require(isinstance(h, dict), f"histogram {name} must be an object")
+        for key in ("count", "sum", "min", "max", "p50", "p95", "p99"):
+            require(is_num(h.get(key)), f"histogram {name}.{key} must be a number")
+        buckets = h.get("buckets")
+        require(isinstance(buckets, list), f"histogram {name}.buckets must be a list")
+        total = 0
+        for b in buckets:
+            require(isinstance(b, dict) and isinstance(b.get("count"), int),
+                    f"histogram {name}: bucket counts must be ints")
+            require(b.get("le") is None or is_num(b["le"]),
+                    f"histogram {name}: bucket le must be a number or null (overflow)")
+            total += b["count"]
+        require(total == h["count"],
+                f"histogram {name}: bucket counts sum to {total}, count says {h['count']}")
+    for name, samples in doc["timelines"].items():
+        require(isinstance(samples, list) and all(is_num(s) for s in samples),
+                f"timeline {name} must be a list of numbers")
+
+
+def validate_bench(doc):
+    require(isinstance(doc.get("bench"), str) and doc["bench"],
+            "bench must be a non-empty string")
+    require(
+        doc.get("schema_version") == BENCH_SCHEMA_VERSION,
+        f"schema_version must be {BENCH_SCHEMA_VERSION}",
+    )
+    require(is_num(doc.get("host_wall_seconds")) and doc["host_wall_seconds"] >= 0,
+            "host_wall_seconds must be a non-negative number")
+    require(isinstance(doc.get("metrics"), dict), "metrics must be an object")
+    for name, v in doc["metrics"].items():
+        require(v is None or is_num(v), f"metric {name} must be a number or null")
+    bars = doc.get("bars")
+    require(isinstance(bars, list), "bars must be a list")
+    for i, b in enumerate(bars):
+        require(isinstance(b, dict), f"bar {i} is not an object")
+        require(isinstance(b.get("name"), str), f"bar {i}: name must be a string")
+        require(is_num(b.get("value")) and is_num(b.get("threshold")),
+                f"bar {b.get('name', i)}: value/threshold must be numbers")
+        require(b.get("op") in (">=", "<=", ">"), f"bar {b.get('name', i)}: unknown op")
+        require(isinstance(b.get("pass"), bool), f"bar {b.get('name', i)}: pass must be bool")
+    require(isinstance(doc.get("pass"), bool), "pass must be bool")
+
+
+def validate_file(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    require(isinstance(doc, dict), "top level must be an object")
+    if "traceEvents" in doc:
+        kind = "trace"
+        validate_trace(doc)
+    elif "counters" in doc:
+        kind = "metrics"
+        validate_metrics(doc)
+    elif "bench" in doc:
+        kind = "bench"
+        validate_bench(doc)
+    else:
+        raise Invalid("unrecognized document: no traceEvents/counters/bench key")
+    return kind
+
+
+def main(argv):
+    if len(argv) < 2:
+        print("usage: validate_trace.py <artifact.json> [...]", file=sys.stderr)
+        return 2
+    failures = 0
+    for path in argv[1:]:
+        try:
+            kind = validate_file(path)
+        except (Invalid, json.JSONDecodeError, OSError) as err:
+            print(f"FAIL {path}: {err}", file=sys.stderr)
+            failures += 1
+        else:
+            print(f"ok   {path} ({kind})")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
