@@ -26,6 +26,15 @@
 // fabrics by placement feasibility, and the per-geometry table shows
 // how often routing steered around the small array.
 //
+// With --sla every phone carries a deadline and a per-frame p99 budget
+// in modeled cycles, and the admission controller walks its degradation
+// ladder (QP bump -> half resolution -> cheapest context -> shed) before
+// the run; the admission table shows each phone's rung and whether its
+// SLA held. --overload triples the caller list to ~3x pool capacity so
+// the ladder actually has to degrade and shed — the overloaded tier
+// keeps the admitted phones' tails bounded instead of serving everyone
+// late.
+//
 // With --trace <file> the run is span-traced and exported as Chrome
 // trace-event JSON (open in Perfetto or chrome://tracing: one track per
 // modeled fabric and per stream, plus host worker tracks), and the
@@ -49,6 +58,8 @@ int main(int argc, char** argv) {
   bool dynamic = false;
   bool partial = false;
   bool hetero = false;
+  bool sla = false;
+  bool overload = false;
   std::string trace_path;
   std::string metrics_path;
   for (int a = 1; a < argc; ++a) {
@@ -58,6 +69,10 @@ int main(int argc, char** argv) {
       partial = true;
     else if (std::strcmp(argv[a], "--hetero") == 0 || std::strcmp(argv[a], "-g") == 0)
       hetero = true;
+    else if (std::strcmp(argv[a], "--sla") == 0 || std::strcmp(argv[a], "-s") == 0)
+      sla = true;
+    else if (std::strcmp(argv[a], "--overload") == 0 || std::strcmp(argv[a], "-o") == 0)
+      overload = true;
     else if (std::strcmp(argv[a], "--trace") == 0 && a + 1 < argc)
       trace_path = argv[++a];
     else if (std::strcmp(argv[a], "--metrics") == 0 && a + 1 < argc)
@@ -65,7 +80,7 @@ int main(int argc, char** argv) {
     else
       std::fprintf(stderr,
                    "unknown flag '%s' (known: --dynamic, --partial, --hetero, "
-                   "--trace <file>, --metrics <file>)\n",
+                   "--sla, --overload, --trace <file>, --metrics <file>)\n",
                    argv[a]);
   }
 
@@ -95,27 +110,57 @@ int main(int argc, char** argv) {
        soc::sinusoidal_channel_fade(0.85, 0.45, 0.15, 4.0)},
   };
 
+  // Whole-stream cost of one caller in modeled cycles, for writing the
+  // SLAs: the admission controller's analytic model is exact, so the
+  // deadlines below are multiples of real demand, not guesses.
+  std::uint64_t stream_cost = 0;
+  if (sla) {
+    StreamConfig probe_cfg;
+    probe_cfg.width = 64;
+    probe_cfg.height = 64;
+    probe_cfg.frame_budget = 6;
+    probe_cfg.condition = callers[0].condition;
+    probe_cfg.codec.me_range = 4;
+    const StreamJob probe_job = make_synthetic_job(0, probe_cfg);
+    const FabricPool probe_pool(1, library);
+    const AdmissionController probe(library, probe_pool, me::SystolicParams{});
+    for (int f = 0; f < probe_cfg.frame_budget; ++f)
+      stream_cost += probe.frame_cycles(probe_job, f);
+  }
+
+  // --overload triples the caller list: the same phones arrive in three
+  // bursty waves, ~3x what the two transform fabrics can serve inside
+  // the deadline horizon.
+  const int waves = overload ? 3 : 1;
   std::vector<StreamJob> jobs;
   int id = 0;
-  for (const Caller& caller : callers) {
-    StreamConfig cfg;
-    cfg.name = "phone-" + std::to_string(id + 1);
-    cfg.width = 64;
-    cfg.height = 64;
-    cfg.frame_budget = 6;
-    cfg.condition = caller.condition;
-    if (dynamic) {
-      cfg.trajectory = caller.trajectory;
-      cfg.condition_policy = soc::ConditionPolicy::kHysteresis;
-      cfg.hysteresis_band = 0.06;
+  for (int wave = 0; wave < waves; ++wave) {
+    for (const Caller& caller : callers) {
+      StreamConfig cfg;
+      cfg.name = "phone-" + std::to_string(id + 1);
+      cfg.width = 64;
+      cfg.height = 64;
+      cfg.frame_budget = 6;
+      cfg.condition = caller.condition;
+      if (dynamic) {
+        cfg.trajectory = caller.trajectory;
+        cfg.condition_policy = soc::ConditionPolicy::kHysteresis;
+        cfg.hysteresis_band = 0.06;
+      }
+      cfg.codec.me_range = 4;
+      cfg.seed = 77 + static_cast<std::uint64_t>(id) * 13;
+      if (sla) {
+        cfg.sla.deadline_cycles = 6 * stream_cost;
+        cfg.sla.p99_budget_cycles = 4 * stream_cost;
+      }
+      jobs.push_back(make_synthetic_job(id, cfg));
+      if (wave == 0)
+        std::printf("  %-40s -> %s%s\n", caller.label, jobs.back().impl_name.c_str(),
+                    dynamic && jobs.back().condition_switches > 0
+                        ? " (re-selects mid-stream)"
+                        : "");
+      ++id;
     }
-    cfg.codec.me_range = 4;
-    cfg.seed = 77 + static_cast<std::uint64_t>(id) * 13;
-    jobs.push_back(make_synthetic_job(id, cfg));
-    std::printf("  %-40s -> %s%s\n", caller.label, jobs.back().impl_name.c_str(),
-                dynamic && jobs.back().condition_switches > 0 ? " (re-selects mid-stream)"
-                                                              : "");
-    ++id;
   }
 
   SchedulerConfig cfg;
@@ -136,6 +181,7 @@ int main(int argc, char** argv) {
   small_dct.geometry = kSmallSccGeometry;
   small_dct.context_capacity_bytes = 0;  // the small library fits whole
   cfg.fabric_configs = {me_fabric, dct_fabric, hetero ? small_dct : dct_fabric};
+  cfg.admission.enabled = sla;
 
   telemetry::TraceRecorder recorder;
   telemetry::MetricsRegistry metrics;
@@ -150,6 +196,10 @@ int main(int argc, char** argv) {
               partial ? ", partial reconfiguration + delta fetch on" : "");
   const RunReport report = MultiStreamScheduler(library, cfg).run(jobs);
 
+  if (sla) {
+    admission_table(report).print();
+    std::printf("\n");
+  }
   stream_table(report).print();
   if (dynamic) {
     std::printf("\n");
@@ -192,6 +242,16 @@ int main(int argc, char** argv) {
     std::printf("the small 8x4 array cannot place cordic1/cordic2; dispatch routed "
                 "around it %llu times and the streams it can host batched onto it.\n",
                 static_cast<unsigned long long>(report.placement_rejections));
+  if (sla)
+    std::printf("admission: %llu/%llu phones admitted (%llu degraded, %llu shed) — "
+                "%llu SLA-compliant frames, %llu admitted-stream violations.\n",
+                static_cast<unsigned long long>(report.admission.admitted),
+                static_cast<unsigned long long>(report.admission.arrived),
+                static_cast<unsigned long long>(report.admission.admitted -
+                                                report.admission.admitted_clean),
+                static_cast<unsigned long long>(report.admission.rejected),
+                static_cast<unsigned long long>(report.goodput_frames),
+                static_cast<unsigned long long>(report.sla_violations));
   std::printf("the fabrics stay the same silicon; the scheduler just chooses when to "
               "pay the configuration port.\n");
   if (!trace_path.empty() && telemetry::write_chrome_trace(trace_path, report))

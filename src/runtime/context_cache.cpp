@@ -174,6 +174,27 @@ std::uint64_t ContextCache::touch(const std::string& name) {
   return cycles;
 }
 
+bool ContextCache::release(const std::string& name) {
+  const bool stored = manager_.has(name);
+  // Evict through the manager so the eviction hook does the ledger
+  // accounting (bytes_evicted, recency/bypass cleanup) exactly like any
+  // other eviction — a parallel bookkeeping path here would be a second
+  // place for the byte ledger to drift. The active-context pin does not
+  // apply: the caller is cancelling the work that kept it active.
+  if (stored) manager_.evict(name);
+  // The eviction hook pins the image of the configuration the silicon
+  // still runs (it may serve as a partial-reload base). A shed stream's
+  // context is not coming back, so the pin would leak the image forever
+  // — drop it regardless.
+  images_.erase(name);
+  // Defensive cleanup for a context the manager never stored (or that
+  // was evicted before the hook was installed): no recency state may
+  // linger once the stream is gone.
+  lru_.remove(name);
+  bypass_.erase(name);
+  return stored;
+}
+
 std::vector<std::string> ContextCache::lru_order() const {
   return {lru_.begin(), lru_.end()};
 }

@@ -128,6 +128,17 @@ class ContextCache {
   /// Returns the bus cycles charged for the fetch; 0 on a hit.
   std::uint64_t touch(const std::string& name);
 
+  /// Shed-path unpin: fully release @p name when the stream that needed
+  /// it was rejected or degraded mid-flight. Unlike eviction, release
+  /// ignores every pin — the active-context pin (the scheduler is
+  /// cancelling the work that kept it active) and the retained frame
+  /// image (a shed context will not serve as a partial-reload base) —
+  /// so the bytes actually leave the ledger instead of staying resident
+  /// forever under a pin nobody will clear. byte_balance_ok() holds
+  /// across the call; releasing a context the cache never saw is a
+  /// no-op. Returns true when a stored context was evicted.
+  bool release(const std::string& name);
+
   /// Re-establish the capacity bound after the fabric switched contexts:
   /// drops bypass-stored contexts the fabric no longer runs and evicts
   /// LRU contexts (the now-active one stays pinned) until the cached

@@ -293,6 +293,10 @@ bool Fabric::hosts(const std::string& impl_name) const {
   return library_.fits(impl_name, geometry_);
 }
 
+bool Fabric::release_context(const std::string& context) {
+  return cache_.release(context);
+}
+
 std::uint64_t Fabric::prepare(const std::string& impl_name) {
   return prepare_detailed(impl_name).total();
 }
@@ -356,9 +360,19 @@ unsigned FabricPool::combined_capabilities() const {
 }
 
 bool FabricPool::any_fabric_hosts(const std::string& context, unsigned capability) const {
+  return fabrics_hosting(context, capability) > 0;
+}
+
+int FabricPool::fabrics_hosting(const std::string& context, unsigned capability) const {
+  return static_cast<int>(hosting_fabric_ids(context, capability).size());
+}
+
+std::vector<int> FabricPool::hosting_fabric_ids(const std::string& context,
+                                                unsigned capability) const {
+  std::vector<int> ids;
   for (const auto& f : fabrics_)
-    if ((f->capabilities() & capability) != 0 && f->hosts(context)) return true;
-  return false;
+    if ((f->capabilities() & capability) != 0 && f->hosts(context)) ids.push_back(f->id());
+  return ids;
 }
 
 std::string FabricPool::geometry_list() const {

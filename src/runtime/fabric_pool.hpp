@@ -219,6 +219,14 @@ class Fabric {
   /// capability mask).
   [[nodiscard]] bool hosts(const std::string& impl_name) const;
 
+  /// Shed-path unpin: release @p context from this fabric's cache and
+  /// store when the stream that needed it was rejected or degraded
+  /// mid-flight — cancelled jobs must not leave a pinned context (or its
+  /// retained frame image) resident forever. Returns true when a stored
+  /// context was actually evicted; a context this fabric never loaded is
+  /// a no-op.
+  bool release_context(const std::string& context);
+
   [[nodiscard]] int id() const { return id_; }
   [[nodiscard]] unsigned capabilities() const { return capabilities_; }
   [[nodiscard]] const ArrayGeometry& geometry() const { return geometry_; }
@@ -262,6 +270,16 @@ class FabricPool {
   /// test scheduler validation fails fast on.
   [[nodiscard]] bool any_fabric_hosts(const std::string& context,
                                       unsigned capability) const;
+
+  /// Capacity probes — what the admission controller sizes its pilot
+  /// schedule with. A (context, capability) pair's serving capacity is
+  /// the set of fabrics that are both capable and placement-feasible
+  /// for it; one modeled cycle per fabric per cycle.
+  [[nodiscard]] int fabrics_hosting(const std::string& context,
+                                    unsigned capability) const;
+  /// Fabric ids of fabrics_hosting(), in pool order.
+  [[nodiscard]] std::vector<int> hosting_fabric_ids(const std::string& context,
+                                                    unsigned capability) const;
 
   /// Distinct fabric geometries, in fabric order ("12x8, 8x4, 8x4"
   /// joined) — what pool-level diagnostics name.

@@ -4,6 +4,17 @@
 
 namespace dsra::runtime {
 
+std::string to_string(DegradationRung rung) {
+  switch (rung) {
+    case DegradationRung::kNone: return "none";
+    case DegradationRung::kQpBump: return "qp-bump";
+    case DegradationRung::kResolutionDrop: return "resolution-drop";
+    case DegradationRung::kImplSwap: return "impl-swap";
+    case DegradationRung::kReject: return "reject";
+  }
+  return "unknown";
+}
+
 void resolve_stream_conditions(StreamJob& job) {
   job.frame_impls.clear();
   job.frame_conditions.clear();

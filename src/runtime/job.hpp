@@ -26,6 +26,35 @@
 
 namespace dsra::runtime {
 
+/// Per-stream service-level agreement in modeled array cycles — the
+/// deterministic clock domain every latency claim in this runtime lives
+/// in (host wall time depends on the build machine; the sim replay does
+/// not). Zero fields are unconstrained: the default SLA is best-effort.
+struct StreamSla {
+  /// Whole-stream completion deadline: the last frame must be
+  /// reconstructed within this many modeled cycles of run start.
+  std::uint64_t deadline_cycles = 0;
+  /// Per-frame p99 latency budget (frame ready to reconstructed).
+  std::uint64_t p99_budget_cycles = 0;
+
+  [[nodiscard]] bool best_effort() const {
+    return deadline_cycles == 0 && p99_budget_cycles == 0;
+  }
+};
+
+/// Rung of the graceful-degradation ladder admission walks before
+/// shedding a stream. Rungs are cumulative quality concessions: a
+/// resolution drop also carries the QP bump, an impl swap carries both.
+enum class DegradationRung {
+  kNone = 0,        ///< admitted as requested
+  kQpBump,          ///< coarser quantiser (bits down, quality down)
+  kResolutionDrop,  ///< frames downscaled 2x per axis (4x fewer blocks)
+  kImplSwap,        ///< cheapest fitting DCT context instead of the chosen one
+  kReject,          ///< no rung fit: the stream is shed
+};
+
+[[nodiscard]] std::string to_string(DegradationRung rung);
+
 struct StreamConfig {
   std::string name = "stream";
   int width = 64;
@@ -40,6 +69,11 @@ struct StreamConfig {
   double hysteresis_band = 0.05;  ///< boundary band for kHysteresis
   video::CodecConfig codec;
   std::uint64_t seed = 2004;
+  /// Deadline / latency targets the admission controller tests against
+  /// the sim schedule. Best-effort streams carry no targets of their own
+  /// but still walk the ladder: their load counts against the admitted
+  /// set's SLAs, so they too can be degraded or shed to protect it.
+  StreamSla sla;
 };
 
 /// Latency and cost record of one completed frame.
@@ -50,6 +84,10 @@ struct FrameRecord {
   int tq_fabric_id = -1;  ///< fabric that ran the DCT/quant stage (-1: inline)
   std::string impl;       ///< DCT bitstream the frame was encoded under
   double latency_ms = 0.0;            ///< first-stage-ready to reconstructed
+  /// Modeled first-ready-to-reconstructed latency, stamped from the sim
+  /// replay after the run (0 until then). This is the clock domain SLA
+  /// budgets are written in.
+  std::uint64_t latency_cycles = 0;
   std::uint64_t wait_dispatches = 0;  ///< worst queue wait over the frame's jobs
   std::uint64_t reconfig_cycles = 0;  ///< context fetch + configuration-port switch
   video::FrameStats stats;
@@ -87,6 +125,18 @@ struct StreamJob {
   /// Frames whose resolved context differs from the previous frame's —
   /// each one forces the scheduler to re-bucket the stream mid-flight.
   int condition_switches = 0;
+  /// Ladder rung the admission controller applied before the run.
+  /// kReject marks a shed stream: it is skipped by the queue and encodes
+  /// nothing. Rung transitions are also counted in the run's telemetry.
+  DegradationRung admission_rung = DegradationRung::kNone;
+  /// Admission's pilot-schedule estimates (0 when the controller never
+  /// ran) — what the deadline-feasibility test compared against the SLA.
+  std::uint64_t predicted_completion_cycles = 0;
+  std::uint64_t predicted_p99_cycles = 0;
+  /// Modeled end of the stream's last frame, stamped from the sim replay
+  /// after the run (0 until then / for shed streams) — what the
+  /// completion-deadline SLA is judged against.
+  std::uint64_t modeled_completion_cycles = 0;
   video::Frame recon_state;  ///< previous reconstruction (empty before frame 0)
   int next_frame = 0;        ///< frames fully encoded (reconstruction done)
   std::vector<FramePipelineState> pipeline;  ///< stage mode: one slot per frame

@@ -1,6 +1,7 @@
 #include "runtime/job_queue.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <map>
 
 namespace dsra::runtime {
@@ -84,29 +85,64 @@ bool JobQueue::eligible(const Ready& entry, unsigned capabilities,
 std::optional<std::size_t> JobQueue::pick_locked(
     const std::optional<std::string>& fabric_impl, const FabricRun& run,
     unsigned capabilities, const HostFilter& can_host) const {
+  // Priority by slack: among equally-old jobs, the stream with the
+  // tighter SLA deadline wins (EDF inside each FIFO cohort). Streams
+  // without a deadline sort last; with no SLAs anywhere this reduces to
+  // the plain first-index tie-break.
+  const auto deadline_of = [&](const Ready& r) -> std::uint64_t {
+    const std::uint64_t d =
+        streams_[static_cast<std::size_t>(r.stream_id)].config.sla.deadline_cycles;
+    return d == 0 ? std::numeric_limits<std::uint64_t>::max() : d;
+  };
+  const auto older = [&](const Ready& a, const Ready& b) {
+    if (a.ready_seq != b.ready_seq) return a.ready_seq < b.ready_seq;
+    return deadline_of(a) < deadline_of(b);
+  };
+
   std::optional<std::size_t> oldest;
   for (std::size_t i = 0; i < ready_.size(); ++i) {
     if (!eligible(ready_[i], capabilities, can_host)) continue;
-    if (!oldest || ready_[i].ready_seq < ready_[*oldest].ready_seq) oldest = i;
+    if (!oldest || older(ready_[i], ready_[*oldest])) oldest = i;
   }
   if (!oldest) return std::nullopt;
   if (config_.policy == SchedulingPolicy::kRoundRobin) return oldest;
 
-  // Ageing valve, checked on every dispatch so it fires mid-batch: a job
-  // that has already waited through aging_threshold dispatches is served
-  // now, affinity or not.
-  if (dispatch_seq_ - 1 - ready_[*oldest].ready_seq >= config_.aging_threshold) return oldest;
-
   const auto key_of = [&](const Ready& r) -> const std::string& {
     return context_for(r.stage, r.stream_id, r.frame_index);
   };
+
+  // Ageing valve, checked on every dispatch so it fires mid-batch: a job
+  // that has already waited through aging_threshold dispatches is served
+  // now, affinity or not.
+  if (dispatch_seq_ - 1 - ready_[*oldest].ready_seq >= config_.aging_threshold) {
+    // Hard age bound. Serving the *oldest* aged job is not enough: a
+    // same-ready_seq cohort (every stream's first frame, enqueued before
+    // dispatch 1) drains in tie-break order, one per valve firing, so a
+    // low-affinity job in the middle of the cohort still waits
+    // ~queue-depth dispatches — the affinity path keeps feeding matched
+    // jobs between firings and never reaches it on its own. Once a
+    // mismatched job has aged past the hard bound it jumps the cohort
+    // sweep: worst age first, tightest deadline breaking ties.
+    const std::uint64_t hard = config_.hard_age_bound > 0
+                                   ? config_.hard_age_bound
+                                   : 2 * config_.aging_threshold;
+    std::optional<std::size_t> starving;
+    for (std::size_t i = 0; i < ready_.size(); ++i) {
+      if (!eligible(ready_[i], capabilities, can_host)) continue;
+      if (dispatch_seq_ - 1 - ready_[i].ready_seq < hard) continue;
+      if (fabric_impl && key_of(ready_[i]) == *fabric_impl)
+        continue;  // matched jobs are the affinity path's problem
+      if (!starving || older(ready_[i], ready_[*starving])) starving = i;
+    }
+    return starving ? starving : oldest;
+  }
 
   // Stay on the fabric's active configuration while the run cap allows.
   if (fabric_impl && run.impl == *fabric_impl && run.length < config_.max_affinity_run) {
     std::optional<std::size_t> best;
     for (std::size_t i = 0; i < ready_.size(); ++i)
       if (eligible(ready_[i], capabilities, can_host) && key_of(ready_[i]) == *fabric_impl &&
-          (!best || ready_[i].ready_seq < ready_[*best].ready_seq))
+          (!best || older(ready_[i], ready_[*best])))
         best = i;
     if (best) return *best;
   }
@@ -135,7 +171,7 @@ std::optional<std::size_t> JobQueue::pick_locked(
     if (must_rotate && key_of(ready_[i]) == *fabric_impl) continue;
     const int size = group_size[key_of(ready_[i])];
     if (size > chosen_size ||
-        (size == chosen_size && ready_[i].ready_seq < ready_[*chosen].ready_seq)) {
+        (size == chosen_size && older(ready_[i], ready_[*chosen]))) {
       chosen = i;
       chosen_size = size;
     }

@@ -69,6 +69,15 @@ struct JobQueueConfig {
   DispatchMode mode = DispatchMode::kMonolithicFrames;
   int max_affinity_run = 16;  ///< consecutive same-config dispatches per fabric
   std::uint64_t aging_threshold = 64;  ///< dispatches a job may wait
+  /// Hard ceiling on any job's wait. The soft threshold above admits the
+  /// *oldest* aged job, which at high queue depth sweeps a same-age
+  /// cohort in stream order — a low-affinity job in the middle of the
+  /// cohort still waits ~queue-depth dispatches while affinity serves
+  /// fresh matched arrivals between valve firings. Past this bound the
+  /// valve switches to worst-first among the aged jobs, preferring jobs
+  /// whose context does NOT match the fabric's active configuration (the
+  /// genuinely starving ones). 0 derives 2x aging_threshold.
+  std::uint64_t hard_age_bound = 0;
   int pipeline_lookahead = 1;  ///< frames ME may run ahead of reconstruction
 };
 

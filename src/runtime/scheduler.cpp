@@ -1,6 +1,7 @@
 #include "runtime/scheduler.hpp"
 
 #include <chrono>
+#include <map>
 #include <set>
 #include <stdexcept>
 #include <thread>
@@ -40,7 +41,6 @@ MultiStreamScheduler::MultiStreamScheduler(const KernelLibrary& library,
 }
 
 RunReport MultiStreamScheduler::run(std::vector<StreamJob>& streams) {
-  bool needs_me_kernel = false;
   for (StreamJob& s : streams) {
     // A stream with a condition trajectory must be validated against the
     // *union* of contexts the trajectory can select over its lifetime,
@@ -59,16 +59,50 @@ RunReport MultiStreamScheduler::run(std::vector<StreamJob>& streams) {
             "stream '" + s.config.name + "': its condition trajectory selects unknown "
             "implementation '" + s.frame_impls[f] + "' at frame " + std::to_string(f) +
             "; every context the trajectory can select must be in the library");
-    // Remaining inter frames need the ME kernel; frame 0 is intra and
-    // already-encoded frames (a resumed stream) dispatch nothing.
-    if (static_cast<int>(s.frames.size()) > std::max(1, s.next_frame))
-      needs_me_kernel = true;
   }
 
   FabricPool pool(config_.resolved_fabrics(), library_);
   const unsigned pool_caps = pool.combined_capabilities();
   if ((pool_caps & kCapDctTransform) == 0)
     throw std::invalid_argument("no fabric in the pool hosts the DCT/transform kernel");
+
+  RunReport report;
+  if (config_.admission.enabled) {
+    // Admission runs before the placement fail-fast below: a stream whose
+    // chosen context places nowhere is the impl-swap rung's (or the
+    // reject rung's) problem, not a hard error, once the caller opted
+    // into graceful degradation.
+    AdmissionController controller(library_, pool, config_.me, config_.admission);
+    report.admission = controller.admit_all(streams);
+    // Shed streams must not leave contexts (or their pinned frame images)
+    // resident in any fabric cache: release every context only rejected
+    // streams would have used. The pool is freshly built here, so this is
+    // usually a no-op — but a pre-warmed cache (seeded manager) would
+    // otherwise keep the dead context pinned for the whole run.
+    std::set<std::string> live;
+    for (const StreamJob& s : streams) {
+      if (s.admission_rung == DegradationRung::kReject) continue;
+      live.insert(s.impl_name);
+      live.insert(s.frame_impls.begin(), s.frame_impls.end());
+    }
+    for (const StreamJob& s : streams) {
+      if (s.admission_rung != DegradationRung::kReject) continue;
+      std::set<std::string> dead(s.frame_impls.begin(), s.frame_impls.end());
+      dead.insert(s.impl_name);
+      for (const std::string& context : dead)
+        if (live.count(context) == 0)
+          for (int k = 0; k < pool.size(); ++k) pool.at(k).release_context(context);
+    }
+  }
+
+  bool needs_me_kernel = false;
+  for (const StreamJob& s : streams) {
+    if (s.admission_rung == DegradationRung::kReject) continue;
+    // Remaining inter frames need the ME kernel; frame 0 is intra and
+    // already-encoded frames (a resumed stream) dispatch nothing.
+    if (static_cast<int>(s.frames.size()) > std::max(1, s.next_frame))
+      needs_me_kernel = true;
+  }
 
   // Placement-feasibility fail-fast: every context a stream can select
   // over its lifetime (static impl_name, or the trajectory's per-frame
@@ -78,6 +112,7 @@ RunReport MultiStreamScheduler::run(std::vector<StreamJob>& streams) {
   // or a silent never-dispatched job — into an up-front diagnostic that
   // names the implementation, the frame, and the pool's geometries.
   for (const StreamJob& s : streams) {
+    if (s.admission_rung == DegradationRung::kReject) continue;  // dispatches nothing
     const int frame_count = static_cast<int>(s.frames.size());
     for (int f = 0; f < frame_count; ++f) {
       const std::string& impl = s.impl_for(f);
@@ -233,18 +268,56 @@ RunReport MultiStreamScheduler::run(std::vector<StreamJob>& streams) {
   for (int f = 0; f < pool.size(); ++f) threads.emplace_back(worker, f);
   for (std::thread& t : threads) t.join();
 
-  RunReport report;
   report.policy = to_string(config_.queue.policy);
   report.mode = to_string(config_.queue.mode);
   report.fabrics = pool.size();
   report.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
+  report.timeline = queue.timeline();
+  const SimSchedule sim =
+      simulate_timeline(streams, report.timeline, config_.queue.pipeline_lookahead);
+  report.sim_makespan_cycles = sim.makespan_cycles;
+  report.sim_utilization = sim.mean_utilization;
+
+  // Stamp the modeled clock domain back into the streams: per frame, the
+  // first stage's readiness to the last stage's completion; per stream,
+  // the end of its last frame. This is what SLA verdicts (and the
+  // frame-latency histogram) are judged in — host milliseconds depend on
+  // the build machine, modeled cycles do not.
+  {
+    std::map<std::pair<int, int>, std::pair<std::uint64_t, std::uint64_t>> frame_span;
+    std::vector<std::uint64_t> stream_end(streams.size(), 0);
+    for (const SimStageJob& j : sim.jobs) {
+      auto [it, inserted] = frame_span.try_emplace(
+          {j.stream_id, j.frame_index},
+          std::pair<std::uint64_t, std::uint64_t>{j.ready_cycles, j.end_cycles});
+      if (!inserted) {
+        it->second.first = std::min(it->second.first, j.ready_cycles);
+        it->second.second = std::max(it->second.second, j.end_cycles);
+      }
+      auto& end = stream_end[static_cast<std::size_t>(j.stream_id)];
+      end = std::max(end, j.end_cycles);
+    }
+    for (std::size_t k = 0; k < streams.size(); ++k) {
+      streams[k].modeled_completion_cycles = stream_end[k];
+      for (FrameRecord& r : streams[k].records) {
+        const auto it = frame_span.find({static_cast<int>(k), r.frame_index});
+        if (it != frame_span.end())
+          r.latency_cycles = it->second.second - it->second.first;
+      }
+    }
+  }
+
   for (const StreamJob& s : streams) {
     StreamSummary summary = summarize_stream(s);
     report.total_frames += static_cast<std::uint64_t>(summary.frames);
     report.total_array_cycles += summary.array_cycles;
     report.condition_switches += static_cast<std::uint64_t>(summary.condition_switches);
     report.stale_frames += static_cast<std::uint64_t>(summary.stale_frames);
+    if (summary.sla_met) report.goodput_frames += static_cast<std::uint64_t>(summary.frames);
+    if (summary.admission_rung != DegradationRung::kReject && !summary.sla_met &&
+        !s.config.sla.best_effort())
+      ++report.sla_violations;
     report.streams.push_back(std::move(summary));
   }
   report.frames_per_second = report.wall_seconds > 0.0
@@ -263,7 +336,6 @@ RunReport MultiStreamScheduler::run(std::vector<StreamJob>& streams) {
   report.dispatches = queue.dispatches();
   report.max_wait_dispatches = queue.max_wait_dispatches();
   report.fabric_busy_ms = std::move(busy_ms);
-  report.timeline = queue.timeline();
 
   // Per-geometry breakdown: one entry per distinct fabric geometry, in
   // first-seen fabric order, folding in the queue's placement skips.
@@ -286,10 +358,6 @@ RunReport MultiStreamScheduler::run(std::vector<StreamJob>& streams) {
   }
   for (const GeometrySummary& g : report.geometry_stats)
     report.placement_rejections += g.placement_rejections;
-  const SimSchedule sim =
-      simulate_timeline(streams, report.timeline, config_.queue.pipeline_lookahead);
-  report.sim_makespan_cycles = sim.makespan_cycles;
-  report.sim_utilization = sim.mean_utilization;
 
   for (int f = 0; f < pool.size(); ++f)
     report.fabric_labels.push_back("fabric " + std::to_string(f) + " (" +
@@ -318,6 +386,21 @@ RunReport MultiStreamScheduler::run(std::vector<StreamJob>& streams) {
     m.count("placement_rejections", report.placement_rejections);
     m.count("condition_switches", report.condition_switches);
     m.count("stale_frames", report.stale_frames);
+    if (report.admission.enabled) {
+      m.count("admission_arrived", report.admission.arrived);
+      m.count("admission_admitted", report.admission.admitted);
+      m.count("admission_admitted_clean", report.admission.admitted_clean);
+      m.count("admission_qp_bumps", report.admission.qp_bumps);
+      m.count("admission_resolution_drops", report.admission.resolution_drops);
+      m.count("admission_impl_swaps", report.admission.impl_swaps);
+      m.count("admission_rejected", report.admission.rejected);
+      m.gauge("admission_pool_pressure", report.admission.pool_pressure);
+    }
+    m.count("sla_violations", report.sla_violations);
+    m.count("goodput_frames", report.goodput_frames);
+    for (const StreamJob& s : streams)
+      for (const FrameRecord& r : s.records)
+        m.histogram("frame_latency_cycles").record(static_cast<double>(r.latency_cycles));
     m.gauge("sim_makespan_cycles", static_cast<double>(report.sim_makespan_cycles));
     m.gauge("sim_utilization", report.sim_utilization);
     m.gauge("wall_seconds", report.wall_seconds);

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "me/systolic.hpp"
+#include "runtime/admission.hpp"
 #include "runtime/fabric_pool.hpp"
 #include "runtime/job_queue.hpp"
 #include "runtime/stats.hpp"
@@ -43,6 +44,14 @@ struct SchedulerConfig {
   JobQueueConfig queue;
   FabricConfig fabric;    ///< template for the homogeneous pool
   me::SystolicParams me;  ///< ME array model the workers search with
+
+  /// Admission control. Disabled (the default) keeps the historical
+  /// admit-everything behaviour bit-exactly. Enabled, run() walks the
+  /// degradation ladder per stream — in arrival order, against the pilot
+  /// schedule of everything admitted so far — before building the queue;
+  /// shed streams dispatch nothing and their contexts are released from
+  /// every fabric cache.
+  AdmissionConfig admission;
 
   /// Span tracing. Null (the default) is the zero-cost-off state: every
   /// recording site in the worker loop is guarded by this one pointer

@@ -77,6 +77,21 @@ StreamSummary summarize_stream(const StreamJob& job) {
   s.latency = summarize_latencies(latencies);
   if (!job.records.empty()) psnr_sum /= static_cast<double>(job.records.size());
   s.mean_psnr_db = psnr_sum;
+
+  s.admission_rung = job.admission_rung;
+  s.deadline_cycles = job.config.sla.deadline_cycles;
+  s.p99_budget_cycles = job.config.sla.p99_budget_cycles;
+  s.predicted_completion_cycles = job.predicted_completion_cycles;
+  s.completion_cycles = job.modeled_completion_cycles;
+  std::vector<double> cycle_latencies;
+  cycle_latencies.reserve(job.records.size());
+  for (const FrameRecord& r : job.records)
+    cycle_latencies.push_back(static_cast<double>(r.latency_cycles));
+  s.p99_latency_cycles =
+      static_cast<std::uint64_t>(std::llround(percentile(cycle_latencies, 99.0)));
+  s.sla_met = !job.records.empty() &&
+              (s.deadline_cycles == 0 || s.completion_cycles <= s.deadline_cycles) &&
+              (s.p99_budget_cycles == 0 || s.p99_latency_cycles <= s.p99_budget_cycles);
   return s;
 }
 
@@ -122,6 +137,35 @@ ReportTable condition_table(const RunReport& report) {
                  format_i64(static_cast<std::int64_t>(report.stale_frames)),
                  format_i64(static_cast<std::int64_t>(report.total_reconfig_cycles +
                                                       report.total_fetch_cycles))});
+  return table;
+}
+
+ReportTable admission_table(const RunReport& report) {
+  ReportTable table(report.admission.enabled
+                        ? "Admission and SLA outcomes (modeled array cycles)"
+                        : "Admission and SLA outcomes (admission disabled)");
+  table.set_header({"stream", "rung", "deadline cyc", "p99 budget", "predicted cyc",
+                    "completion cyc", "p99 cyc", "SLA"});
+  const auto bound = [](std::uint64_t v) {
+    return v == 0 ? std::string("-") : format_i64(static_cast<std::int64_t>(v));
+  };
+  for (const StreamSummary& s : report.streams) {
+    table.add_row({s.name, to_string(s.admission_rung), bound(s.deadline_cycles),
+                   bound(s.p99_budget_cycles), bound(s.predicted_completion_cycles),
+                   bound(s.completion_cycles),
+                   bound(s.p99_latency_cycles),
+                   s.admission_rung == DegradationRung::kReject ? "shed"
+                   : s.sla_met                                  ? "met"
+                                                                : "missed"});
+  }
+  table.add_separator();
+  table.add_row(
+      {"total",
+       std::to_string(report.admission.admitted) + "/" +
+           std::to_string(report.admission.arrived) + " admitted",
+       "-", "-", "-", "-",
+       format_i64(static_cast<std::int64_t>(report.goodput_frames)) + " goodput",
+       std::to_string(report.sla_violations) + " missed"});
   return table;
 }
 

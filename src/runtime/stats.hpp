@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/report.hpp"
+#include "runtime/admission.hpp"
 #include "runtime/context_cache.hpp"
 #include "runtime/geometry.hpp"
 #include "runtime/job.hpp"
@@ -58,6 +59,20 @@ struct StreamSummary {
   /// have picked for the frame's actual condition (a frozen assignment
   /// gone stale). 0 for streams without a trajectory.
   int stale_frames = 0;
+  /// Ladder rung admission admitted the stream at (kReject: shed, it
+  /// encoded nothing; kNone also covers admission-disabled runs).
+  DegradationRung admission_rung = DegradationRung::kNone;
+  std::uint64_t deadline_cycles = 0;    ///< SLA (0 = unconstrained)
+  std::uint64_t p99_budget_cycles = 0;  ///< SLA (0 = unconstrained)
+  /// Admission's pilot prediction vs the sim replay's modeled outcome —
+  /// completion of the last frame and the per-frame latency p99, both in
+  /// modeled cycles (the SLA clock domain).
+  std::uint64_t predicted_completion_cycles = 0;
+  std::uint64_t completion_cycles = 0;
+  std::uint64_t p99_latency_cycles = 0;
+  /// The stream encoded its frames within every SLA bound it carries.
+  /// False for shed streams; trivially true for completed best-effort.
+  bool sla_met = false;
 };
 [[nodiscard]] StreamSummary summarize_stream(const StreamJob& job);
 
@@ -113,6 +128,14 @@ struct RunReport {
   /// span stream and the per-stream stall attribution derived from it.
   std::vector<telemetry::Span> spans;
   std::vector<telemetry::StreamAttribution> attribution;
+  /// Admission-control outcome; enabled=false marks the historical
+  /// admit-everything run (all other admission fields zero).
+  AdmissionReport admission;
+  std::uint64_t sla_violations = 0;  ///< admitted SLA streams that missed
+  /// Frames delivered by streams that met their SLA (best-effort streams
+  /// count in full) — the numerator overload benches compare against the
+  /// admit-everything baseline.
+  std::uint64_t goodput_frames = 0;
 };
 
 /// Per-stream table (impl, frames, p50/p95 latency, PSNR, cycles).
@@ -121,6 +144,11 @@ struct RunReport {
 /// Per-stream condition-adaptation table: policy, first -> last context,
 /// mid-flight switches, stale frames, reconfiguration cycles.
 [[nodiscard]] ReportTable condition_table(const RunReport& report);
+
+/// Per-stream admission outcome: rung, SLA bounds, pilot prediction vs
+/// modeled outcome, SLA verdict. Covers every stream (admission-disabled
+/// runs show rung "none" and no bounds).
+[[nodiscard]] ReportTable admission_table(const RunReport& report);
 
 /// Per-stream stall attribution: where each stream's end-to-end modeled
 /// latency went — queueing / bus fetch / reconfiguration / compute, which

@@ -130,10 +130,17 @@ std::string metrics_json(const MetricsRegistry& registry, double host_wall_secon
        << ", \"min\": " << json_number(h.min()) << ", \"max\": " << json_number(h.max())
        << ", \"p50\": " << json_number(h.percentile(50.0))
        << ", \"p95\": " << json_number(h.percentile(95.0))
-       << ", \"p99\": " << json_number(h.percentile(99.0)) << ", \"buckets\": [";
+       << ", \"p99\": " << json_number(h.percentile(99.0))
+       // Top-bucket saturation accounting: samples past the last bound
+       // and the smallest of them (the clamp percentile interpolation
+       // uses). Lets a validator judge whether percentiles cut through
+       // the unbounded bucket — and how trustworthy they are there.
+       << ", \"overflow\": {\"count\": " << h.overflow_count()
+       << ", \"min\": " << json_number(h.overflow_min()) << "}"
+       << ", \"buckets\": [";
     bool first_bucket = true;
     for (std::size_t b = 0; b < h.counts().size(); ++b) {
-      if (h.counts()[b] == 0) continue;  // sparse: most of the 48 buckets are empty
+      if (h.counts()[b] == 0) continue;  // sparse: most of the 56 buckets are empty
       os << (first_bucket ? "" : ", ") << "{\"le\": "
          << (b < h.bounds().size() ? json_number(h.bounds()[b]) : std::string("null"))
          << ", \"count\": " << h.counts()[b] << "}";

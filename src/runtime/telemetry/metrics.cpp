@@ -8,10 +8,13 @@
 namespace dsra::runtime::telemetry {
 
 std::vector<double> FixedBucketHistogram::default_bounds() {
+  // 56 power-of-two buckets reach ~7.2e16 — overload-scale latencies
+  // (queue waits at many times capacity) stay inside a bounded bucket
+  // instead of piling into the overflow bucket and blurring the tail.
   std::vector<double> bounds;
-  bounds.reserve(48);
+  bounds.reserve(56);
   double bound = 1.0;
-  for (int k = 0; k < 48; ++k) {
+  for (int k = 0; k < 56; ++k) {
     bounds.push_back(bound);
     bound *= 2.0;
   }
@@ -24,6 +27,9 @@ FixedBucketHistogram::FixedBucketHistogram(std::vector<double> upper_bounds)
 void FixedBucketHistogram::record(double value) {
   if (!std::isfinite(value)) return;  // a NaN sample would poison min/max/sum
   const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  if (it == bounds_.end() &&
+      (counts_.back() == 0 || value < overflow_min_))
+    overflow_min_ = value;
   ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
   if (count_ == 0) {
     min_ = max_ = value;
@@ -52,8 +58,15 @@ double FixedBucketHistogram::percentile(double pct) const {
     }
     // Linear interpolation inside the selected bucket, with the bucket
     // edges clamped to the observed range so the overflow bucket (no
-    // upper bound) and sparse edge buckets stay finite.
-    const double lower = std::max(b == 0 ? min_ : bounds_[b - 1], min_);
+    // upper bound) and sparse edge buckets stay finite. The overflow
+    // bucket's lower edge is the smallest sample that actually landed in
+    // it, not the last bound: interpolating from the bound would pull a
+    // saturated tail toward it and silently understate p99 when the
+    // overflow samples cluster far above the configured range.
+    const bool is_overflow = b == bounds_.size();
+    const double bucket_lower =
+        is_overflow ? overflow_min_ : (b == 0 ? min_ : bounds_[b - 1]);
+    const double lower = std::max(bucket_lower, min_);
     const double upper = std::min(b < bounds_.size() ? bounds_[b] : max_, max_);
     const double fraction =
         static_cast<double>(rank - cumulative) / static_cast<double>(counts_[b]);

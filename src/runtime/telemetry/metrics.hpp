@@ -28,8 +28,9 @@ class FixedBucketHistogram {
   /// bucket.
   explicit FixedBucketHistogram(std::vector<double> upper_bounds = default_bounds());
 
-  /// Power-of-two bounds 1, 2, 4, ... — 48 buckets, enough for any cycle
-  /// or nanosecond quantity the runtime produces.
+  /// Power-of-two bounds 1, 2, 4, ... — 56 buckets (~7.2e16), wide
+  /// enough that overload-scale cycle counts land in a bounded bucket
+  /// instead of saturating the top one.
   [[nodiscard]] static std::vector<double> default_bounds();
 
   void record(double value);
@@ -41,6 +42,19 @@ class FixedBucketHistogram {
   [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
   /// bounds().size() + 1 entries; the last is the overflow bucket.
   [[nodiscard]] const std::vector<std::uint64_t>& counts() const { return counts_; }
+
+  /// Samples past the last bucket bound. A non-zero overflow means the
+  /// bounds were too narrow for the workload; percentiles that resolve
+  /// inside the overflow bucket are clamped to the observed overflow
+  /// range (not interpolated from the last bound), and exporters surface
+  /// this count so validators can flag distorted tails.
+  [[nodiscard]] std::uint64_t overflow_count() const { return counts_.back(); }
+
+  /// Smallest sample that landed in the overflow bucket (0 when none
+  /// did) — the tight lower edge overflow-bucket percentiles clamp to.
+  [[nodiscard]] double overflow_min() const {
+    return overflow_count() > 0 ? overflow_min_ : 0.0;
+  }
 
   /// Estimated percentile (pct in [0, 100]): nearest-rank bucket
   /// selection (the runtime/stats percentile_rank code path) with linear
@@ -56,6 +70,7 @@ class FixedBucketHistogram {
   double sum_ = 0.0;
   double min_ = 0.0;
   double max_ = 0.0;
+  double overflow_min_ = 0.0;  ///< smallest sample past the last bound
 };
 
 /// Named metrics of one run. Not thread-safe: the scheduler fills it

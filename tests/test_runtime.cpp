@@ -466,6 +466,92 @@ TEST(Stats, PercentileEdgeCases) {
   EXPECT_DOUBLE_EQ(single.max_ms, 7.5);
 }
 
+TEST(Scheduler, HardAgeBoundServesMidCohortMinorityAtHighQueueDepth) {
+  // Regression: every stream enqueued at construction shares ready_seq 0,
+  // so the ageing valve's oldest-first selection degenerated into an
+  // index-order sweep of that cohort — a minority-context stream parked
+  // mid-cohort waited Theta(queue depth) dispatches (~201 here) while the
+  // valve kept "serving the oldest" matching-context jobs in front of it.
+  // The hard age bound must cut that to O(bound), independent of depth.
+  constexpr int kStreams = 201;
+  constexpr int kMinority = 100;  // mid-cohort: the sweep reaches it last
+  std::vector<StreamJob> jobs;
+  for (int k = 0; k < kStreams; ++k) {
+    StreamConfig cfg;
+    cfg.name = "s" + std::to_string(k);
+    cfg.width = 16;
+    cfg.height = 16;
+    cfg.frame_budget = 1;  // one intra frame: the whole queue is one cohort
+    cfg.condition = k == kMinority ? soc::RuntimeCondition{0.1, 0.9}   // scc_full
+                                   : soc::RuntimeCondition{1.0, 1.0};  // cordic1
+    cfg.seed = 3000 + static_cast<std::uint64_t>(k);
+    jobs.push_back(make_synthetic_job(k, cfg));
+  }
+  SchedulerConfig cfg;
+  cfg.fabrics = 1;
+  cfg.queue.policy = SchedulingPolicy::kAffinityBatched;
+  cfg.queue.max_affinity_run = 1000000;  // batching never rotates by itself
+  cfg.queue.aging_threshold = 8;         // hard bound derives 2x = 16
+  const RunReport report = MultiStreamScheduler(library(), cfg).run(jobs);
+
+  EXPECT_EQ(report.total_frames, static_cast<std::uint64_t>(kStreams));
+  // Past the hard bound the mismatched-context job jumps the cohort sweep:
+  // its wait is bounded by the bound plus a small service margin, not by
+  // the ~200-deep queue in front of it.
+  EXPECT_LE(report.streams[kMinority].max_wait_dispatches,
+            2 * cfg.queue.aging_threshold + 16u);
+}
+
+TEST(ContextCache, ReleaseUnpinsShedStreamContextAndKeepsLedgerBalanced) {
+  // Shed-mid-stream regression: a cancelled stream's context is pinned
+  // twice — the active-context pin (the fabric was running its job) and
+  // the resident-image pin — and no eviction path may clear either. Until
+  // release() existed, those bytes stayed resident forever and the shed
+  // path leaked them against the capacity bound.
+  soc::ReconfigManager mgr(soc::ReconfigPortConfig{32, 16});
+  soc::Bus bus;
+  const std::map<std::string, std::vector<std::uint8_t>> backing{
+      {"a", std::vector<std::uint8_t>(100, 1)},
+      {"b", std::vector<std::uint8_t>(100, 2)},
+  };
+  ContextCache cache(
+      mgr, bus,
+      [&](const std::string& n) -> const std::vector<std::uint8_t>& { return backing.at(n); },
+      ContextCacheConfig{150});
+
+  (void)cache.touch("a");
+  EXPECT_GT(mgr.activate("a"), 0u);  // the shed stream's job was running it
+  (void)cache.touch("b");
+  // Capacity pressure cannot dislodge the active context — the pin holds.
+  EXPECT_TRUE(cache.resident("a"));
+  EXPECT_TRUE(cache.byte_balance_ok());
+
+  // The shed path must release it outright: bytes leave the ledger
+  // instead of staying resident under a pin nobody will ever clear.
+  EXPECT_TRUE(cache.release("a"));
+  EXPECT_FALSE(cache.resident("a"));
+  EXPECT_EQ(cache.frame_image("a"), nullptr);
+  EXPECT_TRUE(cache.byte_balance_ok());
+  EXPECT_EQ(cache.lru_order(), (std::vector<std::string>{"b"}));
+
+  // Releasing a context the cache never stored is a no-op, and the
+  // ledger still balances.
+  EXPECT_FALSE(cache.release("a"));
+  EXPECT_FALSE(cache.release("never_loaded"));
+  EXPECT_TRUE(cache.byte_balance_ok());
+}
+
+TEST(Fabric, ReleaseContextDropsShedStreamFromCacheAndStore) {
+  FabricConfig cfg;
+  Fabric fabric(0, library(), cfg);
+  (void)fabric.prepare("cordic1");  // resident, active, image retained
+  EXPECT_TRUE(fabric.cache().resident("cordic1"));
+  EXPECT_TRUE(fabric.release_context("cordic1"));
+  EXPECT_FALSE(fabric.cache().resident("cordic1"));
+  EXPECT_TRUE(fabric.cache().byte_balance_ok());
+  EXPECT_FALSE(fabric.release_context("scc_full"));  // never loaded: no-op
+}
+
 TEST(Stats, PercentileRankGuardsDegenerateInputs) {
   // The shared rank-selection rule behind both sample percentiles and the
   // telemetry histogram percentiles: 1-based, clamped into [1, n], 0 only

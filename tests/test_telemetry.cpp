@@ -214,6 +214,46 @@ TEST(Telemetry, HistogramDegenerateCasesAreExact) {
   EXPECT_DOUBLE_EQ(h.max(), 8.0);
 }
 
+TEST(Telemetry, OverflowBucketPercentileClampsToObservedSamples) {
+  // Regression: a percentile resolving in the unbounded top bucket used
+  // to interpolate over [last bound, max]. With the overflow samples
+  // clustered far above the last bound, that *understated* the tail —
+  // the p99 a bench would gate on read lower than any sample actually
+  // past the bound. The overflow bucket must clamp to the smallest
+  // sample observed in it.
+  telemetry::FixedBucketHistogram hist(
+      {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0});
+  for (int i = 0; i < 100; ++i) hist.record(4.0);
+  for (int i = 0; i < 100; ++i) hist.record(1e6);  // clustered far past 1024
+
+  EXPECT_EQ(hist.overflow_count(), 100u);
+  EXPECT_DOUBLE_EQ(hist.overflow_min(), 1e6);
+  // Rank 198 of 200 lands in the overflow bucket; every sample there is
+  // 1e6, so the estimate must be exactly 1e6 — not a value interpolated
+  // down toward the 1024 bound.
+  EXPECT_DOUBLE_EQ(hist.percentile(99.0), 1e6);
+  EXPECT_GE(hist.percentile(95.0), 1e6);
+
+  // No overflow -> no overflow accounting.
+  telemetry::FixedBucketHistogram bounded({10.0, 20.0});
+  bounded.record(5.0);
+  EXPECT_EQ(bounded.overflow_count(), 0u);
+  EXPECT_DOUBLE_EQ(bounded.overflow_min(), 0.0);
+
+  // The widened default bounds keep overload-scale cycle counts out of
+  // the overflow bucket in the first place.
+  EXPECT_EQ(telemetry::FixedBucketHistogram::default_bounds().size(), 56u);
+}
+
+TEST(Telemetry, MetricsJsonCarriesOverflowAccounting) {
+  telemetry::MetricsRegistry registry;
+  auto& h = registry.histogram("lat", {1.0, 2.0});
+  h.record(1.0);
+  h.record(50.0);
+  const std::string json = telemetry::metrics_json(registry, 0.0);
+  EXPECT_NE(json.find("\"overflow\": {\"count\": 1, \"min\": 50"), std::string::npos);
+}
+
 TEST(Telemetry, ChromeTraceExportCarriesTracksAndMetadata) {
   const RunReport report = traced_run(DispatchMode::kStagePipeline);
   const std::string json = telemetry::chrome_trace_json(report);

@@ -106,14 +106,41 @@ def validate_metrics(doc):
         buckets = h.get("buckets")
         require(isinstance(buckets, list), f"histogram {name}.buckets must be a list")
         total = 0
+        overflow_bucket = 0
         for b in buckets:
             require(isinstance(b, dict) and isinstance(b.get("count"), int),
                     f"histogram {name}: bucket counts must be ints")
             require(b.get("le") is None or is_num(b["le"]),
                     f"histogram {name}: bucket le must be a number or null (overflow)")
             total += b["count"]
+            if b.get("le") is None:
+                overflow_bucket += b["count"]
         require(total == h["count"],
                 f"histogram {name}: bucket counts sum to {total}, count says {h['count']}")
+        overflow = h.get("overflow")
+        if overflow is not None:
+            require(isinstance(overflow, dict) and
+                    isinstance(overflow.get("count"), int) and overflow["count"] >= 0 and
+                    is_num(overflow.get("min")),
+                    f"histogram {name}.overflow must be {{count: int, min: number}}")
+            require(overflow["count"] == overflow_bucket,
+                    f"histogram {name}: overflow.count {overflow['count']} disagrees with "
+                    f"the null-le bucket count {overflow_bucket}")
+        # Overflow-distortion check: when the p99 rank lands in the
+        # unbounded top bucket, a percentile interpolated over
+        # [last bound, max] understates clustered-high tails. Such an
+        # export must carry the overflow accounting, and its p99 must sit
+        # inside [overflow.min, max] — the only honest range up there.
+        if total > 0 and overflow_bucket > 0:
+            rank99 = max(1, -(-99 * total // 100))  # ceil, nearest-rank
+            if rank99 > total - overflow_bucket:
+                require(overflow is not None,
+                        f"histogram {name}: p99 resolves in the overflow bucket but the "
+                        f"export carries no overflow accounting — the percentile is "
+                        f"distorted by top-bucket saturation")
+                require(overflow["min"] <= h["p99"] <= h["max"],
+                        f"histogram {name}: p99 {h['p99']} outside the overflow range "
+                        f"[{overflow['min']}, {h['max']}] — top-bucket saturation distorts it")
     for name, samples in doc["timelines"].items():
         require(isinstance(samples, list) and all(is_num(s) for s in samples),
                 f"timeline {name} must be a list of numbers")
