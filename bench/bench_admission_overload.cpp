@@ -122,8 +122,7 @@ int main() {
   ReportTable table("Burst overload (~3x capacity): admit-everything vs admission");
   table.set_header({"metric", "admit-everything", "admission"});
   const auto row_u64 = [&](const std::string& name, std::uint64_t a, std::uint64_t b) {
-    table.add_row({name, format_i64(static_cast<std::int64_t>(a)),
-                   format_i64(static_cast<std::int64_t>(b))});
+    bench_common::add_u64_row(table, name, a, b);
   };
   row_u64("streams served", static_cast<std::uint64_t>(kStreams),
           gated.admission.admitted);
@@ -147,8 +146,7 @@ int main() {
               static_cast<unsigned long long>(gated.admission.impl_swaps),
               static_cast<unsigned long long>(gated.admission.rejected));
 
-  telemetry::write_metrics_json("METRICS_admission_overload.json", metrics, 0.0);
-  std::printf("artifacts: METRICS_admission_overload.json\n");
+  bench_common::write_metrics_artifact("admission_overload", metrics);
 
   BenchJson json("admission_overload");
   json.metric("demand_over_capacity", demand_ratio);
@@ -166,6 +164,5 @@ int main() {
   json.bar("admission_sheds_under_overload", static_cast<double>(gated.admission.rejected),
            ">", 0.0);
   json.bar("admitted_sla_violations", static_cast<double>(gated.sla_violations), "<=", 0.0);
-  json.write();
-  return json.all_passed() ? 0 : 1;
+  return bench_common::finish(json);
 }

@@ -1,11 +1,48 @@
 // Helpers shared by the acceptance benches (no Google Benchmark needed).
 #pragma once
 
+#include <cstdio>
+#include <string>
 #include <vector>
 
+#include "common/report.hpp"
 #include "runtime/job.hpp"
+#include "runtime/telemetry/export.hpp"
+#include "runtime/telemetry/metrics.hpp"
 
 namespace dsra::bench_common {
+
+/// Append "name | v0 | v1 | ..." to @p table, formatting every value
+/// with format_i64 — the comparison-row shape each scheduler bench's
+/// N-run metric table repeats.
+template <typename... Values>
+inline void add_u64_row(ReportTable& table, const std::string& name, Values... values) {
+  std::vector<std::string> row{name};
+  (row.push_back(format_i64(static_cast<std::int64_t>(values))), ...);
+  table.add_row(std::move(row));
+}
+
+/// Standard schema-v2 bench epilogue: write BENCH_<name>.json and map
+/// the acceptance-bar verdicts onto the process exit code.
+inline int finish(const BenchJson& json) {
+  json.write();
+  return json.all_passed() ? 0 : 1;
+}
+
+/// Write METRICS_<bench>.json and print the conventional artifacts line
+/// CI greps for; @p extra_artifacts lists files the bench wrote itself
+/// (e.g. a Perfetto trace) so the line names every artifact once.
+inline void write_metrics_artifact(const std::string& bench,
+                                   const runtime::telemetry::MetricsRegistry& metrics,
+                                   double wall_seconds = 0.0,
+                                   const std::vector<std::string>& extra_artifacts = {}) {
+  const std::string path = "METRICS_" + bench + ".json";
+  runtime::telemetry::write_metrics_json(path, metrics, wall_seconds);
+  std::string line = "artifacts: ";
+  for (const std::string& artifact : extra_artifacts) line += artifact + ", ";
+  line += path;
+  std::printf("%s\n", line.c_str());
+}
 
 /// Encoded outputs of two runs over the same workload must match bit for
 /// bit: scheduling, pool shape and reconfiguration strategy may only

@@ -27,6 +27,7 @@
 // and frozen stale on >= 25% of frames.
 #include <cstdio>
 
+#include "bench_common.hpp"
 #include "dynamic_conditions_common.hpp"
 
 using namespace dsra;
@@ -62,9 +63,7 @@ int main() {
   table.set_header({"metric", "frozen", "per-frame", "hysteresis"});
   const auto row_u64 = [&](const std::string& name, std::uint64_t a, std::uint64_t b,
                            std::uint64_t c) {
-    table.add_row({name, format_i64(static_cast<std::int64_t>(a)),
-                   format_i64(static_cast<std::int64_t>(b)),
-                   format_i64(static_cast<std::int64_t>(c))});
+    bench_common::add_u64_row(table, name, a, b, c);
   };
   row_u64("frames", frozen.total_frames, naive.total_frames, hyst.total_frames);
   row_u64("condition switches", frozen.condition_switches, naive.condition_switches,
@@ -113,6 +112,5 @@ int main() {
               static_cast<double>(hyst.sim_makespan_cycles));
   json.bar("hysteresis_vs_naive_throughput", speedup, ">=", 1.2);
   json.bar("frozen_stale_fraction", stale_fraction, ">=", 0.25);
-  json.write();
-  return json.all_passed() ? 0 : 1;
+  return bench_common::finish(json);
 }

@@ -116,8 +116,7 @@ int main() {
   ReportTable table("Heterogeneous (12x8 + 2x 8x4) vs homogeneous (3x 12x8) pool");
   table.set_header({"metric", "hetero (160 sites)", "homog (288 sites)"});
   const auto row_u64 = [&](const std::string& name, std::uint64_t a, std::uint64_t b) {
-    table.add_row({name, format_i64(static_cast<std::int64_t>(a)),
-                   format_i64(static_cast<std::int64_t>(b))});
+    bench_common::add_u64_row(table, name, a, b);
   };
   row_u64("frames", hetero.total_frames, homog.total_frames);
   row_u64("array area (cluster sites)", static_cast<std::uint64_t>(hetero.total_tiles),
@@ -172,6 +171,5 @@ int main() {
            ">", 0.0);
   json.bar("delta_fetch_saves_bus_bytes", static_cast<double>(delta.cache.bytes_saved), ">",
            0.0);
-  json.write();
-  return json.all_passed() ? 0 : 1;
+  return bench_common::finish(json);
 }

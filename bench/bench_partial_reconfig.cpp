@@ -62,9 +62,7 @@ int main() {
                     "partial (band 0.02)"});
   const auto row_u64 = [&](const std::string& name, std::uint64_t a, std::uint64_t b,
                            std::uint64_t c) {
-    table.add_row({name, format_i64(static_cast<std::int64_t>(a)),
-                   format_i64(static_cast<std::int64_t>(b)),
-                   format_i64(static_cast<std::int64_t>(c))});
+    bench_common::add_u64_row(table, name, a, b, c);
   };
   row_u64("frames", full.total_frames, part.total_frames, narrow.total_frames);
   row_u64("bitstream switches", static_cast<std::uint64_t>(full.total_switches),
@@ -134,6 +132,5 @@ int main() {
   json.bar("narrow_band_cycles_vs_full_reload",
            static_cast<double>(narrow.total_reconfig_cycles), "<=",
            static_cast<double>(full.total_reconfig_cycles));
-  json.write();
-  return json.all_passed() ? 0 : 1;
+  return bench_common::finish(json);
 }

@@ -19,6 +19,7 @@
 // count). Acceptance bar: B >= 1.3x the throughput of A.
 #include <cstdio>
 
+#include "bench_common.hpp"
 #include "runtime/scheduler.hpp"
 #include "runtime/sim_schedule.hpp"
 
@@ -110,6 +111,5 @@ int main() {
   json.metric("dup_sim_makespan_cycles", static_cast<double>(dup.sim_makespan_cycles));
   json.metric("pipe_sim_utilization", pipe.sim_utilization);
   json.bar("pipeline_vs_monolithic_throughput", speedup, ">=", 1.3);
-  json.write();
-  return json.all_passed() ? 0 : 1;
+  return bench_common::finish(json);
 }

@@ -9,6 +9,7 @@
 // configuration-port switch cycles that round-robin pays over and over.
 #include <cstdio>
 
+#include "bench_common.hpp"
 #include "runtime/scheduler.hpp"
 
 using namespace dsra;
@@ -95,6 +96,5 @@ int main() {
   json.metric("affinity_frames_per_second", af.frames_per_second);
   // Measurable amortization is the acceptance bar.
   json.bar("reconfig_cycles_saved_by_affinity", static_cast<double>(saved), ">", 0.0);
-  json.write();
-  return json.all_passed() ? 0 : 1;
+  return bench_common::finish(json);
 }

@@ -159,8 +159,8 @@ int main() {
               static_cast<unsigned long long>(attribution_mismatches));
 
   telemetry::write_chrome_trace("TRACE_telemetry_overhead.json", traced);
-  telemetry::write_metrics_json("METRICS_telemetry_overhead.json", metrics, on_min_s);
-  std::printf("artifacts: TRACE_telemetry_overhead.json, METRICS_telemetry_overhead.json\n");
+  bench_common::write_metrics_artifact("telemetry_overhead", metrics, on_min_s,
+                                       {"TRACE_telemetry_overhead.json"});
 
   json.metric("rounds", kRounds);
   json.metric("off_wall_seconds", off_min_s);
@@ -175,6 +175,5 @@ int main() {
   json.bar("attribution_sum_mismatches", static_cast<double>(attribution_mismatches), "<=",
            0.0);
   json.bar("span_count", static_cast<double>(traced.spans.size()), ">", 0.0);
-  json.write();
-  return json.all_passed() ? 0 : 1;
+  return bench_common::finish(json);
 }

@@ -2,12 +2,16 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 #include <limits>
+#include <map>
+#include <queue>
 #include <sstream>
 #include <utility>
 
 #include "dct/dct2d.hpp"
 #include "me/systolic.hpp"
+#include "runtime/event_core.hpp"
 #include "runtime/sim_schedule.hpp"
 #include "runtime/stats.hpp"
 
@@ -177,30 +181,55 @@ AdmissionController::PilotOutcome AdmissionController::pilot(
   // dispatch order and fabric assignment are handed to simulate_timeline,
   // which is the timing authority — the greedy clocks below only order
   // the events.
+  //
+  // The pending-lane set lives in the calendar-queue event core keyed
+  // (ready, deadline, lane index) — the exact comparison the old O(n)
+  // min-scan per step applied, so the pick order (and therefore every
+  // admission decision) is unchanged while each step drops to amortized
+  // O(1). Fabric choice uses one lazy min-heap per distinct host set,
+  // keyed (free cycles, position in host order): fabric free times only
+  // grow, so a popped entry matching the authoritative free time is the
+  // true minimum and a stale one is re-pushed with its current value.
   struct Lane {
     std::size_t next = 0;
     std::uint64_t ready = 0;
   };
   std::vector<Lane> lanes(set.size());
   std::vector<std::uint64_t> fabric_free;
+  const auto free_of = [&](int fabric) -> std::uint64_t& {
+    if (static_cast<std::size_t>(fabric) >= fabric_free.size())
+      fabric_free.resize(static_cast<std::size_t>(fabric) + 1, 0);
+    return fabric_free[static_cast<std::size_t>(fabric)];
+  };
+  // Heap entry: (free cycles at push, position in the host vector); the
+  // position doubles as the fabric lookup and the first-host-wins
+  // tie-break among equally free fabrics.
+  using FabricEntry = std::pair<std::uint64_t, std::size_t>;
+  using FabricHeap =
+      std::priority_queue<FabricEntry, std::vector<FabricEntry>, std::greater<>>;
+  std::map<std::vector<int>, FabricHeap> heaps;
+  const auto pick_fabric = [&](const std::vector<int>& hosts) -> int {
+    auto [it, inserted] = heaps.try_emplace(hosts);
+    FabricHeap& heap = it->second;
+    if (inserted)
+      for (std::size_t p = 0; p < hosts.size(); ++p) heap.push({free_of(hosts[p]), p});
+    for (;;) {
+      const auto [free, pos] = heap.top();
+      const int fabric = hosts[pos];
+      if (free == free_of(fabric)) return fabric;
+      heap.pop();
+      heap.push({free_of(fabric), pos});  // stale: another host set ran it
+    }
+  };
+
+  CalendarQueue pending;
+  for (std::size_t i = 0; i < set.size(); ++i)
+    if (!set[i].me_cycles.empty()) pending.push(0, deadline_or_max(set[i].sla), i);
+
   std::vector<StageEvent> events;
   std::uint64_t tick = 0;
-  for (;;) {
-    std::size_t pick = set.size();
-    for (std::size_t i = 0; i < set.size(); ++i) {
-      if (lanes[i].next >= set[i].me_cycles.size()) continue;
-      if (pick == set.size()) {
-        pick = i;
-        continue;
-      }
-      const auto& a = lanes[i];
-      const auto& b = lanes[pick];
-      const std::uint64_t da = deadline_or_max(set[i].sla);
-      const std::uint64_t db = deadline_or_max(set[pick].sla);
-      if (a.ready != b.ready ? a.ready < b.ready : da < db) pick = i;
-    }
-    if (pick == set.size()) break;  // every lane drained
-
+  while (!pending.empty()) {
+    const std::size_t pick = static_cast<std::size_t>(pending.pop().payload);
     Lane& lane = lanes[pick];
     const PilotStream& stream = set[pick];
     const std::vector<int>& hosts = stream.hosts[lane.next];
@@ -211,19 +240,10 @@ AdmissionController::PilotOutcome AdmissionController::pilot(
       lane.next = stream.me_cycles.size();  // nothing downstream can run
       continue;
     }
-    int fabric = hosts.front();
-    for (const int f : hosts) {
-      if (static_cast<std::size_t>(f) >= fabric_free.size()) fabric_free.resize(
-          static_cast<std::size_t>(f) + 1, 0);
-      if (static_cast<std::size_t>(fabric) >= fabric_free.size())
-        fabric_free.resize(static_cast<std::size_t>(fabric) + 1, 0);
-      if (fabric_free[static_cast<std::size_t>(f)] <
-          fabric_free[static_cast<std::size_t>(fabric)])
-        fabric = f;
-    }
+    const int fabric = pick_fabric(hosts);
     const std::uint64_t duration =
         stream.me_cycles[lane.next] + 2 * stream.dct_cycles[lane.next];
-    auto& free = fabric_free[static_cast<std::size_t>(fabric)];
+    std::uint64_t& free = free_of(fabric);
     const std::uint64_t start = std::max(lane.ready, free);
     free = start + duration;
     lane.ready = free;
@@ -237,6 +257,8 @@ AdmissionController::PilotOutcome AdmissionController::pilot(
     event.stage = StageKind::kWholeFrame;
     events.push_back(event);
     ++lane.next;
+    if (lane.next < stream.me_cycles.size())
+      pending.push(lane.ready, deadline_or_max(stream.sla), pick);
   }
 
   // Pilot jobs carry only what simulate_timeline reads: per-frame stage

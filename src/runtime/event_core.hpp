@@ -1,0 +1,64 @@
+// Calendar-queue event core for the discrete-event scheduling paths.
+//
+// The admission controller's pilot schedule and every future
+// discrete-event loop share one pending-event set abstraction: push
+// events keyed by modeled time, pop them earliest-first. A std::multimap
+// (or re-scanning every lane per step, which is what the pilot used to
+// do) makes each step O(n); at fleet scale — 10k streams, hundreds of
+// fabrics — that quadratic sum is the dominant host cost. The calendar
+// queue (R. Brown, "Calendar Queues: A Fast O(1) Priority Queue
+// Implementation for the Simulation Event Set Problem", CACM 1988) gives
+// amortized O(1) push/pop for the well-behaved event populations a
+// schedule produces: a ring of time buckets of fixed width, resized to
+// track the live event density, with the pop cursor walking the ring in
+// priority order.
+//
+// Ordering is the lexicographic (time, tie, payload): `tie` is a caller
+// secondary key (the pilot passes the stream deadline, implementing the
+// queue's EDF tie-break), `payload` the caller's identity key (the lane
+// index), so equal-time pops reproduce the exact decision order of a
+// linear min-scan over lanes in index order. Insertion order breaks any
+// remaining ties.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dsra::runtime {
+
+/// One pending event. Popped in (time, tie, payload, seq) order.
+struct SimEvent {
+  std::uint64_t time = 0;
+  std::uint64_t tie = 0;      ///< secondary key (e.g. EDF deadline)
+  std::uint64_t payload = 0;  ///< caller identity (e.g. lane index)
+  std::uint64_t seq = 0;      ///< insertion order, the final tie-break
+};
+
+class CalendarQueue {
+ public:
+  void push(std::uint64_t time, std::uint64_t tie, std::uint64_t payload);
+  /// Remove and return the earliest event. Undefined on an empty queue.
+  SimEvent pop();
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+ private:
+  [[nodiscard]] std::size_t bucket_of(std::uint64_t time) const {
+    return static_cast<std::size_t>((time / width_) % buckets_.size());
+  }
+  /// Re-bucket everything into @p nbuckets buckets whose width matches
+  /// the live events' time spread (Brown's density rule, simplified).
+  void rebuild(std::size_t nbuckets);
+
+  std::vector<std::vector<SimEvent>> buckets_;
+  std::uint64_t width_ = 1;
+  /// Floor of the next pop's priority: times are popped monotonically,
+  /// so the ring scan resumes from this bucket. A push earlier than the
+  /// floor (legal, if unusual for a schedule) rewinds it.
+  std::uint64_t floor_time_ = 0;
+  std::size_t size_ = 0;
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace dsra::runtime

@@ -18,6 +18,7 @@ JobQueue::JobQueue(std::vector<StreamJob>& streams, JobQueueConfig config)
     : streams_(streams), config_(config) {
   if (config_.pipeline_lookahead < 0) config_.pipeline_lookahead = 0;
   lanes_.resize(streams_.size());
+  const auto now = std::chrono::steady_clock::now();  // one stamp for the whole seed batch
   std::size_t total_jobs = 0;
   for (std::size_t k = 0; k < streams_.size(); ++k) {
     StreamJob& s = streams_[k];
@@ -39,7 +40,7 @@ JobQueue::JobQueue(std::vector<StreamJob>& streams, JobQueueConfig config)
       for (int f = s.next_frame; f < static_cast<int>(s.frames.size()); ++f)
         ++jobs_left_by_context_[s.impl_for(f)];
       total_jobs += remaining;
-      enqueue_locked(stream_id, StageKind::kWholeFrame, s.next_frame);
+      enqueue_locked(stream_id, StageKind::kWholeFrame, s.next_frame, now);
     } else {
       s.pipeline.assign(s.frames.size(), FramePipelineState{});
       Lane& lane = lanes_[k];
@@ -52,8 +53,8 @@ JobQueue::JobQueue(std::vector<StreamJob>& streams, JobQueueConfig config)
       for (int f = s.next_frame; f < static_cast<int>(s.frames.size()); ++f)
         jobs_left_by_context_[s.impl_for(f)] += 2;  // TQ + reconstruct
       total_jobs += 2 * remaining + me_jobs;
-      advance_dct_lane_locked(stream_id);
-      advance_me_lane_locked(stream_id);
+      advance_dct_lane_locked(stream_id, now);
+      advance_me_lane_locked(stream_id, now);
     }
   }
   events_.reserve(2 * total_jobs);
@@ -179,8 +180,8 @@ std::optional<std::size_t> JobQueue::pick_locked(
   return chosen;
 }
 
-void JobQueue::enqueue_locked(int stream_id, StageKind stage, int frame_index) {
-  const auto now = std::chrono::steady_clock::now();
+void JobQueue::enqueue_locked(int stream_id, StageKind stage, int frame_index,
+                              std::chrono::steady_clock::time_point now) {
   ready_.push_back({stream_id, stage, frame_index, dispatch_seq_, now});
   if (config_.mode == DispatchMode::kStagePipeline) {
     // The frame's first stage job (ME for inter frames, DCT/quant for the
@@ -193,7 +194,8 @@ void JobQueue::enqueue_locked(int stream_id, StageKind stage, int frame_index) {
   }
 }
 
-void JobQueue::advance_me_lane_locked(int stream_id) {
+void JobQueue::advance_me_lane_locked(int stream_id,
+                                      std::chrono::steady_clock::time_point now) {
   StreamJob& s = streams_[static_cast<std::size_t>(stream_id)];
   Lane& lane = lanes_[static_cast<std::size_t>(stream_id)];
   if (lane.me_busy) return;
@@ -203,11 +205,12 @@ void JobQueue::advance_me_lane_locked(int stream_id) {
   // pipeline_lookahead frames ahead of the reconstruction lane.
   if (lane.me_next > s.next_frame + config_.pipeline_lookahead) return;
   lane.me_busy = true;
-  enqueue_locked(stream_id, StageKind::kMotionEstimation, lane.me_next);
+  enqueue_locked(stream_id, StageKind::kMotionEstimation, lane.me_next, now);
   ++lane.me_next;
 }
 
-void JobQueue::advance_dct_lane_locked(int stream_id) {
+void JobQueue::advance_dct_lane_locked(int stream_id,
+                                       std::chrono::steady_clock::time_point now) {
   StreamJob& s = streams_[static_cast<std::size_t>(stream_id)];
   Lane& lane = lanes_[static_cast<std::size_t>(stream_id)];
   if (lane.dct_busy) return;
@@ -216,7 +219,7 @@ void JobQueue::advance_dct_lane_locked(int stream_id) {
   // only; the intra frame 0 has none).
   if (lane.dct_frame > 0 && lane.me_done_upto < lane.dct_frame) return;
   lane.dct_busy = true;
-  enqueue_locked(stream_id, StageKind::kTransformQuant, lane.dct_frame);
+  enqueue_locked(stream_id, StageKind::kTransformQuant, lane.dct_frame, now);
 }
 
 std::optional<FrameTask> JobQueue::acquire(int fabric_id,
@@ -290,7 +293,26 @@ std::optional<FrameTask> JobQueue::acquire(int fabric_id,
 
 void JobQueue::complete(const FrameTask& task, int fabric_id,
                         std::uint64_t reconfig_cycles) {
+  // One timestamp covers every successor this completion enqueues, taken
+  // before the lock — now() under the hot mutex serialized the workers.
+  const auto now = std::chrono::steady_clock::now();
   std::lock_guard lock(mutex_);
+  complete_locked(task, fabric_id, reconfig_cycles, now);
+  cv_.notify_all();
+}
+
+void JobQueue::complete_batch(const std::vector<CompletedTask>& batch, int fabric_id) {
+  if (batch.empty()) return;
+  const auto now = std::chrono::steady_clock::now();
+  std::lock_guard lock(mutex_);
+  for (const CompletedTask& done : batch)
+    complete_locked(done.task, fabric_id, done.reconfig_cycles, now);
+  cv_.notify_all();
+}
+
+void JobQueue::complete_locked(const FrameTask& task, int fabric_id,
+                               std::uint64_t reconfig_cycles,
+                               std::chrono::steady_clock::time_point now) {
   events_.push_back({++event_tick_, false, task.stream_id, task.frame_index, fabric_id,
                      task.stage, reconfig_cycles});
   StreamJob& stream = streams_[static_cast<std::size_t>(task.stream_id)];
@@ -300,26 +322,36 @@ void JobQueue::complete(const FrameTask& task, int fabric_id,
     case StageKind::kWholeFrame:
       ++stream.next_frame;
       if (!stream.finished())
-        enqueue_locked(task.stream_id, StageKind::kWholeFrame, stream.next_frame);
+        enqueue_locked(task.stream_id, StageKind::kWholeFrame, stream.next_frame, now);
       break;
     case StageKind::kMotionEstimation:
       lane.me_done_upto = task.frame_index;
       lane.me_busy = false;
-      advance_dct_lane_locked(task.stream_id);  // TQ(frame) may have been blocked on us
-      advance_me_lane_locked(task.stream_id);
+      advance_dct_lane_locked(task.stream_id, now);  // TQ(frame) may have been blocked on us
+      advance_me_lane_locked(task.stream_id, now);
       break;
     case StageKind::kTransformQuant:
-      enqueue_locked(task.stream_id, StageKind::kReconstructEntropy, task.frame_index);
+      enqueue_locked(task.stream_id, StageKind::kReconstructEntropy, task.frame_index, now);
       break;
     case StageKind::kReconstructEntropy:
       ++stream.next_frame;  // the frame is fully encoded
       lane.dct_busy = false;
       lane.dct_frame = task.frame_index + 1;
-      advance_dct_lane_locked(task.stream_id);
-      advance_me_lane_locked(task.stream_id);  // the lookahead window moved
+      advance_dct_lane_locked(task.stream_id, now);
+      advance_me_lane_locked(task.stream_id, now);  // the lookahead window moved
       break;
   }
-  cv_.notify_all();
+}
+
+std::vector<FrameTask> JobQueue::acquire_batch(int fabric_id,
+                                               const std::optional<std::string>& fabric_impl,
+                                               unsigned capabilities,
+                                               const HostFilter& can_host, int max_batch) {
+  (void)max_batch;  // the single-queue policy dispatches one job at a time
+  std::vector<FrameTask> batch;
+  if (auto task = acquire(fabric_id, fabric_impl, capabilities, can_host))
+    batch.push_back(*task);
+  return batch;
 }
 
 std::string JobQueue::required_context(const FrameTask& task) const {

@@ -79,6 +79,23 @@ struct JobQueueConfig {
   /// genuinely starving ones). 0 derives 2x aging_threshold.
   std::uint64_t hard_age_bound = 0;
   int pipeline_lookahead = 1;  ///< frames ME may run ahead of reconstruction
+  /// Ready-set sharding (ShardedJobQueue): sub-shards per context. 1 (the
+  /// default) selects the single lock-guarded JobQueue — the historical
+  /// scheduling order, bit-exact with every prior release; > 1 selects
+  /// the sharded queue with per-fabric work-stealing.
+  int shards = 1;
+  /// Jobs a fabric may pop per shard-lock acquisition (sharded queue
+  /// only; the single queue decides one dispatch at a time). Clamped to
+  /// >= 1; large values amortize locking at scale, a batch never takes
+  /// more than half a shard so siblings keep stealing material.
+  int max_batch = 8;
+};
+
+/// A finished task plus what its fabric paid to prepare the context —
+/// the unit of the batched completion APIs both queue frontends share.
+struct CompletedTask {
+  FrameTask task;
+  std::uint64_t reconfig_cycles = 0;
 };
 
 class JobQueue {
@@ -101,6 +118,16 @@ class JobQueue {
       int fabric_id, const std::optional<std::string>& fabric_impl,
       unsigned capabilities = kCapAllKernels, const HostFilter& can_host = nullptr);
 
+  /// Batch frontend of acquire(): the single-queue policy picks exactly
+  /// one job per lock acquisition (its dispatch decisions are stateful
+  /// per dispatch), so the batch holds zero or one task. Exists so the
+  /// scheduler's worker loop is written once against the batched API the
+  /// sharded queue amortizes for real.
+  [[nodiscard]] std::vector<FrameTask> acquire_batch(
+      int fabric_id, const std::optional<std::string>& fabric_impl,
+      unsigned capabilities = kCapAllKernels, const HostFilter& can_host = nullptr,
+      int max_batch = 1);
+
   /// Dispatch decisions in which @p fabric_id passed over at least one
   /// capability-eligible ready job because its context does not place on
   /// the fabric's geometry (indexed by fabric id; missing = 0).
@@ -115,6 +142,10 @@ class JobQueue {
   /// context (fetch + switch); it is stamped on the completion event so
   /// the simulated-time replay charges it into the modeled makespan.
   void complete(const FrameTask& task, int fabric_id, std::uint64_t reconfig_cycles = 0);
+
+  /// Batch frontend of complete(): one timestamp and one lock acquisition
+  /// cover the whole batch.
+  void complete_batch(const std::vector<CompletedTask>& batch, int fabric_id);
 
   /// Bitstream a task must have active before running. For a dynamic
   /// stream this is the *per-frame* resolution: when a stream's condition
@@ -166,9 +197,16 @@ class JobQueue {
       const std::optional<std::string>& fabric_impl, const FabricRun& run,
       unsigned capabilities, const HostFilter& can_host) const;
 
-  void enqueue_locked(int stream_id, StageKind stage, int frame_index);
-  void advance_me_lane_locked(int stream_id);
-  void advance_dct_lane_locked(int stream_id);
+  void complete_locked(const FrameTask& task, int fabric_id, std::uint64_t reconfig_cycles,
+                       std::chrono::steady_clock::time_point now);
+  /// @p now is sampled once per enqueue batch by the caller, outside the
+  /// lock — steady_clock::now() is a syscall-class cost that has no
+  /// business inside the hot mutex (every completion enqueues successors
+  /// while holding it).
+  void enqueue_locked(int stream_id, StageKind stage, int frame_index,
+                      std::chrono::steady_clock::time_point now);
+  void advance_me_lane_locked(int stream_id, std::chrono::steady_clock::time_point now);
+  void advance_dct_lane_locked(int stream_id, std::chrono::steady_clock::time_point now);
 
   std::vector<StreamJob>& streams_;
   JobQueueConfig config_;

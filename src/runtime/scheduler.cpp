@@ -5,7 +5,9 @@
 #include <set>
 #include <stdexcept>
 #include <thread>
+#include <type_traits>
 
+#include "runtime/sharded_queue.hpp"
 #include "runtime/sim_schedule.hpp"
 #include "runtime/telemetry/metrics.hpp"
 #include "runtime/telemetry/trace.hpp"
@@ -133,7 +135,6 @@ RunReport MultiStreamScheduler::run(std::vector<StreamJob>& streams) {
         "stage pipeline needs a motion-estimation-capable fabric that can place '" +
         std::string(kMeContextName) + "' (pool geometries: " + pool.geometry_list() + ")");
 
-  JobQueue queue(streams, config_.queue);
   std::vector<double> busy_ms(static_cast<std::size_t>(pool.size()), 0.0);
 
   // Telemetry resolution: the caller's recorder, or — when only metrics
@@ -148,132 +149,171 @@ RunReport MultiStreamScheduler::run(std::vector<StreamJob>& streams) {
 
   const auto wall_start = std::chrono::steady_clock::now();
 
-  const auto worker = [&](int fabric_id) {
-    Fabric& fabric = pool.at(fabric_id);
-    const video::MotionSearchFn me_fn = me::systolic_search_fn(config_.me);
-    double& busy = busy_ms[static_cast<std::size_t>(fabric_id)];
-    // The worker's private append-only buffer — no lock, no sharing.
-    std::vector<telemetry::JobTrace>* trace_buf =
-        rec != nullptr ? &rec->worker(fabric_id) : nullptr;
-    // Dispatch filters by capability AND placement feasibility: this
-    // fabric is only handed jobs whose context places on its geometry.
-    // The library's context set is small and fixed, so resolve the
-    // fits() matrix once into a set here — the queue consults the filter
-    // on every ready-list scan under its mutex. A fabric that hosts the
-    // whole library gets a null filter (the homogeneous fast path).
-    std::set<std::string> hostable;
-    for (const std::string& context : library_.context_names())
-      if (fabric.hosts(context)) hostable.insert(context);
-    const bool hosts_all = hostable.size() == library_.context_names().size();
-    const JobQueue::HostFilter can_host =
-        hosts_all ? JobQueue::HostFilter(nullptr)
-                  : [hostable = std::move(hostable)](const std::string& context) {
-                      return hostable.count(context) != 0;
-                    };
-    while (auto task =
-               queue.acquire(fabric.id(), fabric.active(), fabric.capabilities(), can_host)) {
-      const auto job_start = std::chrono::steady_clock::now();
-      StreamJob& stream = streams[static_cast<std::size_t>(task->stream_id)];
-      const int f = task->frame_index;
-      const video::Frame& frame = stream.frames[static_cast<std::size_t>(f)];
-      const std::string context = queue.required_context(*task);
-      const PrepareResult prep = fabric.prepare_detailed(context);
-      const std::uint64_t reconfig_cycles = prep.total();
-      const std::int64_t prepared_ns = trace_buf != nullptr ? rec->now_ns() : 0;
+  // The worker loop and post-drain stats gathering are written once
+  // against the batched queue API both frontends share; `drive` is
+  // instantiated for the single lock-guarded JobQueue (shards == 1, the
+  // historical bit-exact scheduling order) or the ShardedJobQueue.
+  std::vector<std::uint64_t> queue_skips;
+  const auto drive = [&](auto& queue) {
+    const auto worker = [&](int fabric_id) {
+      Fabric& fabric = pool.at(fabric_id);
+      const video::MotionSearchFn me_fn = me::systolic_search_fn(config_.me);
+      double& busy = busy_ms[static_cast<std::size_t>(fabric_id)];
+      // The worker's private append-only buffer — no lock, no sharing.
+      std::vector<telemetry::JobTrace>* trace_buf =
+          rec != nullptr ? &rec->worker(fabric_id) : nullptr;
+      // Dispatch filters by capability AND placement feasibility: this
+      // fabric is only handed jobs whose context places on its geometry.
+      // The library's context set is small and fixed, so resolve the
+      // fits() matrix once into a set here — the queue consults the filter
+      // on every ready-list scan under its mutex. A fabric that hosts the
+      // whole library gets a null filter (the homogeneous fast path).
+      std::set<std::string> hostable;
+      for (const std::string& context : library_.context_names())
+        if (fabric.hosts(context)) hostable.insert(context);
+      const bool hosts_all = hostable.size() == library_.context_names().size();
+      const JobQueue::HostFilter can_host =
+          hosts_all ? JobQueue::HostFilter(nullptr)
+                    : [hostable = std::move(hostable)](const std::string& context) {
+                        return hostable.count(context) != 0;
+                      };
+      std::vector<CompletedTask> done;
+      while (true) {
+        const std::vector<FrameTask> batch =
+            queue.acquire_batch(fabric.id(), fabric.active(), fabric.capabilities(),
+                                can_host, config_.queue.max_batch);
+        if (batch.empty()) break;
+        done.clear();
+        done.reserve(batch.size());
+        for (const FrameTask& task : batch) {
+          const auto job_start = std::chrono::steady_clock::now();
+          StreamJob& stream = streams[static_cast<std::size_t>(task.stream_id)];
+          const int f = task.frame_index;
+          const video::Frame& frame = stream.frames[static_cast<std::size_t>(f)];
+          const std::string context = queue.required_context(task);
+          const PrepareResult prep = fabric.prepare_detailed(context);
+          const std::uint64_t reconfig_cycles = prep.total();
+          const std::int64_t prepared_ns = trace_buf != nullptr ? rec->now_ns() : 0;
 
-      if (task->stage == StageKind::kWholeFrame) {
-        FrameRecord record;
-        record.frame_index = f;
-        record.fabric_id = fabric.id();
-        record.impl = context;
-        record.wait_dispatches = task->wait_dispatches;
-        record.reconfig_cycles = reconfig_cycles;
-        const video::ToyEncoder encoder(fabric.active_impl(), me_fn, stream.config.codec);
-        // Open-loop ME (search the previous original frame) keeps the
-        // monolithic job the bit-exact twin of the stage pipeline.
-        const video::Frame* search_ref =
-            f > 0 ? &stream.frames[static_cast<std::size_t>(f - 1)] : nullptr;
-        record.stats = encoder.encode_frame(frame, search_ref, stream.recon_state);
-        record.latency_ms = ms_since(task->ready_time);
-        stream.records.push_back(record);
-      } else {
-        FramePipelineState& state = stream.pipeline[static_cast<std::size_t>(f)];
-        state.reconfig_cycles += reconfig_cycles;
-        state.max_wait_dispatches =
-            std::max(state.max_wait_dispatches, task->wait_dispatches);
-        const video::ToyEncoder encoder(fabric.active_impl(), me_fn, stream.config.codec);
-        switch (task->stage) {
-          case StageKind::kMotionEstimation: {
-            state.me_fabric_id = fabric.id();
-            state.motion = encoder.run_motion_stage(
-                frame, &stream.frames[static_cast<std::size_t>(f - 1)]);
-            break;
-          }
-          case StageKind::kTransformQuant: {
-            state.tq_fabric_id = fabric.id();
-            const video::Frame* mc_ref = f > 0 ? &stream.recon_state : nullptr;
-            state.transform = encoder.run_transform_stage(frame, mc_ref, state.motion);
-            break;
-          }
-          case StageKind::kReconstructEntropy: {
+          if (task.stage == StageKind::kWholeFrame) {
             FrameRecord record;
             record.frame_index = f;
             record.fabric_id = fabric.id();
-            record.me_fabric_id = state.me_fabric_id;
-            record.tq_fabric_id = state.tq_fabric_id;
-            record.impl = context;  // DCT/quant + reconstruct share the frame's context
-            video::Frame recon;
-            record.stats =
-                encoder.run_reconstruct_stage(frame, state.motion, state.transform, recon);
-            stream.recon_state = std::move(recon);
-            record.reconfig_cycles = state.reconfig_cycles;
-            record.wait_dispatches = state.max_wait_dispatches;
-            record.latency_ms = ms_since(state.first_ready);
+            record.impl = context;
+            record.wait_dispatches = task.wait_dispatches;
+            record.reconfig_cycles = reconfig_cycles;
+            const video::ToyEncoder encoder(fabric.active_impl(), me_fn, stream.config.codec);
+            // Open-loop ME (search the previous original frame) keeps the
+            // monolithic job the bit-exact twin of the stage pipeline.
+            const video::Frame* search_ref =
+                f > 0 ? &stream.frames[static_cast<std::size_t>(f - 1)] : nullptr;
+            record.stats = encoder.encode_frame(frame, search_ref, stream.recon_state);
+            record.latency_ms = ms_since(task.ready_time);
             stream.records.push_back(record);
-            // Frame done: the carried prediction/levels are dead weight.
-            state.motion = video::MotionStageResult{};
-            state.transform = video::TransformStageResult{};
-            break;
+          } else {
+            FramePipelineState& state = stream.pipeline[static_cast<std::size_t>(f)];
+            state.reconfig_cycles += reconfig_cycles;
+            state.max_wait_dispatches =
+                std::max(state.max_wait_dispatches, task.wait_dispatches);
+            const video::ToyEncoder encoder(fabric.active_impl(), me_fn, stream.config.codec);
+            switch (task.stage) {
+              case StageKind::kMotionEstimation: {
+                state.me_fabric_id = fabric.id();
+                state.motion = encoder.run_motion_stage(
+                    frame, &stream.frames[static_cast<std::size_t>(f - 1)]);
+                break;
+              }
+              case StageKind::kTransformQuant: {
+                state.tq_fabric_id = fabric.id();
+                const video::Frame* mc_ref = f > 0 ? &stream.recon_state : nullptr;
+                state.transform = encoder.run_transform_stage(frame, mc_ref, state.motion);
+                break;
+              }
+              case StageKind::kReconstructEntropy: {
+                FrameRecord record;
+                record.frame_index = f;
+                record.fabric_id = fabric.id();
+                record.me_fabric_id = state.me_fabric_id;
+                record.tq_fabric_id = state.tq_fabric_id;
+                record.impl = context;  // DCT/quant + reconstruct share the frame's context
+                video::Frame recon;
+                record.stats =
+                    encoder.run_reconstruct_stage(frame, state.motion, state.transform, recon);
+                stream.recon_state = std::move(recon);
+                record.reconfig_cycles = state.reconfig_cycles;
+                record.wait_dispatches = state.max_wait_dispatches;
+                record.latency_ms = ms_since(state.first_ready);
+                stream.records.push_back(record);
+                // Frame done: the carried prediction/levels are dead weight.
+                state.motion = video::MotionStageResult{};
+                state.transform = video::TransformStageResult{};
+                break;
+              }
+              default:
+                break;
+            }
           }
-          default:
-            break;
+          const auto job_end = std::chrono::steady_clock::now();
+          busy += std::chrono::duration<double, std::milli>(job_end - job_start).count();
+          if (trace_buf != nullptr) {
+            telemetry::JobTrace t;
+            t.stream_id = task.stream_id;
+            t.frame_index = f;
+            t.stage = task.stage;
+            t.fabric_id = fabric.id();
+            t.context = context;
+            t.ready_ns = rec->to_ns(task.ready_time);
+            t.dispatch_ns = rec->to_ns(job_start);
+            t.prepared_ns = prepared_ns;
+            t.done_ns = rec->to_ns(job_end);
+            t.fetch_cycles = prep.fetch_cycles;
+            t.switch_cycles = prep.switch_cycles;
+            t.cache_hit = prep.cache_hit;
+            t.switched = prep.switched;
+            t.partial_switch = prep.partial;
+            trace_buf->push_back(std::move(t));
+          }
+          done.push_back(CompletedTask{task, reconfig_cycles});
         }
+        // One completion call per batch: one timestamp, one lane pass and
+        // grouped successor enqueues (a single lock round on each queue).
+        queue.complete_batch(done, fabric.id());
       }
-      const auto job_end = std::chrono::steady_clock::now();
-      busy += std::chrono::duration<double, std::milli>(job_end - job_start).count();
-      if (trace_buf != nullptr) {
-        telemetry::JobTrace t;
-        t.stream_id = task->stream_id;
-        t.frame_index = f;
-        t.stage = task->stage;
-        t.fabric_id = fabric.id();
-        t.context = context;
-        t.ready_ns = rec->to_ns(task->ready_time);
-        t.dispatch_ns = rec->to_ns(job_start);
-        t.prepared_ns = prepared_ns;
-        t.done_ns = rec->to_ns(job_end);
-        t.fetch_cycles = prep.fetch_cycles;
-        t.switch_cycles = prep.switch_cycles;
-        t.cache_hit = prep.cache_hit;
-        t.switched = prep.switched;
-        t.partial_switch = prep.partial;
-        trace_buf->push_back(std::move(t));
-      }
-      queue.complete(*task, fabric.id(), reconfig_cycles);
+    };
+
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(pool.size()));
+    for (int f = 0; f < pool.size(); ++f) threads.emplace_back(worker, f);
+    for (std::thread& t : threads) t.join();
+
+    report.timeline = queue.timeline();
+    report.dispatches = queue.dispatches();
+    report.max_wait_dispatches = queue.max_wait_dispatches();
+    queue_skips = queue.placement_skips();
+    if constexpr (std::is_same_v<std::decay_t<decltype(queue)>, ShardedJobQueue>) {
+      report.queue_shards = queue.shard_count();
+      report.queue_steals = queue.steals();
+      report.dispatch_batches = queue.dispatch_batches();
+    } else {
+      // The single queue decides one dispatch per lock round by design.
+      report.queue_shards = 1;
+      report.dispatch_batches = report.dispatches;
     }
   };
 
-  std::vector<std::thread> threads;
-  threads.reserve(static_cast<std::size_t>(pool.size()));
-  for (int f = 0; f < pool.size(); ++f) threads.emplace_back(worker, f);
-  for (std::thread& t : threads) t.join();
+  if (config_.queue.shards > 1) {
+    ShardedJobQueue queue(streams, config_.queue);
+    drive(queue);
+  } else {
+    JobQueue queue(streams, config_.queue);
+    drive(queue);
+  }
 
   report.policy = to_string(config_.queue.policy);
   report.mode = to_string(config_.queue.mode);
   report.fabrics = pool.size();
   report.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
-  report.timeline = queue.timeline();
   const SimSchedule sim =
       simulate_timeline(streams, report.timeline, config_.queue.pipeline_lookahead);
   report.sim_makespan_cycles = sim.makespan_cycles;
@@ -333,13 +373,11 @@ RunReport MultiStreamScheduler::run(std::vector<StreamJob>& streams) {
   report.delta_bytes = pool.delta_bytes_loaded();
   report.cache = pool.cache_totals();
   report.total_fetch_cycles = report.cache.fetch_cycles;
-  report.dispatches = queue.dispatches();
-  report.max_wait_dispatches = queue.max_wait_dispatches();
   report.fabric_busy_ms = std::move(busy_ms);
 
   // Per-geometry breakdown: one entry per distinct fabric geometry, in
   // first-seen fabric order, folding in the queue's placement skips.
-  const std::vector<std::uint64_t> skips = queue.placement_skips();
+  const std::vector<std::uint64_t>& skips = queue_skips;
   report.total_tiles = pool.total_tiles();
   for (int f = 0; f < pool.size(); ++f) {
     const Fabric& fabric = pool.at(f);
@@ -375,6 +413,9 @@ RunReport MultiStreamScheduler::run(std::vector<StreamJob>& streams) {
   if (config_.metrics != nullptr) {
     telemetry::MetricsRegistry& m = *config_.metrics;
     m.count("dispatches", report.dispatches);
+    m.count("dispatch_batches", report.dispatch_batches);
+    m.count("queue_steals", report.queue_steals);
+    m.gauge("queue_shards", static_cast<double>(report.queue_shards));
     m.count("frames", report.total_frames);
     m.count("bitstream_switches", static_cast<std::uint64_t>(report.total_switches));
     m.count("partial_reloads", report.partial_reloads);

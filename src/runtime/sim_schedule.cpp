@@ -1,28 +1,11 @@
 #include "runtime/sim_schedule.hpp"
 
 #include <algorithm>
-#include <map>
 #include <stdexcept>
-#include <tuple>
 
 namespace dsra::runtime {
 
 namespace {
-
-using JobKey = std::tuple<int, int, StageKind>;
-
-/// Per-frame stats looked up by (stream index, frame) — records need not
-/// start at frame 0 (a resumed stream only carries records of the frames
-/// this run encoded). Timeline events address streams by vector index,
-/// exactly like the queue does.
-std::map<std::pair<int, int>, const video::FrameStats*> index_records(
-    const std::vector<StreamJob>& streams) {
-  std::map<std::pair<int, int>, const video::FrameStats*> out;
-  for (std::size_t k = 0; k < streams.size(); ++k)
-    for (const FrameRecord& r : streams[k].records)
-      out[{static_cast<int>(k), r.frame_index}] = &r.stats;
-  return out;
-}
 
 std::uint64_t duration_of(const video::FrameStats& stats, StageKind stage) {
   switch (stage) {
@@ -37,6 +20,55 @@ std::uint64_t duration_of(const video::FrameStats& stats, StageKind stage) {
   return 0;
 }
 
+constexpr std::size_t kStageSlots = 4;  ///< StageKind has four values
+
+/// Flat per-(stream, frame) addressing for the replay's lookups. Frames
+/// need not start at 0 (a resumed stream only carries records of the
+/// frames this run encoded), so each stream's span covers the larger of
+/// its frame vector, its records and anything the timeline references;
+/// slot (k, f) lives at offsets[k] + f. Replaces the std::map lookups
+/// that dominated the replay at fleet scale with O(1) indexing — same
+/// arithmetic, so makespans stay bit-exact.
+struct FlatIndex {
+  std::vector<std::size_t> offsets;  ///< per stream, into the flat arrays
+  std::vector<int> frame_count;      ///< per stream
+  std::size_t total = 0;
+
+  [[nodiscard]] bool in_range(int stream, int frame) const {
+    return stream >= 0 && stream < static_cast<int>(frame_count.size()) && frame >= 0 &&
+           frame < frame_count[static_cast<std::size_t>(stream)];
+  }
+  [[nodiscard]] std::size_t at(int stream, int frame) const {
+    return offsets[static_cast<std::size_t>(stream)] + static_cast<std::size_t>(frame);
+  }
+  [[nodiscard]] std::size_t stage_at(int stream, int frame, StageKind stage) const {
+    return at(stream, frame) * kStageSlots + static_cast<std::size_t>(stage);
+  }
+};
+
+FlatIndex build_index(const std::vector<StreamJob>& streams,
+                      const std::vector<StageEvent>& timeline) {
+  FlatIndex index;
+  index.frame_count.assign(streams.size(), 0);
+  for (std::size_t k = 0; k < streams.size(); ++k) {
+    int count = static_cast<int>(streams[k].frames.size());
+    for (const FrameRecord& r : streams[k].records)
+      count = std::max(count, r.frame_index + 1);
+    index.frame_count[k] = count;
+  }
+  for (const StageEvent& e : timeline)
+    if (e.stream_id >= 0 && e.stream_id < static_cast<int>(streams.size()))
+      index.frame_count[static_cast<std::size_t>(e.stream_id)] =
+          std::max(index.frame_count[static_cast<std::size_t>(e.stream_id)],
+                   e.frame_index + 1);
+  index.offsets.assign(streams.size(), 0);
+  for (std::size_t k = 0; k < streams.size(); ++k) {
+    index.offsets[k] = index.total;
+    index.total += static_cast<std::size_t>(std::max(index.frame_count[k], 0));
+  }
+  return index;
+}
+
 }  // namespace
 
 SimSchedule simulate_timeline(const std::vector<StreamJob>& streams,
@@ -44,18 +76,26 @@ SimSchedule simulate_timeline(const std::vector<StreamJob>& streams,
                               int pipeline_lookahead) {
   if (pipeline_lookahead < 0) pipeline_lookahead = 0;
   SimSchedule schedule;
-  const auto stats_index = index_records(streams);
+  const FlatIndex index = build_index(streams, timeline);
+
+  std::vector<const video::FrameStats*> stats_of(index.total, nullptr);
+  for (std::size_t k = 0; k < streams.size(); ++k)
+    for (const FrameRecord& r : streams[k].records)
+      if (index.in_range(static_cast<int>(k), r.frame_index))
+        stats_of[index.at(static_cast<int>(k), r.frame_index)] = &r.stats;
+
   // Reconfiguration charges ride on the completion events; index them so
   // each dispatched job's modeled duration includes what its fabric paid
   // to fetch and switch the context.
-  std::map<JobKey, std::uint64_t> reconfig_of;
+  std::vector<std::uint64_t> reconfig_of(index.total * kStageSlots, 0);
   for (const StageEvent& e : timeline)
-    if (!e.start) reconfig_of[{e.stream_id, e.frame_index, e.stage}] = e.reconfig_cycles;
-  std::map<JobKey, std::uint64_t> end_of;
+    if (!e.start && index.in_range(e.stream_id, e.frame_index))
+      reconfig_of[index.stage_at(e.stream_id, e.frame_index, e.stage)] = e.reconfig_cycles;
+
+  std::vector<std::uint64_t> end_of(index.total * kStageSlots, 0);
   const auto dep_end = [&](int stream, int frame, StageKind stage) -> std::uint64_t {
-    if (frame < 0) return 0;
-    const auto it = end_of.find({stream, frame, stage});
-    return it == end_of.end() ? 0 : it->second;
+    if (frame < 0 || !index.in_range(stream, frame)) return 0;
+    return end_of[index.stage_at(stream, frame, stage)];
   };
 
   // One forward sweep over the dispatch events in tick order is exact: a
@@ -63,6 +103,7 @@ SimSchedule simulate_timeline(const std::vector<StreamJob>& streams,
   // dispatch events — and therefore their simulated end times — precede
   // this job's dispatch event.
   std::vector<std::uint64_t> fabric_clock;
+  schedule.jobs.reserve(timeline.size() / 2);
   for (const StageEvent& e : timeline) {
     if (!e.start) continue;
     if (e.fabric_id >= static_cast<int>(fabric_clock.size())) {
@@ -91,13 +132,15 @@ SimSchedule simulate_timeline(const std::vector<StreamJob>& streams,
         break;
     }
 
-    const auto stats_it = stats_index.find({e.stream_id, e.frame_index});
-    if (stats_it == stats_index.end())
+    const video::FrameStats* stats =
+        index.in_range(e.stream_id, e.frame_index)
+            ? stats_of[index.at(e.stream_id, e.frame_index)]
+            : nullptr;
+    if (stats == nullptr)
       throw std::invalid_argument("timeline references a frame with no record");
-    const auto reconfig_it = reconfig_of.find({e.stream_id, e.frame_index, e.stage});
     const std::uint64_t reconfig =
-        reconfig_it == reconfig_of.end() ? 0 : reconfig_it->second;
-    const std::uint64_t duration = duration_of(*stats_it->second, e.stage) + reconfig;
+        reconfig_of[index.stage_at(e.stream_id, e.frame_index, e.stage)];
+    const std::uint64_t duration = duration_of(*stats, e.stage) + reconfig;
     auto& clock = fabric_clock[static_cast<std::size_t>(e.fabric_id)];
 
     SimStageJob job;
@@ -110,7 +153,7 @@ SimSchedule simulate_timeline(const std::vector<StreamJob>& streams,
     job.start_cycles = std::max(ready, clock);
     job.end_cycles = job.start_cycles + duration;
     clock = job.end_cycles;
-    end_of[{e.stream_id, e.frame_index, e.stage}] = job.end_cycles;
+    end_of[index.stage_at(e.stream_id, e.frame_index, e.stage)] = job.end_cycles;
     schedule.fabric_busy_cycles[static_cast<std::size_t>(e.fabric_id)] += duration;
     schedule.makespan_cycles = std::max(schedule.makespan_cycles, job.end_cycles);
     schedule.jobs.push_back(job);

@@ -110,6 +110,17 @@ struct RunReport {
   ContextCacheStats cache;
   std::uint64_t dispatches = 0;
   std::uint64_t max_wait_dispatches = 0;
+  /// Ready-set shards the run's queue used (1 = the single lock-guarded
+  /// JobQueue; > 1 = ShardedJobQueue with context*ways sub-shards).
+  int queue_shards = 1;
+  /// Batches a fabric served from a non-home shard — sibling-shard pulls
+  /// of its active context plus cross-context switch-steals. 0 for
+  /// single-queue runs.
+  std::uint64_t queue_steals = 0;
+  /// Shard-lock acquisitions that yielded at least one job; with the
+  /// single queue every dispatch is its own batch, so this equals
+  /// dispatches there and dispatches/batches measures the amortization.
+  std::uint64_t dispatch_batches = 0;
   std::uint64_t condition_switches = 0;  ///< mid-flight context changes, all streams
   std::uint64_t stale_frames = 0;        ///< frames run under a wrong-for-condition impl
   std::vector<double> fabric_busy_ms;     ///< per-fabric worker busy time

@@ -1,0 +1,149 @@
+// Calendar-queue event core: total-order equivalence with a reference
+// sort, FIFO stability at equal keys, resize behaviour across grow and
+// shrink, and the floor rewind on an earlier-than-cursor push.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <tuple>
+#include <vector>
+
+#include "runtime/event_core.hpp"
+
+namespace dsra::runtime {
+namespace {
+
+// Deterministic 64-bit LCG (Knuth MMIX constants); the tests must not
+// depend on a global RNG seed.
+struct Lcg {
+  std::uint64_t state;
+  std::uint64_t next() {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return state >> 16;
+  }
+};
+
+using Key = std::tuple<std::uint64_t, std::uint64_t, std::uint64_t, std::uint64_t>;
+
+Key key_of(const SimEvent& e) { return {e.time, e.tie, e.payload, e.seq}; }
+
+/// Drain @p q and require the exact (time, tie, payload, seq) order of a
+/// reference sort over @p pushed.
+void expect_drains_sorted(CalendarQueue& q, std::vector<Key> pushed) {
+  std::sort(pushed.begin(), pushed.end());
+  for (const Key& want : pushed) {
+    ASSERT_FALSE(q.empty());
+    EXPECT_EQ(key_of(q.pop()), want);
+  }
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventCore, MatchesReferenceSortOnRandomEvents) {
+  CalendarQueue q;
+  Lcg rng{42};
+  std::vector<Key> pushed;
+  for (std::uint64_t seq = 0; seq < 5000; ++seq) {
+    // Clustered times (many collisions) plus a sparse tail stress both
+    // the dense-bucket and the empty-lap scan paths.
+    const std::uint64_t time =
+        seq % 7 == 0 ? rng.next() % 1000000 : rng.next() % 64;
+    const std::uint64_t tie = rng.next() % 8;
+    const std::uint64_t payload = rng.next() % 128;
+    q.push(time, tie, payload);
+    pushed.emplace_back(time, tie, payload, seq);
+  }
+  EXPECT_EQ(q.size(), pushed.size());
+  expect_drains_sorted(q, std::move(pushed));
+}
+
+TEST(EventCore, EqualKeysPopInInsertionOrder) {
+  CalendarQueue q;
+  for (int k = 0; k < 100; ++k) q.push(7, 7, 7);
+  std::uint64_t expect_seq = 0;
+  while (!q.empty()) {
+    const SimEvent e = q.pop();
+    EXPECT_EQ(e.seq, expect_seq++);
+  }
+  EXPECT_EQ(expect_seq, 100u);
+}
+
+TEST(EventCore, TieAndPayloadBreakEqualTimes) {
+  CalendarQueue q;
+  // Same time throughout: order must be (tie, payload, seq).
+  q.push(10, 5, 0);  // seq 0
+  q.push(10, 1, 9);  // seq 1
+  q.push(10, 1, 2);  // seq 2
+  q.push(10, 0, 4);  // seq 3
+  EXPECT_EQ(q.pop().seq, 3u);  // tie 0
+  EXPECT_EQ(q.pop().seq, 2u);  // tie 1, payload 2
+  EXPECT_EQ(q.pop().seq, 1u);  // tie 1, payload 9
+  EXPECT_EQ(q.pop().seq, 0u);  // tie 5
+}
+
+TEST(EventCore, SurvivesGrowAndShrinkResizes) {
+  CalendarQueue q;
+  Lcg rng{7};
+  std::vector<Key> pushed;
+  // Grow to 20k (several doubling rebuilds), drain to near-empty (shrink
+  // rebuilds), then verify ordering still holds for a fresh population.
+  for (std::uint64_t seq = 0; seq < 20000; ++seq) {
+    const std::uint64_t time = rng.next() % 100000;
+    q.push(time, 0, seq);
+    pushed.emplace_back(time, 0ULL, seq, seq);
+  }
+  std::sort(pushed.begin(), pushed.end());
+  for (std::size_t k = 0; k + 3 < pushed.size(); ++k)
+    EXPECT_EQ(key_of(q.pop()), pushed[k]);
+  EXPECT_EQ(q.size(), 3u);
+  while (!q.empty()) q.pop();
+
+  std::vector<Key> second;
+  for (std::uint64_t k = 0; k < 100; ++k) {
+    const std::uint64_t time = rng.next() % 50;
+    q.push(time, 0, k);
+    second.emplace_back(time, 0ULL, k, 20000 + k);
+  }
+  expect_drains_sorted(q, std::move(second));
+}
+
+TEST(EventCore, PushEarlierThanFloorRewinds) {
+  CalendarQueue q;
+  q.push(1000, 0, 0);
+  q.push(2000, 0, 1);
+  EXPECT_EQ(q.pop().time, 1000u);  // floor advances to ~1000
+  q.push(5, 0, 2);                 // earlier than the floor: must rewind
+  EXPECT_EQ(q.pop().time, 5u);
+  EXPECT_EQ(q.pop().time, 2000u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventCore, InterleavedHoldModel) {
+  // The classic event-set workload: pop the earliest, push a successor a
+  // random hold time later. Track a reference multiset via sorted vector.
+  CalendarQueue q;
+  Lcg rng{1234};
+  std::vector<Key> live;
+  std::uint64_t seq = 0;
+  for (int k = 0; k < 64; ++k) {
+    const std::uint64_t t = rng.next() % 100;
+    q.push(t, 0, 0);
+    live.emplace_back(t, 0ULL, 0ULL, seq++);
+  }
+  std::sort(live.begin(), live.end());
+  for (int step = 0; step < 5000; ++step) {
+    ASSERT_FALSE(q.empty());
+    const SimEvent e = q.pop();
+    ASSERT_EQ(key_of(e), live.front());
+    live.erase(live.begin());
+    const std::uint64_t t = e.time + 1 + rng.next() % 97;
+    q.push(t, 0, 0);
+    live.insert(std::lower_bound(live.begin(), live.end(), Key{t, 0, 0, seq}),
+                Key{t, 0, 0, seq});
+    ++seq;
+  }
+  expect_drains_sorted(q, std::move(live));
+}
+
+}  // namespace
+}  // namespace dsra::runtime
