@@ -44,6 +44,17 @@ inline void write_metrics_artifact(const std::string& bench,
   std::printf("%s\n", line.c_str());
 }
 
+/// Write an already-serialized artifact (e.g. a health dump) next to the
+/// bench JSON and print the artifacts line CI greps for.
+inline bool write_text_artifact(const std::string& path, const std::string& body) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const bool ok = std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  std::fclose(f);
+  if (ok) std::printf("artifacts: %s\n", path.c_str());
+  return ok;
+}
+
 /// Encoded outputs of two runs over the same workload must match bit for
 /// bit: scheduling, pool shape and reconfiguration strategy may only
 /// change where and when a job runs — never what the fabric computes.

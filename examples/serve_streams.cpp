@@ -40,11 +40,23 @@
 // modeled fabric and per stream, plus host worker tracks), and the
 // per-stream stall attribution table is printed. --metrics <file> writes
 // the run's counters, latency histograms and per-epoch utilization /
-// queue-depth timelines as metrics JSON.
+// queue-depth timelines as metrics JSON (--metrics-epochs N resolves
+// long runs past the default 32-epoch timeline cap).
+//
+// With --health the run carries the live health monitor: an always-on
+// flight recorder of scheduling events, epoch health snapshots (queue
+// depth/age, per-fabric utilization, SLA burn rates) and the four
+// anomaly watchdogs (stall, queue growth, starvation, SLA burn).
+// --health-dump <file> writes the health post-mortem JSON at run end
+// (and immediately on any watchdog trip). A tripped watchdog makes the
+// exit code nonzero, as does an admitted-stream SLA violation under
+// --sla — so scripts and CI can gate on both.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
+#include "runtime/health/monitor.hpp"
 #include "runtime/scheduler.hpp"
 #include "runtime/telemetry/export.hpp"
 #include "runtime/telemetry/metrics.hpp"
@@ -60,8 +72,11 @@ int main(int argc, char** argv) {
   bool hetero = false;
   bool sla = false;
   bool overload = false;
+  bool health = false;
   std::string trace_path;
   std::string metrics_path;
+  std::string health_dump_path;
+  int metrics_epochs = 32;
   for (int a = 1; a < argc; ++a) {
     if (std::strcmp(argv[a], "--dynamic") == 0 || std::strcmp(argv[a], "-d") == 0)
       dynamic = true;
@@ -73,14 +88,22 @@ int main(int argc, char** argv) {
       sla = true;
     else if (std::strcmp(argv[a], "--overload") == 0 || std::strcmp(argv[a], "-o") == 0)
       overload = true;
-    else if (std::strcmp(argv[a], "--trace") == 0 && a + 1 < argc)
+    else if (std::strcmp(argv[a], "--health") == 0)
+      health = true;
+    else if (std::strcmp(argv[a], "--health-dump") == 0 && a + 1 < argc) {
+      health = true;
+      health_dump_path = argv[++a];
+    } else if (std::strcmp(argv[a], "--trace") == 0 && a + 1 < argc)
       trace_path = argv[++a];
     else if (std::strcmp(argv[a], "--metrics") == 0 && a + 1 < argc)
       metrics_path = argv[++a];
+    else if (std::strcmp(argv[a], "--metrics-epochs") == 0 && a + 1 < argc)
+      metrics_epochs = std::atoi(argv[++a]);
     else
       std::fprintf(stderr,
                    "unknown flag '%s' (known: --dynamic, --partial, --hetero, "
-                   "--sla, --overload, --trace <file>, --metrics <file>)\n",
+                   "--sla, --overload, --health, --health-dump <file>, "
+                   "--trace <file>, --metrics <file>, --metrics-epochs <n>)\n",
                    argv[a]);
   }
 
@@ -187,6 +210,27 @@ int main(int argc, char** argv) {
   telemetry::MetricsRegistry metrics;
   if (!trace_path.empty()) cfg.trace = &recorder;
   if (!metrics_path.empty() || !trace_path.empty()) cfg.metrics = &metrics;
+  if (metrics_epochs > 0) {
+    cfg.timeline_epochs = metrics_epochs;
+    metrics.set_timeline_epoch_cap(static_cast<std::size_t>(metrics_epochs));
+  }
+
+  // Live health: epoch sampler at 1ms host epochs, watchdog trips dump
+  // the post-mortem (flight recorder + snapshots) and flip the exit code.
+  health::HealthMonitorConfig health_cfg;
+  health_cfg.epoch_host_ms = 1.0;
+  health_cfg.dump_path = health_dump_path;
+  health::HealthMonitor monitor(health_cfg);
+  if (health) {
+    cfg.health = &monitor;
+    monitor.set_on_trip([](const health::WatchdogTrip& trip,
+                           const health::HealthSnapshot& snap) {
+      std::fprintf(stderr, "[health] %s watchdog tripped at epoch %llu: %s\n",
+                   health::to_string(trip.kind),
+                   static_cast<unsigned long long>(snap.epoch),
+                   trip.detail.c_str());
+    });
+  }
 
   std::printf("\nserving %zu streams%s, stage-pipelined over %zu fabrics "
               "(1 systolic ME + %s)%s...\n\n",
@@ -260,5 +304,30 @@ int main(int argc, char** argv) {
   if (!metrics_path.empty() &&
       telemetry::write_metrics_json(metrics_path, metrics, report.wall_seconds))
     std::printf("metrics written to %s\n", metrics_path.c_str());
-  return 0;
+
+  int exit_code = 0;
+  if (health) {
+    std::printf("health: %llu epochs sampled, %llu flight events (%llu dropped), "
+                "%llu watchdog trips\n",
+                static_cast<unsigned long long>(monitor.epochs()),
+                static_cast<unsigned long long>(monitor.flight().recorded()),
+                static_cast<unsigned long long>(monitor.flight().dropped()),
+                static_cast<unsigned long long>(monitor.anomalies_total()));
+    if (!health_dump_path.empty() &&
+        monitor.dump(health_dump_path, report.wall_seconds))
+      std::printf("health dump written to %s\n", health_dump_path.c_str());
+    if (monitor.anomalies_total() > 0) {
+      std::fprintf(stderr, "FAIL: %llu health watchdog(s) tripped\n",
+                   static_cast<unsigned long long>(monitor.anomalies_total()));
+      exit_code = 1;
+    }
+  }
+  // Under --sla a violated admitted stream is a broken promise, not a
+  // statistic: gate on it.
+  if (sla && report.sla_violations > 0) {
+    std::fprintf(stderr, "FAIL: %llu admitted stream(s) violated their SLA\n",
+                 static_cast<unsigned long long>(report.sla_violations));
+    exit_code = 1;
+  }
+  return exit_code;
 }

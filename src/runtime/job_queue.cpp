@@ -315,6 +315,7 @@ void JobQueue::complete_locked(const FrameTask& task, int fabric_id,
                                std::chrono::steady_clock::time_point now) {
   events_.push_back({++event_tick_, false, task.stream_id, task.frame_index, fabric_id,
                      task.stage, reconfig_cycles});
+  ++completions_;
   StreamJob& stream = streams_[static_cast<std::size_t>(task.stream_id)];
   Lane& lane = lanes_[static_cast<std::size_t>(task.stream_id)];
 
@@ -378,6 +379,26 @@ std::uint64_t JobQueue::placement_rejections() const {
 std::uint64_t JobQueue::max_wait_dispatches() const {
   std::lock_guard lock(mutex_);
   return max_wait_;
+}
+
+health::QueueHealthSample JobQueue::health_sample() const {
+  std::lock_guard lock(mutex_);
+  health::QueueHealthSample sample;
+  sample.depth = ready_.size();
+  sample.dispatches = dispatch_seq_;
+  sample.completions = completions_;
+  // One logical shard: the whole ready set. Oldest age in dispatches,
+  // the same unit the ageing valve thresholds on.
+  health::ShardHealth shard;
+  for (const Ready& entry : ready_) {
+    const std::uint64_t age =
+        entry.ready_seq <= dispatch_seq_ ? dispatch_seq_ - entry.ready_seq : 0;
+    shard.oldest_age = std::max(shard.oldest_age, age);
+  }
+  shard.depth = sample.depth;
+  sample.oldest_age = shard.oldest_age;
+  sample.shards.push_back(shard);
+  return sample;
 }
 
 std::vector<StageEvent> JobQueue::timeline() const {

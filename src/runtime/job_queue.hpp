@@ -54,9 +54,14 @@
 #include <string>
 #include <vector>
 
+#include "runtime/health/snapshot.hpp"
 #include "runtime/job.hpp"
 
 namespace dsra::runtime {
+
+namespace health {
+class FlightRecorder;
+}
 
 enum class SchedulingPolicy { kRoundRobin, kAffinityBatched };
 enum class DispatchMode { kMonolithicFrames, kStagePipeline };
@@ -89,6 +94,11 @@ struct JobQueueConfig {
   /// >= 1; large values amortize locking at scale, a batch never takes
   /// more than half a shard so siblings keep stealing material.
   int max_batch = 8;
+  /// Optional flight recorder the queue appends steal events to (sharded
+  /// queue only; the single queue has no steal path). Null = off. The
+  /// recorder must outlive the queue; workers record on their own
+  /// fabric's ring, so the writes stay single-writer.
+  health::FlightRecorder* flight = nullptr;
 };
 
 /// A finished task plus what its fabric paid to prepare the context —
@@ -157,6 +167,12 @@ class JobQueue {
   [[nodiscard]] std::uint64_t dispatches() const;
   [[nodiscard]] std::uint64_t max_wait_dispatches() const;
 
+  /// Live queue state for the health sampler: depth, age of the oldest
+  /// ready job (in dispatches) and cumulative dispatch/completion
+  /// counts. Takes the queue mutex briefly — called once per health
+  /// epoch, never from a dispatch path.
+  [[nodiscard]] health::QueueHealthSample health_sample() const;
+
   /// Dispatch/completion event log (call after the run has drained).
   [[nodiscard]] std::vector<StageEvent> timeline() const;
 
@@ -223,6 +239,7 @@ class JobQueue {
   std::map<std::string, std::uint64_t> jobs_left_by_context_;
   std::vector<std::uint64_t> placement_skips_;  ///< indexed by fabric id
   std::uint64_t dispatch_seq_ = 0;
+  std::uint64_t completions_ = 0;
   std::uint64_t max_wait_ = 0;
   std::uint64_t event_tick_ = 0;
   std::vector<StageEvent> events_;

@@ -7,6 +7,7 @@
 #include <thread>
 #include <type_traits>
 
+#include "runtime/health/monitor.hpp"
 #include "runtime/sharded_queue.hpp"
 #include "runtime/sim_schedule.hpp"
 #include "runtime/telemetry/metrics.hpp"
@@ -137,6 +138,46 @@ RunReport MultiStreamScheduler::run(std::vector<StreamJob>& streams) {
 
   std::vector<double> busy_ms(static_cast<std::size_t>(pool.size()), 0.0);
 
+  // Live health: hand the monitor the analytic per-stream budgets the
+  // burn-rate detector projects against. The admission cost model's
+  // frame_cycles is content-independent, so the budgets are exact before
+  // any frame is encoded — the only live proxy for the modeled clock,
+  // which otherwise exists only in the post-run sim replay. Shed streams
+  // get an empty budget (they dispatch nothing) and a kShed flight
+  // record; degraded ones a kRungTransition record.
+  health::HealthMonitor* const hm = config_.health;
+  if (hm != nullptr) {
+    const AdmissionController cost_model(library_, pool, config_.me);
+    std::vector<health::StreamBudget> budgets;
+    budgets.reserve(streams.size());
+    for (std::size_t k = 0; k < streams.size(); ++k) {
+      const StreamJob& s = streams[k];
+      health::StreamBudget b;
+      b.stream_id = static_cast<int>(k);
+      b.shed = s.admission_rung == DegradationRung::kReject;
+      b.deadline_cycles = static_cast<double>(s.config.sla.deadline_cycles);
+      b.frames_done_at_start = b.shed ? 0 : s.next_frame;
+      if (!b.shed) {
+        b.frame_cycles.reserve(s.frames.size());
+        for (int f = 0; f < static_cast<int>(s.frames.size()); ++f)
+          b.frame_cycles.push_back(static_cast<double>(cost_model.frame_cycles(s, f)));
+      }
+      budgets.push_back(std::move(b));
+    }
+    hm->begin_run(pool.size(), std::move(budgets));
+    const int ctl = hm->flight().control_ring();
+    for (std::size_t k = 0; k < streams.size(); ++k) {
+      const DegradationRung rung = streams[k].admission_rung;
+      if (rung == DegradationRung::kNone) continue;
+      hm->flight().record(ctl,
+                          rung == DegradationRung::kReject
+                              ? health::EventKind::kShed
+                              : health::EventKind::kRungTransition,
+                          static_cast<int>(k), -1,
+                          static_cast<std::uint64_t>(rung));
+    }
+  }
+
   // Telemetry resolution: the caller's recorder, or — when only metrics
   // were requested — an internal one (histograms and timelines are
   // derived from spans). Null `rec` is the zero-cost-off state: each
@@ -155,6 +196,11 @@ RunReport MultiStreamScheduler::run(std::vector<StreamJob>& streams) {
   // historical bit-exact scheduling order) or the ShardedJobQueue.
   std::vector<std::uint64_t> queue_skips;
   const auto drive = [&](auto& queue) {
+    // The monitor's epoch sampler pulls live depth/age/steal state
+    // through this callback for as long as the queue exists; finish_run
+    // (below, before the queue leaves scope) detaches it.
+    if (hm != nullptr)
+      hm->attach_queue([&queue] { return queue.health_sample(); });
     const auto worker = [&](int fabric_id) {
       Fabric& fabric = pool.at(fabric_id);
       const video::MotionSearchFn me_fn = me::systolic_search_fn(config_.me);
@@ -194,6 +240,15 @@ RunReport MultiStreamScheduler::run(std::vector<StreamJob>& streams) {
           const PrepareResult prep = fabric.prepare_detailed(context);
           const std::uint64_t reconfig_cycles = prep.total();
           const std::int64_t prepared_ns = trace_buf != nullptr ? rec->now_ns() : 0;
+          if (hm != nullptr) {
+            hm->flight().record(fabric.id(), health::EventKind::kDispatch,
+                                task.stream_id, f,
+                                static_cast<std::uint64_t>(task.stage));
+            if (prep.switched)
+              hm->flight().record(fabric.id(), health::EventKind::kReconfig,
+                                  task.stream_id, f, reconfig_cycles);
+            hm->on_prepare(fabric.id(), prep.cache_hit, prep.switched);
+          }
 
           if (task.stage == StageKind::kWholeFrame) {
             FrameRecord record;
@@ -255,6 +310,15 @@ RunReport MultiStreamScheduler::run(std::vector<StreamJob>& streams) {
           }
           const auto job_end = std::chrono::steady_clock::now();
           busy += std::chrono::duration<double, std::milli>(job_end - job_start).count();
+          if (hm != nullptr) {
+            hm->on_job_done(fabric.id(),
+                            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                job_end - job_start)
+                                .count());
+            if (task.stage == StageKind::kWholeFrame ||
+                task.stage == StageKind::kReconstructEntropy)
+              hm->on_frame_done(task.stream_id);
+          }
           if (trace_buf != nullptr) {
             telemetry::JobTrace t;
             t.stream_id = task.stream_id;
@@ -299,15 +363,20 @@ RunReport MultiStreamScheduler::run(std::vector<StreamJob>& streams) {
       report.queue_shards = 1;
       report.dispatch_batches = report.dispatches;
     }
+    // Final tick + sampler stop while the queue is still alive.
+    if (hm != nullptr) hm->finish_run();
   };
 
-  if (config_.queue.shards > 1) {
-    ShardedJobQueue queue(streams, config_.queue);
+  JobQueueConfig qcfg = config_.queue;
+  if (hm != nullptr) qcfg.flight = &hm->flight();
+  if (qcfg.shards > 1) {
+    ShardedJobQueue queue(streams, qcfg);
     drive(queue);
   } else {
-    JobQueue queue(streams, config_.queue);
+    JobQueue queue(streams, qcfg);
     drive(queue);
   }
+  if (hm != nullptr) report.health_anomalies = hm->anomalies_total();
 
   report.policy = to_string(config_.queue.policy);
   report.mode = to_string(config_.queue.mode);
@@ -439,6 +508,7 @@ RunReport MultiStreamScheduler::run(std::vector<StreamJob>& streams) {
     }
     m.count("sla_violations", report.sla_violations);
     m.count("goodput_frames", report.goodput_frames);
+    if (hm != nullptr) m.count("health_anomalies_total", hm->anomalies_total());
     for (const StreamJob& s : streams)
       for (const FrameRecord& r : s.records)
         m.histogram("frame_latency_cycles").record(static_cast<double>(r.latency_cycles));
@@ -469,7 +539,7 @@ RunReport MultiStreamScheduler::run(std::vector<StreamJob>& streams) {
       }
     }
     telemetry::sample_epoch_timelines(report.spans, pool.size(), report.sim_makespan_cycles,
-                                      32, m);
+                                      std::max(1, config_.timeline_epochs), m);
   }
   return report;
 }

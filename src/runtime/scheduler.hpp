@@ -38,6 +38,10 @@ class TraceRecorder;   // telemetry/trace.hpp
 class MetricsRegistry;  // telemetry/metrics.hpp
 }  // namespace telemetry
 
+namespace health {
+class HealthMonitor;  // health/monitor.hpp
+}  // namespace health
+
 struct SchedulerConfig {
   int fabrics = 2;  ///< homogeneous pool size (ignored when fabric_configs set)
   std::vector<FabricConfig> fabric_configs;  ///< heterogeneous pool, one per fabric
@@ -63,6 +67,21 @@ struct SchedulerConfig {
   /// counters, gauges, latency histograms and per-epoch timelines (an
   /// internal recorder supplies the spans if `trace` is null).
   telemetry::MetricsRegistry* metrics = nullptr;
+  /// Epochs the post-run timelines are sampled at. The registry's own
+  /// timeline cap still applies (it records epochs_dropped past it), so
+  /// long serve_streams runs can raise both instead of silently losing
+  /// the tail.
+  int timeline_epochs = 32;
+
+  /// Live health monitor. Null (the default) is zero-cost-off, same
+  /// idiom as `trace`: every worker hook is guarded by this one pointer
+  /// test and the monitor only observes, so modeled cycles and encoded
+  /// output are bit-exact either way. When set, run() computes analytic
+  /// per-stream SLA budgets (the admission cost model), starts the
+  /// monitor's epoch sampler over the live queue, feeds the flight
+  /// recorder from the worker loop and the sharded queue's steal path,
+  /// and exports `health_anomalies_total` into `metrics`.
+  health::HealthMonitor* health = nullptr;
 
   /// The one normalization point of the two construction paths: the
   /// explicit per-fabric list when set, otherwise `fabrics` copies of

@@ -4,6 +4,8 @@
 #include <chrono>
 #include <map>
 
+#include "runtime/health/flight_recorder.hpp"
+
 namespace dsra::runtime {
 
 namespace {
@@ -247,7 +249,7 @@ std::vector<FrameTask> ShardedJobQueue::acquire_batch(
     std::vector<std::pair<std::uint64_t, std::size_t>> backlog;  // (count, ctx)
     for (std::size_t c = 0; c < nctx; ++c) {
       if (!ctx_ok[c]) continue;
-      if (run_capped && static_cast<int>(c) == static_cast<std::size_t>(active_ctx)) continue;
+      if (run_capped && static_cast<int>(c) == active_ctx) continue;
       std::uint64_t total = 0;
       for (std::size_t w = 0; w < ways_; ++w)
         total += shards_[c * ways_ + w].count.load(std::memory_order_seq_cst);
@@ -300,9 +302,17 @@ std::vector<FrameTask> ShardedJobQueue::acquire_batch(
         slot.run_length = static_cast<int>(popped.size());
       }
       const std::size_t home_shard = static_cast<std::size_t>(ctx) * ways_ + home_way;
-      if (idx != home_shard || (active_ctx >= 0 && ctx != active_ctx)) ++slot.steals;
-      ++slot.batches;
-      if (saw_placement_skip) ++slot.placement_skips;
+      if (idx != home_shard || (active_ctx >= 0 && ctx != active_ctx)) {
+        slot.steals.fetch_add(1, std::memory_order_relaxed);
+        if (config_.flight != nullptr) {
+          config_.flight->record(fabric_id, health::EventKind::kSteal,
+                                 popped.front().stream_id,
+                                 popped.front().frame_index,
+                                 static_cast<std::uint64_t>(ctx));
+        }
+      }
+      slot.batches.fetch_add(1, std::memory_order_relaxed);
+      if (saw_placement_skip) slot.placement_skips.fetch_add(1, std::memory_order_relaxed);
 
       bool exit_candidates_changed = false;
       std::vector<FrameTask> batch;
@@ -310,7 +320,10 @@ std::vector<FrameTask> ShardedJobQueue::acquire_batch(
       for (const Ready& entry : popped) {
         const std::uint64_t seq = dispatch_seq_.fetch_add(1, std::memory_order_seq_cst) + 1;
         const std::uint64_t wait = seq - 1 - entry.ready_seq;
-        slot.max_wait = std::max(slot.max_wait, wait);
+        // Single-writer max: a plain load/compare/store is race-free here
+        // (only this worker writes its slot).
+        if (wait > slot.max_wait.load(std::memory_order_relaxed))
+          slot.max_wait.store(wait, std::memory_order_relaxed);
         if (jobs_left_[static_cast<std::size_t>(entry.ctx)].fetch_sub(
                 1, std::memory_order_seq_cst) == 1)
           exit_candidates_changed = true;  // starved workers may now exit
@@ -367,6 +380,7 @@ void ShardedJobQueue::complete_batch(const std::vector<CompletedTask>& batch,
                                      int fabric_id) {
   if (batch.empty()) return;
   FabricSlot& slot = slot_of(fabric_id);
+  completions_.fetch_add(batch.size(), std::memory_order_relaxed);
   const auto now = std::chrono::steady_clock::now();  // one stamp per batch
   std::vector<Ready> successors;
   successors.reserve(batch.size() + 1);
@@ -429,7 +443,8 @@ std::uint64_t ShardedJobQueue::dispatches() const {
 std::uint64_t ShardedJobQueue::max_wait_dispatches() const {
   std::lock_guard lock(slots_m_);
   std::uint64_t max_wait = 0;
-  for (const FabricSlot& slot : slots_) max_wait = std::max(max_wait, slot.max_wait);
+  for (const FabricSlot& slot : slots_)
+    max_wait = std::max(max_wait, slot.max_wait.load(std::memory_order_relaxed));
   return max_wait;
 }
 
@@ -437,7 +452,8 @@ std::vector<std::uint64_t> ShardedJobQueue::placement_skips() const {
   std::lock_guard lock(slots_m_);
   std::vector<std::uint64_t> skips(slot_by_fabric_.size(), 0);
   for (std::size_t f = 0; f < slot_by_fabric_.size(); ++f)
-    if (slot_by_fabric_[f] != nullptr) skips[f] = slot_by_fabric_[f]->placement_skips;
+    if (slot_by_fabric_[f] != nullptr)
+      skips[f] = slot_by_fabric_[f]->placement_skips.load(std::memory_order_relaxed);
   return skips;
 }
 
@@ -474,15 +490,38 @@ std::vector<StageEvent> ShardedJobQueue::timeline() const {
 std::uint64_t ShardedJobQueue::steals() const {
   std::lock_guard lock(slots_m_);
   std::uint64_t total = 0;
-  for (const FabricSlot& slot : slots_) total += slot.steals;
+  for (const FabricSlot& slot : slots_)
+    total += slot.steals.load(std::memory_order_relaxed);
   return total;
 }
 
 std::uint64_t ShardedJobQueue::dispatch_batches() const {
   std::lock_guard lock(slots_m_);
   std::uint64_t total = 0;
-  for (const FabricSlot& slot : slots_) total += slot.batches;
+  for (const FabricSlot& slot : slots_)
+    total += slot.batches.load(std::memory_order_relaxed);
   return total;
+}
+
+health::QueueHealthSample ShardedJobQueue::health_sample() const {
+  health::QueueHealthSample sample;
+  const std::uint64_t seq_now = dispatch_seq_.load(std::memory_order_seq_cst);
+  sample.dispatches = seq_now;
+  sample.completions = completions_.load(std::memory_order_relaxed);
+  sample.shards.reserve(shard_total_);
+  for (std::size_t idx = 0; idx < shard_total_; ++idx) {
+    health::ShardHealth sh;
+    sh.shard = static_cast<int>(idx);
+    sh.depth = shards_[idx].count.load(std::memory_order_seq_cst);
+    const std::uint64_t head = shards_[idx].head_seq.load(std::memory_order_seq_cst);
+    if (head != kEmptyHead && head <= seq_now) sh.oldest_age = seq_now - head;
+    sample.depth += sh.depth;
+    sample.oldest_age = std::max(sample.oldest_age, sh.oldest_age);
+    sample.shards.push_back(sh);
+  }
+  sample.steals = steals();
+  sample.batches = dispatch_batches();
+  return sample;
 }
 
 }  // namespace dsra::runtime

@@ -86,9 +86,10 @@ class ShardedJobQueue {
 
   [[nodiscard]] std::string required_context(const FrameTask& task) const;
 
-  // Merged-on-read accessors. The per-fabric slots they fold are written
-  // lock-free by their owning workers, so call these after the run has
-  // drained (the scheduler reads them after joining the workers).
+  // Merged-on-read accessors. The counter folds are atomic and safe at
+  // any moment; timeline() merges the plain per-fabric event buffers, so
+  // call it only after the run has drained (the scheduler reads it after
+  // joining the workers).
   [[nodiscard]] std::uint64_t dispatches() const;
   [[nodiscard]] std::uint64_t max_wait_dispatches() const;
   [[nodiscard]] std::vector<std::uint64_t> placement_skips() const;
@@ -101,6 +102,12 @@ class ShardedJobQueue {
   [[nodiscard]] std::uint64_t steals() const;
   /// Lock acquisitions that yielded at least one job.
   [[nodiscard]] std::uint64_t dispatch_batches() const;
+
+  /// Live queue state for the health sampler, assembled entirely from
+  /// the racy-read shard hints and the atomic slot counters — no shard
+  /// lock is taken, so it is safe to call at any moment from the
+  /// monitor's epoch thread while workers dispatch.
+  [[nodiscard]] health::QueueHealthSample health_sample() const;
 
  private:
   struct Ready {
@@ -123,13 +130,16 @@ class ShardedJobQueue {
   /// Per-fabric state, written only by the owning worker thread (merged
   /// on read after the drain): the affinity run, private counters and the
   /// private event buffer — the epoch/merge-on-read half of the design.
+  /// The counters are relaxed atomics (still single-writer) so the health
+  /// sampler can fold them mid-run without a data race; the event buffer
+  /// stays plain and is only merged after the drain.
   struct FabricSlot {
     std::string run_impl;
     int run_length = 0;
-    std::uint64_t max_wait = 0;
-    std::uint64_t placement_skips = 0;
-    std::uint64_t steals = 0;
-    std::uint64_t batches = 0;
+    std::atomic<std::uint64_t> max_wait{0};
+    std::atomic<std::uint64_t> placement_skips{0};
+    std::atomic<std::uint64_t> steals{0};
+    std::atomic<std::uint64_t> batches{0};
     std::vector<StageEvent> events;
   };
   struct Lane {
@@ -181,6 +191,7 @@ class ShardedJobQueue {
   std::unique_ptr<std::mutex[]> lane_m_;
 
   std::atomic<std::uint64_t> dispatch_seq_{0};
+  std::atomic<std::uint64_t> completions_{0};
   std::atomic<std::uint64_t> event_tick_{0};
 
   /// One slot per fabric, created on first use under slots_m_; a worker

@@ -121,6 +121,9 @@ struct RunReport {
   /// single queue every dispatch is its own batch, so this equals
   /// dispatches there and dispatches/batches measures the amortization.
   std::uint64_t dispatch_batches = 0;
+  /// Watchdog trips recorded by the attached HealthMonitor (0 when the
+  /// run had no monitor, or a clean run with one).
+  std::uint64_t health_anomalies = 0;
   std::uint64_t condition_switches = 0;  ///< mid-flight context changes, all streams
   std::uint64_t stale_frames = 0;        ///< frames run under a wrong-for-condition impl
   std::vector<double> fabric_busy_ms;     ///< per-fabric worker busy time

@@ -103,7 +103,8 @@ bool write_chrome_trace(const std::string& path, const RunReport& report,
 std::string metrics_json(const MetricsRegistry& registry, double host_wall_seconds) {
   std::ostringstream os;
   os << "{\n  \"schema_version\": " << kTelemetrySchemaVersion
-     << ",\n  \"host_wall_seconds\": " << json_number(host_wall_seconds);
+     << ",\n  \"host_wall_seconds\": " << json_number(host_wall_seconds)
+     << ",\n  \"epochs_dropped\": " << registry.epochs_dropped();
 
   os << ",\n  \"counters\": {";
   bool first = true;

@@ -94,6 +94,7 @@ void MetricsRegistry::clear() {
   gauges_.clear();
   histograms_.clear();
   timelines_.clear();
+  epochs_dropped_ = 0;  // the cap is configuration, not run state — kept
 }
 
 void sample_epoch_timelines(const std::vector<Span>& spans, int fabric_count,

@@ -86,10 +86,28 @@ class MetricsRegistry {
   FixedBucketHistogram& histogram(const std::string& name);
   FixedBucketHistogram& histogram(const std::string& name, std::vector<double> bounds);
 
-  /// Replace the named per-epoch timeline.
+  /// Replace the named per-epoch timeline. Samples beyond the epoch cap
+  /// are truncated — and counted in epochs_dropped(), so the loss is
+  /// visible in the export instead of silent.
   void timeline(const std::string& name, std::vector<double> samples) {
+    if (samples.size() > timeline_epoch_cap_) {
+      epochs_dropped_ +=
+          static_cast<std::uint64_t>(samples.size() - timeline_epoch_cap_);
+      samples.resize(timeline_epoch_cap_);
+    }
     timelines_[name] = std::move(samples);
   }
+
+  /// Epochs a timeline may hold (default 32). Raise it before the run
+  /// for long serve_streams sessions that want the full tail resolved.
+  void set_timeline_epoch_cap(std::size_t cap) {
+    timeline_epoch_cap_ = cap > 0 ? cap : 1;
+  }
+  [[nodiscard]] std::size_t timeline_epoch_cap() const { return timeline_epoch_cap_; }
+
+  /// Total timeline samples truncated by the cap across all timelines —
+  /// exported as "epochs_dropped" so validators can flag lost tails.
+  [[nodiscard]] std::uint64_t epochs_dropped() const { return epochs_dropped_; }
 
   [[nodiscard]] const std::map<std::string, std::uint64_t>& counters() const {
     return counters_;
@@ -109,6 +127,8 @@ class MetricsRegistry {
   std::map<std::string, double> gauges_;
   std::map<std::string, FixedBucketHistogram> histograms_;
   std::map<std::string, std::vector<double>> timelines_;
+  std::size_t timeline_epoch_cap_ = 32;
+  std::uint64_t epochs_dropped_ = 0;
 };
 
 /// Sample per-epoch timelines from a run's spans over @p epochs fixed

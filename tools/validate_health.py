@@ -1,0 +1,221 @@
+#!/usr/bin/env python3
+"""Schema validator for the runtime's live-health dump (HEALTH_*.json).
+
+A health dump is what ``HealthMonitor::dump`` / ``serve_streams
+--health-dump`` writes: the watchdog configuration, the per-epoch
+HealthSnapshot sequence, every watchdog trip, and the flight recorder's
+surviving events. Beyond shape checks, the semantic invariants the
+runtime promises are enforced:
+
+  * snapshot epochs are strictly monotone (the sampler never reuses or
+    reorders an epoch);
+  * queue completions and dispatches never move backwards across epochs;
+  * SLA burn rates are finite and in [0, inf); utilization and cache
+    pressure are fractions in [0, 1];
+  * anomalies_total equals the number of recorded trips, and every trip
+    names a known watchdog;
+  * flight-recorder sequence numbers are strictly increasing and the
+    surviving event count respects the per-ring capacity.
+
+Usage:
+    python3 tools/validate_health.py HEALTH_*.json
+
+Exits non-zero if any file is malformed; CI runs this over every health
+artifact the bench/serve steps produced.
+"""
+
+import json
+import math
+import sys
+
+HEALTH_SCHEMA_VERSION = 1
+EVENT_KINDS = {"dispatch", "steal", "reconfig", "shed", "rung_transition",
+               "watchdog_trip"}
+WATCHDOG_KINDS = {"stall", "queue_growth", "starvation", "sla_burn"}
+WATCHDOG_CONFIG_KEYS = ("stall_epochs", "growth_epochs", "growth_min_depth",
+                        "starvation_age_bound", "burn_threshold", "burn_warmup")
+
+
+class Invalid(Exception):
+    pass
+
+
+def require(cond, msg):
+    if not cond:
+        raise Invalid(msg)
+
+
+def is_num(v):
+    return isinstance(v, (int, float)) and not isinstance(v, bool)
+
+
+def is_count(v):
+    return isinstance(v, int) and not isinstance(v, bool) and v >= 0
+
+
+def validate_queue(q, where):
+    require(isinstance(q, dict), f"{where}: queue must be an object")
+    for key in ("depth", "oldest_age", "dispatches", "completions", "steals",
+                "batches"):
+        require(is_count(q.get(key)),
+                f"{where}: queue.{key} must be a non-negative int")
+    shards = q.get("shards")
+    require(isinstance(shards, list), f"{where}: queue.shards must be a list")
+    for s in shards:
+        require(isinstance(s, dict) and is_count(s.get("depth")) and
+                is_count(s.get("oldest_age")) and is_count(s.get("shard")),
+                f"{where}: malformed shard entry")
+
+
+def validate_snapshot(snap, i, fabric_count):
+    where = f"snapshot {i}"
+    require(isinstance(snap, dict), f"{where} is not an object")
+    require(is_count(snap.get("epoch")) and snap["epoch"] >= 1,
+            f"{where}: epoch must be an int >= 1")
+    require(is_count(snap.get("t_ns")), f"{where}: t_ns must be a non-negative int")
+    require(is_num(snap.get("modeled_now_cycles")) and snap["modeled_now_cycles"] >= 0,
+            f"{where}: modeled_now_cycles must be non-negative")
+    require(is_count(snap.get("inflight_jobs")),
+            f"{where}: inflight_jobs must be a non-negative int")
+    validate_queue(snap.get("queue"), where)
+
+    fabrics = snap.get("fabrics")
+    require(isinstance(fabrics, list) and len(fabrics) == fabric_count,
+            f"{where}: fabrics must be a list of {fabric_count} entries")
+    for f in fabrics:
+        require(isinstance(f, dict), f"{where}: fabric entry is not an object")
+        for key in ("utilization", "cache_pressure"):
+            v = f.get(key)
+            require(is_num(v) and 0.0 <= v <= 1.0,
+                    f"{where}: fabric {f.get('fabric')}: {key} must be in [0, 1]")
+        for key in ("jobs_done", "cache_hits", "cache_misses", "switches"):
+            require(is_count(f.get(key)),
+                    f"{where}: fabric {f.get('fabric')}: {key} must be a "
+                    f"non-negative int")
+
+    streams = snap.get("streams")
+    require(isinstance(streams, list), f"{where}: streams must be a list")
+    for s in streams:
+        require(isinstance(s, dict), f"{where}: stream entry is not an object")
+        sid = s.get("stream")
+        require(is_count(sid), f"{where}: stream id must be a non-negative int")
+        require(isinstance(s.get("shed"), bool), f"{where}: stream {sid}: shed must be bool")
+        burn = s.get("burn_rate")
+        require(is_num(burn) and math.isfinite(burn) and burn >= 0.0,
+                f"{where}: stream {sid}: burn_rate must be finite and in [0, inf)")
+        for key in ("consumed_cycles", "total_cycles", "deadline_cycles",
+                    "projected_completion_cycles"):
+            require(is_num(s.get(key)) and s[key] >= 0,
+                    f"{where}: stream {sid}: {key} must be non-negative")
+        require(is_count(s.get("frames_done")) and is_count(s.get("frames_total")),
+                f"{where}: stream {sid}: frame counts must be non-negative ints")
+        require(s["frames_done"] <= s["frames_total"] or s["frames_total"] == 0,
+                f"{where}: stream {sid}: frames_done exceeds frames_total")
+
+
+def validate_flight(fr, fabric_count):
+    require(isinstance(fr, dict), "flight_recorder must be an object")
+    capacity = fr.get("capacity_per_ring")
+    require(is_count(capacity) and capacity > 0,
+            "flight_recorder.capacity_per_ring must be a positive int")
+    require(is_count(fr.get("recorded")) and is_count(fr.get("dropped")),
+            "flight_recorder.recorded/dropped must be non-negative ints")
+    events = fr.get("events")
+    require(isinstance(events, list), "flight_recorder.events must be a list")
+    # fabric rings + one control ring bound the surviving event count.
+    require(len(events) <= capacity * (fabric_count + 1),
+            "flight_recorder: more surviving events than ring capacity allows")
+    prev_seq = 0
+    for i, e in enumerate(events):
+        require(isinstance(e, dict), f"flight event {i} is not an object")
+        require(e.get("kind") in EVENT_KINDS,
+                f"flight event {i}: unknown kind {e.get('kind')!r}")
+        require(is_count(e.get("seq")) and e["seq"] > prev_seq,
+                f"flight event {i}: seq must be strictly increasing")
+        prev_seq = e["seq"]
+        require(is_count(e.get("t_ns")), f"flight event {i}: t_ns must be non-negative")
+        require(is_count(e.get("ring")) and e["ring"] <= fabric_count,
+                f"flight event {i}: ring out of range")
+        require(isinstance(e.get("stream"), int) and isinstance(e.get("frame"), int),
+                f"flight event {i}: stream/frame must be ints")
+        require(is_count(e.get("value")), f"flight event {i}: value must be non-negative")
+
+
+def validate_health(doc):
+    require(doc.get("kind") == "health", 'kind must be "health"')
+    require(doc.get("schema_version") == HEALTH_SCHEMA_VERSION,
+            f"schema_version must be {HEALTH_SCHEMA_VERSION}")
+    require(is_num(doc.get("host_wall_seconds")) and doc["host_wall_seconds"] >= 0,
+            "host_wall_seconds must be a non-negative number")
+    fabric_count = doc.get("fabrics")
+    require(is_count(fabric_count), "fabrics must be a non-negative int")
+    require(is_count(doc.get("anomalies_total")),
+            "anomalies_total must be a non-negative int")
+    require(is_count(doc.get("snapshots_evicted")),
+            "snapshots_evicted must be a non-negative int")
+
+    cfg = doc.get("watchdog_config")
+    require(isinstance(cfg, dict), "watchdog_config must be an object")
+    for key in WATCHDOG_CONFIG_KEYS:
+        require(is_num(cfg.get(key)) and cfg[key] >= 0,
+                f"watchdog_config.{key} must be a non-negative number")
+
+    snapshots = doc.get("snapshots")
+    require(isinstance(snapshots, list), "snapshots must be a list")
+    prev_epoch = 0
+    prev_completions = prev_dispatches = 0
+    for i, snap in enumerate(snapshots):
+        validate_snapshot(snap, i, fabric_count)
+        require(snap["epoch"] > prev_epoch,
+                f"snapshot {i}: epoch {snap['epoch']} not strictly monotone "
+                f"after {prev_epoch}")
+        prev_epoch = snap["epoch"]
+        q = snap["queue"]
+        require(q["completions"] >= prev_completions,
+                f"snapshot {i}: completions moved backwards")
+        require(q["dispatches"] >= prev_dispatches,
+                f"snapshot {i}: dispatches moved backwards")
+        prev_completions, prev_dispatches = q["completions"], q["dispatches"]
+
+    trips = doc.get("trips")
+    require(isinstance(trips, list), "trips must be a list")
+    require(doc["anomalies_total"] == len(trips),
+            f"anomalies_total {doc['anomalies_total']} disagrees with "
+            f"{len(trips)} recorded trips")
+    for i, t in enumerate(trips):
+        require(isinstance(t, dict), f"trip {i} is not an object")
+        require(t.get("kind") in WATCHDOG_KINDS,
+                f"trip {i}: unknown watchdog kind {t.get('kind')!r}")
+        require(is_count(t.get("epoch")) and t["epoch"] >= 1,
+                f"trip {i}: epoch must be an int >= 1")
+        require(isinstance(t.get("stream"), int), f"trip {i}: stream must be an int")
+        require(isinstance(t.get("detail"), str), f"trip {i}: detail must be a string")
+
+    validate_flight(doc.get("flight_recorder"), fabric_count)
+
+
+def validate_file(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    require(isinstance(doc, dict), "top level must be an object")
+    validate_health(doc)
+
+
+def main(argv):
+    if len(argv) < 2:
+        print("usage: validate_health.py <HEALTH_*.json> [...]", file=sys.stderr)
+        return 2
+    failures = 0
+    for path in argv[1:]:
+        try:
+            validate_file(path)
+        except (Invalid, json.JSONDecodeError, OSError) as err:
+            print(f"FAIL {path}: {err}", file=sys.stderr)
+            failures += 1
+        else:
+            print(f"ok   {path} (health)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -93,6 +93,12 @@ def validate_metrics(doc):
     )
     require(is_num(doc.get("host_wall_seconds")) and doc["host_wall_seconds"] >= 0,
             "host_wall_seconds must be a non-negative number")
+    # Timeline-cap accounting: samples truncated by the epoch cap are
+    # counted, not silently discarded, so the exporter must carry the
+    # count (0 when nothing was dropped).
+    dropped = doc.get("epochs_dropped")
+    require(isinstance(dropped, int) and not isinstance(dropped, bool) and dropped >= 0,
+            "epochs_dropped must be a non-negative int")
     for section in ("counters", "gauges", "histograms", "timelines"):
         require(isinstance(doc.get(section), dict), f"{section} must be an object")
     for name, v in doc["counters"].items():
