@@ -149,6 +149,8 @@ int main() {
   bench_common::write_metrics_artifact("admission_overload", metrics);
 
   BenchJson json("admission_overload");
+  bench_common::stamp_reproducibility(
+      json, 9000, "streams=12;frames=4;frame=64x64;me_range=4;demand=3x");
   json.metric("demand_over_capacity", demand_ratio);
   json.metric("baseline_goodput_frames", static_cast<double>(baseline.goodput_frames));
   json.metric("admission_goodput_frames", static_cast<double>(gated.goodput_frames));

@@ -29,6 +29,16 @@ inline int finish(const BenchJson& json) {
   return json.all_passed() ? 0 : 1;
 }
 
+/// Stamp @p json's reproducibility coordinates: the workload RNG seed
+/// and an fnv1a digest of @p config_text — a human-readable rendering of
+/// every knob that shapes the run (stream counts, frame sizes, fabric
+/// configs...). Two runs with equal seed + digest must measure the same
+/// modeled workload; tools/validate_trace.py requires both fields.
+inline void stamp_reproducibility(BenchJson& json, std::uint64_t rng_seed,
+                                  const std::string& config_text) {
+  json.reproducibility(rng_seed, fnv1a_hex(config_text));
+}
+
 /// Write METRICS_<bench>.json and print the conventional artifacts line
 /// CI greps for; @p extra_artifacts lists files the bench wrote itself
 /// (e.g. a Perfetto trace) so the line names every artifact once.

@@ -100,6 +100,9 @@ int main() {
               "hysteresis is right where it matters and keeps the port quiet.\n");
 
   BenchJson json("dynamic_conditions");
+  bench_common::stamp_reproducibility(
+      json, 2004,
+      "streams=8;frames=24;frame=16x16;me_range=4;trajectories=1;seed_stride=31");
   json.metric("frames", static_cast<double>(hyst.total_frames));
   json.metric("frozen_stale_frames", static_cast<double>(frozen.stale_frames));
   json.metric("naive_switches", static_cast<double>(naive.total_switches));

@@ -77,6 +77,8 @@ health::HealthMonitorConfig monitor_config() {
 
 int main() {
   BenchJson json("health_overhead");
+  bench_common::stamp_reproducibility(
+      json, 7100, "streams=9;frames=20;frame=32x32;me_range=4;rounds=7");
   std::printf("compiling the kernel library for geometries 12x8 and 8x4...\n");
   const KernelLibrary library(KernelLibraryConfig{{kDefaultGeometry, kSmallSccGeometry}});
 

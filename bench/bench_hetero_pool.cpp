@@ -153,6 +153,8 @@ int main() {
               static_cast<unsigned long long>(delta.cache.bytes_saved), delta_mismatches);
 
   BenchJson json("hetero_pool");
+  bench_common::stamp_reproducibility(
+      json, 7100, "streams=9;frames=6;frame=32x32;me_range=4;mix=3cordic+6scc");
   json.metric("frames", static_cast<double>(hetero.total_frames));
   json.metric("hetero_tiles", static_cast<double>(hetero.total_tiles));
   json.metric("homog_tiles", static_cast<double>(homog.total_tiles));

@@ -110,6 +110,9 @@ int main() {
               "a stale implementation just to keep the port quiet.\n");
 
   BenchJson json("partial_reconfig");
+  bench_common::stamp_reproducibility(
+      json, 2004,
+      "streams=8;frames=24;frame=16x16;me_range=4;trajectories=1;seed_stride=31");
   json.metric("frames", static_cast<double>(part.total_frames));
   json.metric("full_reconfig_cycles", static_cast<double>(full.total_reconfig_cycles));
   json.metric("partial_reconfig_cycles", static_cast<double>(part.total_reconfig_cycles));

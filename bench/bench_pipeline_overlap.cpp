@@ -105,6 +105,9 @@ int main() {
   std::printf("the same silicon, the paper's kernel split: the ME array stops idling.\n");
 
   BenchJson json("pipeline_overlap");
+  bench_common::stamp_reproducibility(
+      json, 2004,
+      "streams=6;frames=10;sizes=4x64+2x48;me_range=8;seed_stride=31");
   json.metric("frames", static_cast<double>(pipe.total_frames));
   json.metric("mono_sim_makespan_cycles", static_cast<double>(mono.sim_makespan_cycles));
   json.metric("pipe_sim_makespan_cycles", static_cast<double>(pipe.sim_makespan_cycles));

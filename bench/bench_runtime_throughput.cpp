@@ -88,6 +88,9 @@ int main() {
                   : 0.0);
 
   BenchJson json("runtime_throughput");
+  bench_common::stamp_reproducibility(
+      json, 2004,
+      "streams=6;frames=8;sizes=4x64+2x48;me_range=4;seed_stride=31");
   json.metric("frames", static_cast<double>(af.total_frames));
   json.metric("roundrobin_reconfig_cycles", static_cast<double>(rr.total_reconfig_cycles));
   json.metric("affinity_reconfig_cycles", static_cast<double>(af.total_reconfig_cycles));

@@ -273,6 +273,8 @@ int main() {
               static_cast<unsigned long long>(mono.queue_steals));
 
   BenchJson json("sched_scale");
+  bench_common::stamp_reproducibility(
+      json, 7000, "total_jobs=20000;frame=16x16;sweep=stream_count;encode=4200");
   for (std::size_t k = 0; k < std::size(sweep); ++k) {
     const std::string suffix = std::to_string(sweep[k]);
     json.metric("sharded_us_per_frame_" + suffix, sharded_costs[k].per_frame_us());

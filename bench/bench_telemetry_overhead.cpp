@@ -74,6 +74,8 @@ SchedulerConfig pool_config(const std::vector<FabricConfig>& fabrics) {
 
 int main() {
   BenchJson json("telemetry_overhead");
+  bench_common::stamp_reproducibility(
+      json, 7100, "streams=9;frames=6;frame=32x32;me_range=4;rounds=3");
   std::printf("compiling the kernel library for geometries 12x8 and 8x4...\n");
   const KernelLibrary library(KernelLibraryConfig{{kDefaultGeometry, kSmallSccGeometry}});
 

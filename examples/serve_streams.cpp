@@ -26,6 +26,16 @@
 // fabrics by placement feasibility, and the per-geometry table shows
 // how often routing steered around the small array.
 //
+// With --tenancy the second transform fabric is spatially partitioned:
+// static_partition_plan splits its 12x8 array into two 8x4 co-tenant
+// slots, each a first-class dispatch target with its own resident
+// context, while phone streams that need the full array keep landing on
+// the exclusive fabric. The per-partition occupancy table shows each
+// rectangle's busy cycles, configuration-port contention against its
+// co-tenant, and region-delta traffic. A partition plan that fails
+// placement validation (overlap, out of bounds, a geometry the library
+// cannot place) makes the run exit nonzero.
+//
 // With --sla every phone carries a deadline and a per-frame p99 budget
 // in modeled cycles, and the admission controller walks its degradation
 // ladder (QP bump -> half resolution -> cheapest context -> shed) before
@@ -54,9 +64,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <stdexcept>
 #include <string>
 
 #include "runtime/health/monitor.hpp"
+#include "runtime/partition.hpp"
 #include "runtime/scheduler.hpp"
 #include "runtime/telemetry/export.hpp"
 #include "runtime/telemetry/metrics.hpp"
@@ -70,6 +82,7 @@ int main(int argc, char** argv) {
   bool dynamic = false;
   bool partial = false;
   bool hetero = false;
+  bool tenancy = false;
   bool sla = false;
   bool overload = false;
   bool health = false;
@@ -84,6 +97,8 @@ int main(int argc, char** argv) {
       partial = true;
     else if (std::strcmp(argv[a], "--hetero") == 0 || std::strcmp(argv[a], "-g") == 0)
       hetero = true;
+    else if (std::strcmp(argv[a], "--tenancy") == 0 || std::strcmp(argv[a], "-t") == 0)
+      tenancy = true;
     else if (std::strcmp(argv[a], "--sla") == 0 || std::strcmp(argv[a], "-s") == 0)
       sla = true;
     else if (std::strcmp(argv[a], "--overload") == 0 || std::strcmp(argv[a], "-o") == 0)
@@ -102,15 +117,15 @@ int main(int argc, char** argv) {
     else
       std::fprintf(stderr,
                    "unknown flag '%s' (known: --dynamic, --partial, --hetero, "
-                   "--sla, --overload, --health, --health-dump <file>, "
+                   "--tenancy, --sla, --overload, --health, --health-dump <file>, "
                    "--trace <file>, --metrics <file>, --metrics-epochs <n>)\n",
                    argv[a]);
   }
 
   std::printf("compiling the shared kernel library%s...\n",
-              hetero ? " (geometries 12x8 + 8x4)" : "");
+              hetero || tenancy ? " (geometries 12x8 + 8x4)" : "");
   KernelLibraryConfig lib_cfg;
-  if (hetero) lib_cfg.geometries = {kDefaultGeometry, kSmallSccGeometry};
+  if (hetero || tenancy) lib_cfg.geometries = {kDefaultGeometry, kSmallSccGeometry};
   const KernelLibrary library(lib_cfg);
 
   struct Caller {
@@ -203,7 +218,13 @@ int main(int argc, char** argv) {
   FabricConfig small_dct = dct_fabric;
   small_dct.geometry = kSmallSccGeometry;
   small_dct.context_capacity_bytes = 0;  // the small library fits whole
-  cfg.fabric_configs = {me_fabric, dct_fabric, hetero ? small_dct : dct_fabric};
+  // --tenancy splits the second transform fabric's 12x8 array into two
+  // co-tenant 8x4 slots; the first transform fabric stays exclusive so
+  // cordic streams keep a full-size placement target.
+  FabricConfig tenant_dct = dct_fabric;
+  tenant_dct.partitions = static_partition_plan(tenant_dct.geometry);
+  cfg.fabric_configs = {me_fabric, dct_fabric,
+                        tenancy ? tenant_dct : (hetero ? small_dct : dct_fabric)};
   cfg.admission.enabled = sla;
 
   telemetry::TraceRecorder recorder;
@@ -236,9 +257,19 @@ int main(int argc, char** argv) {
               "(1 systolic ME + %s)%s...\n\n",
               jobs.size(), dynamic ? " under drifting conditions" : "",
               cfg.fabric_configs.size(),
-              hetero ? "a 12x8 + an 8x4 DA/CORDIC" : "2 DA/CORDIC",
+              tenancy ? "a 12x8 + a 2x-partitioned 12x8 DA/CORDIC"
+                      : (hetero ? "a 12x8 + an 8x4 DA/CORDIC" : "2 DA/CORDIC"),
               partial ? ", partial reconfiguration + delta fetch on" : "");
-  const RunReport report = MultiStreamScheduler(library, cfg).run(jobs);
+  RunReport report;
+  try {
+    report = MultiStreamScheduler(library, cfg).run(jobs);
+  } catch (const std::invalid_argument& err) {
+    // A partition plan that fails placement validation (overlap, out of
+    // bounds, a geometry the library cannot place) is a config error,
+    // not a crash: report it and gate on the exit code.
+    std::fprintf(stderr, "FAIL: partition placement validation: %s\n", err.what());
+    return 2;
+  }
 
   if (sla) {
     admission_table(report).print();
@@ -252,6 +283,10 @@ int main(int argc, char** argv) {
   if (hetero) {
     std::printf("\n");
     geometry_table(report).print();
+  }
+  if (tenancy) {
+    std::printf("\n");
+    partition_table(report).print();
   }
   if (!report.attribution.empty()) {
     std::printf("\n");
@@ -286,6 +321,18 @@ int main(int argc, char** argv) {
     std::printf("the small 8x4 array cannot place cordic1/cordic2; dispatch routed "
                 "around it %llu times and the streams it can host batched onto it.\n",
                 static_cast<unsigned long long>(report.placement_rejections));
+  if (tenancy) {
+    std::uint64_t region_ops = 0;
+    for (const PartitionSummary& p : report.partitions)
+      region_ops += p.region_deltas + p.region_blits;
+    std::printf("spatial tenancy: %d scheduler slots on %d physical fabrics; co-tenant "
+                "slots paid %llu modeled cycles of configuration-port contention and "
+                "%llu region-scoped programming operations stayed inside their "
+                "rectangles.\n",
+                report.fabrics, report.physical_fabrics,
+                static_cast<unsigned long long>(report.port_contention_cycles),
+                static_cast<unsigned long long>(region_ops));
+  }
   if (sla)
     std::printf("admission: %llu/%llu phones admitted (%llu degraded, %llu shed) — "
                 "%llu SLA-compliant frames, %llu admitted-stream violations.\n",

@@ -110,12 +110,33 @@ std::string json_number(double v) {
   return buf;
 }
 
+std::uint64_t fnv1a64(const std::string& bytes) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::string fnv1a_hex(const std::string& bytes) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(fnv1a64(bytes)));
+  return buf;
+}
+
 std::string BenchJson::name_from_argv0(const char* argv0) {
   std::string name = argv0 != nullptr ? argv0 : "bench";
   const std::size_t slash = name.find_last_of("/\\");
   if (slash != std::string::npos) name = name.substr(slash + 1);
   if (name.rfind("bench_", 0) == 0) name = name.substr(6);
   return name;
+}
+
+void BenchJson::reproducibility(std::uint64_t rng_seed, std::string config_digest) {
+  rng_seed_ = rng_seed;
+  config_digest_ = std::move(config_digest);
 }
 
 void BenchJson::metric(const std::string& key, double value) {
@@ -146,10 +167,15 @@ bool BenchJson::all_passed() const {
 std::string BenchJson::to_json() const {
   const double wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+  // An unstamped bench has no RNG and a fixed configuration; its digest
+  // is derived from the bench name so the field is never absent and a
+  // renamed bench reads as a config change.
+  const std::string digest = config_digest_.empty() ? fnv1a_hex(name_) : config_digest_;
   std::ostringstream os;
   os << "{\n  \"bench\": \"" << json_escape(name_) << "\",\n  \"schema_version\": "
      << kSchemaVersion << ",\n  \"host_wall_seconds\": " << json_number(wall_seconds)
-     << ",\n  \"metrics\": {";
+     << ",\n  \"rng_seed\": " << rng_seed_ << ",\n  \"config_digest\": \""
+     << json_escape(digest) << "\",\n  \"metrics\": {";
   for (std::size_t i = 0; i < metrics_.size(); ++i) {
     os << (i == 0 ? "\n" : ",\n") << "    \"" << json_escape(metrics_[i].first)
        << "\": " << json_number(metrics_[i].second);

@@ -57,6 +57,14 @@ class ReportTable {
 /// null (JSON has no inf/nan literals) instead of corrupting the file.
 [[nodiscard]] std::string json_number(double v);
 
+/// FNV-1a over @p bytes — the cheap stable digest bench artifacts stamp
+/// their configuration with (reproducibility, not integrity: collisions
+/// are fine, silent config drift between runs is not).
+[[nodiscard]] std::uint64_t fnv1a64(const std::string& bytes);
+
+/// fnv1a64 rendered as a fixed-width 16-digit lowercase hex string.
+[[nodiscard]] std::string fnv1a_hex(const std::string& bytes);
+
 /// Machine-readable bench result.
 ///
 /// Every bench binary writes a BENCH_<name>.json next to its stdout
@@ -73,8 +81,16 @@ class BenchJson {
 
   /// Version of the BENCH_*.json layout, emitted as "schema_version" so
   /// downstream tooling can reject files it does not understand.
-  /// 2: added schema_version and host_wall_seconds.
+  /// 2: added schema_version and host_wall_seconds; later extended
+  /// (additively, same version) with rng_seed and config_digest.
   static constexpr int kSchemaVersion = 2;
+
+  /// Stamp the run's reproducibility coordinates: the RNG seed the bench
+  /// drew its workload from and a digest of its configuration (see
+  /// fnv1a_hex). Both are emitted as top-level JSON fields. Unstamped
+  /// benches emit rng_seed 0 and a digest of the bench name — the
+  /// honest default for a static-config bench with no RNG.
+  void reproducibility(std::uint64_t rng_seed, std::string config_digest);
 
   /// Bench name derived from the binary path: ".../bench_foo" -> "foo".
   [[nodiscard]] static std::string name_from_argv0(const char* argv0);
@@ -104,6 +120,8 @@ class BenchJson {
   };
   std::string name_;
   std::chrono::steady_clock::time_point start_;
+  std::uint64_t rng_seed_ = 0;
+  std::string config_digest_;  ///< empty = derive from the bench name
   std::vector<std::pair<std::string, double>> metrics_;
   std::vector<Bar> bars_;
 };

@@ -465,4 +465,213 @@ std::uint64_t config_delta_bits(const ConfigDelta& delta) {
   return static_cast<std::uint64_t>(encode_config_delta(delta).size()) * 8;
 }
 
+// ---- region-scoped configuration -------------------------------------------
+
+namespace {
+
+constexpr std::uint32_t kRegionMagic = 0x44535252;  // "DSRR"
+
+void check_region(const char* codec, const ConfigRegion& region, int fabric_width,
+                  int fabric_height) {
+  if (region.width <= 0 || region.height <= 0 || region.x < 0 || region.y < 0 ||
+      region.x + region.width > fabric_width || region.y + region.height > fabric_height)
+    bad_stream(codec, "region " + std::to_string(region.width) + "x" +
+                          std::to_string(region.height) + "@(" + std::to_string(region.x) +
+                          "," + std::to_string(region.y) + ") outside the " +
+                          std::to_string(fabric_width) + "x" + std::to_string(fabric_height) +
+                          " fabric grid");
+}
+
+/// The delta fields shared by the whole-grid and region-sealed codecs:
+/// grid dims, counts, rewrite frames, clear coordinates.
+void write_delta_body(const char* codec, BitWriter& w, const ConfigDelta& delta) {
+  check_encodable(codec, "grid width", static_cast<std::size_t>(delta.width));
+  check_encodable(codec, "grid height", static_cast<std::size_t>(delta.height));
+  check_encodable(codec, "rewrite count", delta.rewrites.size());
+  check_encodable(codec, "clear count", delta.clears.size());
+  w.write(static_cast<std::uint64_t>(delta.width), kCoordBits);
+  w.write(static_cast<std::uint64_t>(delta.height), kCoordBits);
+  w.write(delta.rewrites.size(), kCountBits);
+  w.write(delta.clears.size(), kCountBits);
+  for (const ConfigFrame& frame : delta.rewrites) write_frame(codec, w, frame);
+  for (const ConfigDelta::Clear& c : delta.clears) {
+    check_encodable(codec, "clear x", static_cast<std::size_t>(c.x));
+    check_encodable(codec, "clear y", static_cast<std::size_t>(c.y));
+    w.write(static_cast<std::uint64_t>(c.x), kCoordBits);
+    w.write(static_cast<std::uint64_t>(c.y), kCoordBits);
+  }
+}
+
+ConfigDelta read_delta_body(const char* codec, BitReader& r) {
+  ConfigDelta delta;
+  delta.width = static_cast<int>(r.read(kCoordBits));
+  delta.height = static_cast<int>(r.read(kCoordBits));
+  if (!r.ok()) bad_stream(codec, "truncated header");
+  check_grid(codec, delta.width, delta.height);
+  const std::uint64_t rewrites = r.read(kCountBits);
+  const std::uint64_t clears = r.read(kCountBits);
+  if (!r.ok()) bad_stream(codec, "truncated header");
+  std::vector<bool> occupied(static_cast<std::size_t>(delta.width) *
+                             static_cast<std::size_t>(delta.height));
+  delta.rewrites.reserve(static_cast<std::size_t>(rewrites));
+  for (std::uint64_t i = 0; i < rewrites; ++i) {
+    ConfigFrame frame = read_frame(codec, r);
+    check_frame(codec, frame.x, frame.y, delta.width, delta.height, occupied);
+    check_payload(codec, frame);
+    delta.rewrites.push_back(std::move(frame));
+  }
+  delta.clears.reserve(static_cast<std::size_t>(clears));
+  for (std::uint64_t i = 0; i < clears; ++i) {
+    ConfigDelta::Clear c;
+    c.x = static_cast<int>(r.read(kCoordBits));
+    c.y = static_cast<int>(r.read(kCoordBits));
+    if (!r.ok()) bad_stream(codec, "truncated clear list");
+    check_frame(codec, c.x, c.y, delta.width, delta.height, occupied);
+    delta.clears.push_back(c);
+  }
+  return delta;
+}
+
+}  // namespace
+
+ConfigFrameImage translate_frame_image(const ConfigFrameImage& image,
+                                       const ConfigRegion& region, int fabric_width,
+                                       int fabric_height) {
+  if (image.width != region.width || image.height != region.height)
+    throw std::invalid_argument("cannot translate a " + std::to_string(image.width) + "x" +
+                                std::to_string(image.height) + " image into a " +
+                                std::to_string(region.width) + "x" +
+                                std::to_string(region.height) + " region");
+  if (region.x < 0 || region.y < 0 || region.x + region.width > fabric_width ||
+      region.y + region.height > fabric_height)
+    throw std::invalid_argument("region does not fit the " + std::to_string(fabric_width) +
+                                "x" + std::to_string(fabric_height) + " fabric grid");
+  ConfigFrameImage out;
+  out.width = fabric_width;
+  out.height = fabric_height;
+  out.frames.reserve(image.frames.size());
+  // A uniform offset preserves the canonical (y, x) frame order.
+  for (const ConfigFrame& f : image.frames)
+    out.frames.push_back({f.x + region.x, f.y + region.y, f.payload});
+  return out;
+}
+
+ConfigDelta translate_config_delta(const ConfigDelta& delta, const ConfigRegion& region,
+                                   int fabric_width, int fabric_height) {
+  if (delta.width != region.width || delta.height != region.height)
+    throw std::invalid_argument("cannot translate a " + std::to_string(delta.width) + "x" +
+                                std::to_string(delta.height) + " delta into a " +
+                                std::to_string(region.width) + "x" +
+                                std::to_string(region.height) + " region");
+  if (region.x < 0 || region.y < 0 || region.x + region.width > fabric_width ||
+      region.y + region.height > fabric_height)
+    throw std::invalid_argument("region does not fit the " + std::to_string(fabric_width) +
+                                "x" + std::to_string(fabric_height) + " fabric grid");
+  ConfigDelta out;
+  out.width = fabric_width;
+  out.height = fabric_height;
+  out.rewrites.reserve(delta.rewrites.size());
+  for (const ConfigFrame& f : delta.rewrites)
+    out.rewrites.push_back({f.x + region.x, f.y + region.y, f.payload});
+  out.clears.reserve(delta.clears.size());
+  for (const ConfigDelta::Clear& c : delta.clears)
+    out.clears.push_back({c.x + region.x, c.y + region.y});
+  return out;
+}
+
+bool delta_within_region(const ConfigDelta& delta, const ConfigRegion& region) {
+  for (const ConfigFrame& f : delta.rewrites)
+    if (!region.contains(f.x, f.y)) return false;
+  for (const ConfigDelta::Clear& c : delta.clears)
+    if (!region.contains(c.x, c.y)) return false;
+  return true;
+}
+
+std::vector<std::uint8_t> encode_region_delta(const ConfigDelta& delta,
+                                              const ConfigRegion& region) {
+  constexpr const char* kCodec = "region delta";
+  if (!delta_within_region(delta, region))
+    throw std::invalid_argument(
+        "region delta: the delta addresses frames outside its sealed region");
+  check_encodable(kCodec, "region x", static_cast<std::size_t>(region.x));
+  check_encodable(kCodec, "region y", static_cast<std::size_t>(region.y));
+  check_encodable(kCodec, "region width", static_cast<std::size_t>(region.width));
+  check_encodable(kCodec, "region height", static_cast<std::size_t>(region.height));
+  BitWriter w;
+  w.write_u32(kRegionMagic);
+  w.write(kFormatVersion, 8);
+  w.write(static_cast<std::uint64_t>(region.x), kCoordBits);
+  w.write(static_cast<std::uint64_t>(region.y), kCoordBits);
+  w.write(static_cast<std::uint64_t>(region.width), kCoordBits);
+  w.write(static_cast<std::uint64_t>(region.height), kCoordBits);
+  write_delta_body(kCodec, w, delta);
+  return seal(w);
+}
+
+RegionDelta decode_region_delta(const std::vector<std::uint8_t>& bytes) {
+  constexpr const char* kCodec = "region delta";
+  const std::vector<std::uint8_t> body = unseal(kCodec, bytes);
+  BitReader r(body);
+  if (r.read_u32() != kRegionMagic || !r.ok()) bad_stream(kCodec, "bad magic");
+  if (r.read(8) != kFormatVersion) bad_stream(kCodec, "unsupported version");
+
+  RegionDelta out;
+  out.region.x = static_cast<int>(r.read(kCoordBits));
+  out.region.y = static_cast<int>(r.read(kCoordBits));
+  out.region.width = static_cast<int>(r.read(kCoordBits));
+  out.region.height = static_cast<int>(r.read(kCoordBits));
+  if (!r.ok()) bad_stream(kCodec, "truncated region header");
+  out.delta = read_delta_body(kCodec, r);
+  check_region(kCodec, out.region, out.delta.width, out.delta.height);
+  // The seal's whole point: a decoded delta can never name a tile its
+  // region does not own, so replaying it cannot touch a co-tenant.
+  if (!delta_within_region(out.delta, out.region))
+    bad_stream(kCodec, "delta addresses frames outside its sealed region");
+  r.align_to_byte();
+  if (!r.ok() || r.bit_pos() != body.size() * 8)
+    bad_stream(kCodec, "trailing bytes after the clear list");
+  return out;
+}
+
+ConfigFrameImage apply_region_delta(const ConfigFrameImage& composite,
+                                    const ConfigDelta& delta, const ConfigRegion& region) {
+  if (composite.width != delta.width || composite.height != delta.height)
+    throw std::invalid_argument("region delta grid does not match the composite image");
+  // Refuse before writing anything: a delta that strays outside its
+  // rectangle must not modify even the tiles it legitimately owns.
+  if (!delta_within_region(delta, region))
+    throw std::invalid_argument(
+        "region delta addresses frames outside its partition rectangle");
+  return apply_config_delta(composite, delta);
+}
+
+ConfigFrameImage blit_region(const ConfigFrameImage& composite,
+                             const ConfigFrameImage& translated, const ConfigRegion& region) {
+  if (composite.width != translated.width || composite.height != translated.height)
+    throw std::invalid_argument("region blit grid does not match the composite image");
+  for (const ConfigFrame& f : translated.frames)
+    if (!region.contains(f.x, f.y))
+      throw std::invalid_argument("region blit: translated image has frames outside "
+                                  "its partition rectangle");
+  ConfigFrameImage out;
+  out.width = composite.width;
+  out.height = composite.height;
+  out.frames.reserve(composite.frames.size() + translated.frames.size());
+  // Both frame lists are (y, x)-sorted; merge keeps the canonical order
+  // while every composite frame inside the region is dropped in favour of
+  // the translated tenant image.
+  std::size_t t = 0;
+  for (const ConfigFrame& f : composite.frames) {
+    while (t < translated.frames.size() &&
+           frame_before(translated.frames[t], f))
+      out.frames.push_back(translated.frames[t++]);
+    if (t < translated.frames.size() && translated.frames[t].x == f.x &&
+        translated.frames[t].y == f.y)
+      continue;  // the tenant's frame replaces it below
+    if (!region.contains(f.x, f.y)) out.frames.push_back(f);
+  }
+  while (t < translated.frames.size()) out.frames.push_back(translated.frames[t++]);
+  return out;
+}
+
 }  // namespace dsra

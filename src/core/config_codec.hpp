@@ -124,4 +124,84 @@ struct ConfigDelta {
 /// size) — what a partial reload is charged instead of the full stream.
 [[nodiscard]] std::uint64_t config_delta_bits(const ConfigDelta& delta);
 
+/// Region-scoped configuration ---------------------------------------------
+///
+/// Spatial multi-tenancy places several contexts side by side on one
+/// fabric; each tenant's configuration traffic is confined to its own
+/// rectangle of the fabric grid. A context compiled for its partition's
+/// geometry (frames addressed from (0,0) on a WxH grid) is *translated*
+/// into the partition's rectangle of the fabric-wide address space, and a
+/// region-sealed delta codec guarantees — by construction on encode and
+/// by containment check on decode — that replaying one tenant's delta
+/// can never write a frame outside its rectangle.
+
+/// A rectangle of a fabric's frame-address grid.
+struct ConfigRegion {
+  int x = 0;
+  int y = 0;
+  int width = 0;
+  int height = 0;
+  bool operator==(const ConfigRegion&) const = default;
+
+  [[nodiscard]] bool contains(int fx, int fy) const {
+    return fx >= x && fx < x + width && fy >= y && fy < y + height;
+  }
+};
+
+/// Translate @p image (compiled on its own width x height grid, origin
+/// (0,0)) into @p region of a @p fabric_width x @p fabric_height grid:
+/// frame (x, y) becomes (region.x + x, region.y + y). Throws
+/// std::invalid_argument when the image's grid does not match the
+/// region's size or the region does not fit the fabric grid.
+[[nodiscard]] ConfigFrameImage translate_frame_image(const ConfigFrameImage& image,
+                                                     const ConfigRegion& region,
+                                                     int fabric_width, int fabric_height);
+
+/// Same translation for a delta: every rewrite and clear is offset into
+/// @p region, so the result is a fabric-grid delta that by construction
+/// addresses only the region's tiles.
+[[nodiscard]] ConfigDelta translate_config_delta(const ConfigDelta& delta,
+                                                 const ConfigRegion& region,
+                                                 int fabric_width, int fabric_height);
+
+/// True iff every frame @p delta addresses (rewrites and clears) lies
+/// inside @p region — the containment predicate the region codec and the
+/// composite-image apply enforce.
+[[nodiscard]] bool delta_within_region(const ConfigDelta& delta, const ConfigRegion& region);
+
+/// A fabric-grid delta sealed to one partition's rectangle.
+struct RegionDelta {
+  ConfigRegion region;
+  ConfigDelta delta;  ///< fabric-grid coordinates, contained in region
+  bool operator==(const RegionDelta&) const = default;
+};
+
+/// Serialise @p delta sealed to @p region: region header + delta body
+/// under one CRC-32, so a corrupted stream is rejected before any frame
+/// is written. Throws std::invalid_argument when the delta is not
+/// contained in the region.
+[[nodiscard]] std::vector<std::uint8_t> encode_region_delta(const ConfigDelta& delta,
+                                                            const ConfigRegion& region);
+
+/// Parse a stream written by encode_region_delta. Verifies the CRC, the
+/// delta's well-formedness and that every addressed frame lies inside
+/// the sealed region; throws std::runtime_error on any violation.
+[[nodiscard]] RegionDelta decode_region_delta(const std::vector<std::uint8_t>& bytes);
+
+/// Replay a region-scoped delta on the fabric-wide @p composite image.
+/// Guarantee: frames outside @p region are returned byte-identical —
+/// a delta that addresses any tile outside the region throws
+/// std::invalid_argument and writes nothing. The delta's grid must be
+/// the composite's grid (it came from translate_config_delta).
+[[nodiscard]] ConfigFrameImage apply_region_delta(const ConfigFrameImage& composite,
+                                                  const ConfigDelta& delta,
+                                                  const ConfigRegion& region);
+
+/// Full-region reload: clear every frame of @p composite inside
+/// @p region and insert @p translated's frames (a translate_frame_image
+/// result) in their place. Frames outside the region are untouched.
+[[nodiscard]] ConfigFrameImage blit_region(const ConfigFrameImage& composite,
+                                           const ConfigFrameImage& translated,
+                                           const ConfigRegion& region);
+
 }  // namespace dsra

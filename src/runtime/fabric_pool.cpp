@@ -243,7 +243,25 @@ std::optional<soc::PartialReloadCost> KernelLibrary::delta_cost(
   return delta_cost(primary_geometry(), base, target);
 }
 
+namespace {
+
+/// Site state of a slot that owns its fabric outright: composite grid =
+/// the slot's own geometry.
+std::shared_ptr<FabricSiteState> own_site(const ArrayGeometry& geometry) {
+  auto site = std::make_shared<FabricSiteState>();
+  site->composite.width = geometry.width;
+  site->composite.height = geometry.height;
+  return site;
+}
+
+}  // namespace
+
 Fabric::Fabric(int id, const KernelLibrary& library, const FabricConfig& config)
+    : Fabric(id, library, config, id, PartitionSpec{0, 0, config.geometry}, nullptr) {}
+
+Fabric::Fabric(int id, const KernelLibrary& library, const FabricConfig& config,
+               int physical_id, const PartitionSpec& partition,
+               std::shared_ptr<FabricSiteState> site)
     : id_(id),
       capabilities_(config.capabilities),
       geometry_(config.geometry),
@@ -269,7 +287,13 @@ Fabric::Fabric(int id, const KernelLibrary& library, const FabricConfig& config)
             if (auto cost = library_.delta_cost(geometry_, base, target))
               return static_cast<std::size_t>(cost->delta_bytes);
             return std::nullopt;
-          }) {
+          }),
+      physical_id_(physical_id),
+      partition_(partition),
+      site_(site != nullptr ? std::move(site) : own_site(config.geometry)) {
+  exclusive_ = partition_.origin_x == 0 && partition_.origin_y == 0 &&
+               partition_.geometry.width == site_->composite.width &&
+               partition_.geometry.height == site_->composite.height;
   if (!library.has_geometry(config.geometry))
     throw std::invalid_argument("fabric " + std::to_string(id) +
                                 ": kernel library was not built for array geometry " +
@@ -312,15 +336,74 @@ PrepareResult Fabric::prepare_detailed(const std::string& impl_name) {
   PrepareResult result;
   const std::uint64_t hits_before = cache_.stats().hits;
   const int switches_before = reconfig_.switches_performed();
+  const std::optional<std::string> previous = reconfig_.active();
   result.fetch_cycles = cache_.touch(impl_name);
   result.switch_cycles = reconfig_.activate(impl_name);
   result.cache_hit = cache_.stats().hits > hits_before;
   result.switched = reconfig_.switches_performed() > switches_before;
   result.partial = result.switched && reconfig_.last_activation_partial();
+  if (result.switched) record_region_programming(previous, impl_name, result.partial);
   // The pre-switch context was pinned while the load was in flight; with
   // the switch done it is evictable again, so restore the byte bound.
   cache_.trim();
   return result;
+}
+
+void Fabric::record_region_programming(const std::optional<std::string>& previous,
+                                       const std::string& target, bool partial) {
+  const ConfigRegion region = partition_.region();
+  std::lock_guard<std::mutex> lock(site_->mu);
+  const int fw = site_->composite.width;
+  const int fh = site_->composite.height;
+  const ConfigFrameImage& target_local = library_.frame_image(target, geometry_);
+  const bool target_on_grid =
+      target_local.width == geometry_.width && target_local.height == geometry_.height;
+  if (partial && previous && target_on_grid) {
+    const ConfigFrameImage& prev_local = library_.frame_image(*previous, geometry_);
+    if (prev_local.width == geometry_.width && prev_local.height == geometry_.height) {
+      const ConfigDelta* lib_delta = library_.delta(geometry_, *previous, target);
+      const ConfigDelta local =
+          lib_delta != nullptr ? *lib_delta : diff_config_frames(prev_local, target_local);
+      const ConfigDelta fabric_delta = translate_config_delta(local, region, fw, fh);
+      // Round-trip through the sealed codec so every runtime partial
+      // switch exercises the CRC and containment checks the tenant
+      // isolation guarantee rests on, not just the unit tests.
+      const RegionDelta sealed =
+          decode_region_delta(encode_region_delta(fabric_delta, region));
+      site_->composite = apply_region_delta(site_->composite, sealed.delta, sealed.region);
+      ++site_->region_deltas;
+      ++region_deltas_;
+      return;
+    }
+  }
+  // Full reload — or a context compiled onto a different array grid (the
+  // systolic ME context lives on its PE grid, not the cluster grid):
+  // replace the slot's rectangle wholesale. An off-grid context clears
+  // the rectangle, since its programming is not addressable in
+  // cluster-grid frames.
+  ConfigFrameImage translated;
+  translated.width = fw;
+  translated.height = fh;
+  if (target_on_grid) translated = translate_frame_image(target_local, region, fw, fh);
+  site_->composite = blit_region(site_->composite, translated, region);
+  ++site_->region_blits;
+  ++region_blits_;
+}
+
+ConfigFrameImage Fabric::region_image() const {
+  const ConfigRegion region = partition_.region();
+  std::lock_guard<std::mutex> lock(site_->mu);
+  ConfigFrameImage out;
+  out.width = site_->composite.width;
+  out.height = site_->composite.height;
+  for (const ConfigFrame& f : site_->composite.frames)
+    if (region.contains(f.x, f.y)) out.frames.push_back(f);
+  return out;
+}
+
+ConfigFrameImage Fabric::composite_image() const {
+  std::lock_guard<std::mutex> lock(site_->mu);
+  return site_->composite;
 }
 
 const dct::DctImplementation* Fabric::active_impl() const {
@@ -334,9 +417,38 @@ FabricPool::FabricPool(int count, const KernelLibrary& library, const FabricConf
 
 FabricPool::FabricPool(const std::vector<FabricConfig>& configs, const KernelLibrary& library) {
   if (configs.empty()) throw std::invalid_argument("fabric pool needs at least one fabric");
-  fabrics_.reserve(configs.size());
-  for (std::size_t k = 0; k < configs.size(); ++k)
-    fabrics_.push_back(std::make_unique<Fabric>(static_cast<int>(k), library, configs[k]));
+  int slot = 0;
+  for (std::size_t p = 0; p < configs.size(); ++p) {
+    const FabricConfig& config = configs[p];
+    const int physical = static_cast<int>(p);
+    validate_partition_plan(config.geometry, config.partitions);
+    auto site = own_site(config.geometry);
+    site_states_.push_back(site);
+    physical_geometries_.push_back(config.geometry);
+    if (config.partitions.empty()) {
+      // Exclusive whole-fabric slot — the historical one-config-one-fabric
+      // shape every pre-tenancy call site builds.
+      fabrics_.push_back(std::make_unique<Fabric>(
+          slot, library, config, physical, PartitionSpec{0, 0, config.geometry}, site));
+      physical_of_.push_back(physical);
+      ++slot;
+      continue;
+    }
+    for (const PartitionSpec& part : config.partitions) {
+      FabricConfig slot_config = config;
+      slot_config.geometry = part.geometry;
+      slot_config.partitions.clear();
+      // Co-tenants split the physical context store evenly (0 stays 0 =
+      // unbounded); the port and bus cost models are per-slot here, with
+      // cross-tenant port serialization charged by sim_schedule.
+      if (slot_config.context_capacity_bytes != 0)
+        slot_config.context_capacity_bytes /= config.partitions.size();
+      fabrics_.push_back(
+          std::make_unique<Fabric>(slot, library, slot_config, physical, part, site));
+      physical_of_.push_back(physical);
+      ++slot;
+    }
+  }
 }
 
 Fabric& FabricPool::at(int i) {
@@ -435,6 +547,39 @@ std::uint64_t FabricPool::delta_bytes_loaded() const {
 int FabricPool::total_tiles() const {
   int total = 0;
   for (const auto& f : fabrics_) total += f->geometry().tiles();
+  return total;
+}
+
+ConfigFrameImage FabricPool::composite_image(int physical) const {
+  if (physical < 0 || physical >= physical_count())
+    throw std::out_of_range("fabric pool: physical index " + std::to_string(physical) +
+                            " out of range [0, " + std::to_string(physical_count()) + ")");
+  FabricSiteState& site = *site_states_[static_cast<std::size_t>(physical)];
+  std::lock_guard<std::mutex> lock(site.mu);
+  return site.composite;
+}
+
+std::uint64_t FabricPool::region_deltas_applied() const {
+  std::uint64_t total = 0;
+  for (const auto& site : site_states_) {
+    std::lock_guard<std::mutex> lock(site->mu);
+    total += site->region_deltas;
+  }
+  return total;
+}
+
+std::uint64_t FabricPool::region_blits() const {
+  std::uint64_t total = 0;
+  for (const auto& site : site_states_) {
+    std::lock_guard<std::mutex> lock(site->mu);
+    total += site->region_blits;
+  }
+  return total;
+}
+
+int FabricPool::physical_tiles() const {
+  int total = 0;
+  for (const auto& g : physical_geometries_) total += g.tiles();
   return total;
 }
 

@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -29,6 +30,7 @@
 #include "runtime/context_cache.hpp"
 #include "runtime/geometry.hpp"
 #include "runtime/kernel.hpp"
+#include "runtime/partition.hpp"
 #include "soc/bus.hpp"
 #include "soc/reconfig.hpp"
 
@@ -173,6 +175,27 @@ struct FabricConfig {
   /// (the controller rebuilds the full context locally from the pinned
   /// resident image) instead of the full bitstream.
   bool delta_fetch = false;
+  /// Spatial multi-tenancy: rectangular partitions this fabric's grid is
+  /// split into. The pool expands each partition into one scheduler-
+  /// visible slot with its own resident context, cache and byte ledger;
+  /// the slots share the physical configuration port and bus (co-tenant
+  /// context loads serialize in sim_schedule). Empty = the historical
+  /// exclusive whole-fabric mode; static_partition_plan(geometry) is the
+  /// canonical 12x8 -> 2x 8x4 split. Must pass validate_partition_plan.
+  std::vector<PartitionSpec> partitions;
+};
+
+/// Shared configuration state of one physical fabric, referenced by all
+/// co-tenant slots carved out of it: the fabric-wide composite frame
+/// image (which rectangle holds whose programming) plus counters of the
+/// region-scoped reconfigurations applied to it. Co-tenant slots are
+/// driven by different worker threads, so updates synchronize on `mu` —
+/// taken only on bitstream switches, never on the per-job fast path.
+struct FabricSiteState {
+  std::mutex mu;
+  ConfigFrameImage composite;       ///< fabric-grid programming, all tenants
+  std::uint64_t region_deltas = 0;  ///< partial switches applied as sealed region deltas
+  std::uint64_t region_blits = 0;   ///< full reloads blitted into a rectangle
 };
 
 /// What one Fabric::prepare_detailed() call charged and decided —
@@ -192,9 +215,17 @@ struct PrepareResult {
 /// dedicates one worker thread per fabric.
 class Fabric {
  public:
-  /// Throws std::invalid_argument when the library was not built for
-  /// @p config.geometry.
+  /// Exclusive whole-fabric slot. Throws std::invalid_argument when the
+  /// library was not built for @p config.geometry.
   Fabric(int id, const KernelLibrary& library, const FabricConfig& config);
+
+  /// Partition slot: one tenant rectangle of physical fabric
+  /// @p physical_id, sharing @p site (the fabric-wide composite image and
+  /// its lock) with its co-tenants. @p config.geometry must equal
+  /// @p partition.geometry; a null @p site makes the slot its own site
+  /// (the exclusive ctor above). Same library error contract.
+  Fabric(int id, const KernelLibrary& library, const FabricConfig& config, int physical_id,
+         const PartitionSpec& partition, std::shared_ptr<FabricSiteState> site);
 
   Fabric(const Fabric&) = delete;
   Fabric& operator=(const Fabric&) = delete;
@@ -235,7 +266,34 @@ class Fabric {
   [[nodiscard]] const soc::ReconfigManager& reconfig() const { return reconfig_; }
   [[nodiscard]] const ContextCache& cache() const { return cache_; }
 
+  /// Physical fabric this slot lives on (its own id for exclusive slots).
+  [[nodiscard]] int physical_id() const { return physical_id_; }
+  /// The slot's rectangle on the physical grid; covers the whole grid for
+  /// exclusive slots.
+  [[nodiscard]] const PartitionSpec& partition() const { return partition_; }
+  /// True when this slot owns its physical fabric outright (no co-tenant).
+  [[nodiscard]] bool exclusive() const { return exclusive_; }
+  /// Region-scoped programming this slot performed: partial switches
+  /// applied as CRC-sealed region deltas, and full reloads blitted into
+  /// the slot's rectangle.
+  [[nodiscard]] std::uint64_t region_deltas() const { return region_deltas_; }
+  [[nodiscard]] std::uint64_t region_blits() const { return region_blits_; }
+  /// The composite image's current content inside this slot's rectangle
+  /// (fabric-grid coordinates), copied under the site lock — what the
+  /// tenancy isolation tests assert on.
+  [[nodiscard]] ConfigFrameImage region_image() const;
+  /// The whole physical fabric's composite image, copied under the lock.
+  [[nodiscard]] ConfigFrameImage composite_image() const;
+
  private:
+  /// Mirror a completed bitstream switch into the shared composite image:
+  /// partial switches replay a CRC-sealed region delta, full reloads (and
+  /// contexts living on a different array grid, like the systolic ME
+  /// context) blit the slot's rectangle. Never touches a byte outside
+  /// partition().region() — the code paths it calls enforce that.
+  void record_region_programming(const std::optional<std::string>& previous,
+                                 const std::string& target, bool partial);
+
   int id_;
   unsigned capabilities_;
   ArrayGeometry geometry_;
@@ -243,6 +301,12 @@ class Fabric {
   soc::ReconfigManager reconfig_;
   soc::Bus bus_;
   ContextCache cache_;
+  int physical_id_;
+  PartitionSpec partition_;
+  bool exclusive_ = true;
+  std::shared_ptr<FabricSiteState> site_;
+  std::uint64_t region_deltas_ = 0;  ///< this slot's share of site_->region_deltas
+  std::uint64_t region_blits_ = 0;
 };
 
 class FabricPool {
@@ -250,12 +314,39 @@ class FabricPool {
   /// Homogeneous pool: @p count identical fabrics.
   FabricPool(int count, const KernelLibrary& library, const FabricConfig& config = {});
 
-  /// Heterogeneous pool: one fabric per config (e.g. one full-size
-  /// DA/CORDIC fabric next to two small scc-only fabrics — the sized-to-
-  /// the-kernel floorplan the hetero-pool bench measures).
+  /// Heterogeneous pool: one *physical* fabric per config (e.g. one
+  /// full-size DA/CORDIC fabric next to two small scc-only fabrics — the
+  /// sized-to-the-kernel floorplan the hetero-pool bench measures). A
+  /// config with a partition plan expands into one scheduler-visible slot
+  /// per partition: size(), at() and every dispatch surface are in slots,
+  /// physical_count()/physical_of() recover the silicon underneath.
+  /// Throws std::invalid_argument on an invalid partition plan.
   FabricPool(const std::vector<FabricConfig>& configs, const KernelLibrary& library);
 
+  /// Dispatchable slots (= fabrics when nothing is partitioned).
   [[nodiscard]] int size() const { return static_cast<int>(fabrics_.size()); }
+
+  /// Physical fabrics (one per config handed to the constructor).
+  [[nodiscard]] int physical_count() const { return static_cast<int>(site_states_.size()); }
+
+  /// Slot -> physical fabric map, indexed by slot id — the topology
+  /// sim_schedule charges co-tenant config-port contention with.
+  [[nodiscard]] const std::vector<int>& physical_of() const { return physical_of_; }
+
+  /// Composite frame image of physical fabric @p physical (every
+  /// tenant's programming in fabric-grid coordinates), copied under the
+  /// site lock.
+  [[nodiscard]] ConfigFrameImage composite_image(int physical) const;
+
+  /// Region-scoped programming across the pool: partial switches applied
+  /// as CRC-sealed region deltas / full reloads blitted into a rectangle.
+  [[nodiscard]] std::uint64_t region_deltas_applied() const;
+  [[nodiscard]] std::uint64_t region_blits() const;
+
+  /// Cluster sites of the physical silicon (partitioned or not) — the
+  /// honest per-site throughput denominator: carving slots out of a
+  /// fabric never changes how much silicon the pool occupies.
+  [[nodiscard]] int physical_tiles() const;
 
   /// Bounds-checked access; throws std::out_of_range naming the index
   /// and the valid range.
@@ -307,6 +398,9 @@ class FabricPool {
 
  private:
   std::vector<std::unique_ptr<Fabric>> fabrics_;
+  std::vector<std::shared_ptr<FabricSiteState>> site_states_;  ///< per physical fabric
+  std::vector<int> physical_of_;                               ///< per slot
+  std::vector<ArrayGeometry> physical_geometries_;             ///< per physical fabric
 };
 
 }  // namespace dsra::runtime

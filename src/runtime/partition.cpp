@@ -1,0 +1,50 @@
+#include "runtime/partition.hpp"
+
+#include <stdexcept>
+
+namespace dsra::runtime {
+
+std::string to_string(const PartitionSpec& spec) {
+  return to_string(spec.geometry) + "@(" + std::to_string(spec.origin_x) + "," +
+         std::to_string(spec.origin_y) + ")";
+}
+
+std::vector<PartitionSpec> static_partition_plan(const ArrayGeometry& fabric) {
+  // Two small-scc-class slots stack vertically inside the full array;
+  // any fabric at least as large as two stacked kSmallSccGeometry slots
+  // gets the same two-slot plan anchored at the origin.
+  if (fabric.width >= kSmallSccGeometry.width &&
+      fabric.height >= 2 * kSmallSccGeometry.height)
+    return {PartitionSpec{0, 0, kSmallSccGeometry},
+            PartitionSpec{0, kSmallSccGeometry.height, kSmallSccGeometry}};
+  return {};
+}
+
+void validate_partition_plan(const ArrayGeometry& fabric,
+                             const std::vector<PartitionSpec>& plan) {
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    const PartitionSpec& p = plan[i];
+    if (p.geometry.width <= 0 || p.geometry.height <= 0)
+      throw std::invalid_argument("partition " + std::to_string(i) + " (" + to_string(p) +
+                                  ") has a non-positive geometry");
+    if (p.origin_x < 0 || p.origin_y < 0 ||
+        p.origin_x + p.geometry.width > fabric.width ||
+        p.origin_y + p.geometry.height > fabric.height)
+      throw std::invalid_argument("partition " + std::to_string(i) + " (" + to_string(p) +
+                                  ") does not fit inside the " + to_string(fabric) +
+                                  " fabric grid");
+    for (std::size_t j = 0; j < i; ++j) {
+      const PartitionSpec& q = plan[j];
+      const bool disjoint = p.origin_x + p.geometry.width <= q.origin_x ||
+                            q.origin_x + q.geometry.width <= p.origin_x ||
+                            p.origin_y + p.geometry.height <= q.origin_y ||
+                            q.origin_y + q.geometry.height <= p.origin_y;
+      if (!disjoint)
+        throw std::invalid_argument("partitions " + std::to_string(j) + " (" + to_string(q) +
+                                    ") and " + std::to_string(i) + " (" + to_string(p) +
+                                    ") overlap on the " + to_string(fabric) + " fabric");
+    }
+  }
+}
+
+}  // namespace dsra::runtime

@@ -1,0 +1,61 @@
+// Spatial multi-tenancy: rectangular fabric partitions.
+//
+// The paper's arrays are sized for their largest kernel, so a 12x8
+// DA/CORDIC fabric running an 8x4-class scc context wastes over half its
+// cluster sites. A PartitionSpec carves a rectangular sub-region out of a
+// physical fabric's grid and makes it the unit of placement,
+// reconfiguration and dispatch: the pool expands each partitioned fabric
+// into one scheduler-visible slot per partition, each with its own
+// resident context, byte ledger and configuration state, while the
+// partitions share the physical fabric's configuration port and bus
+// (sim_schedule serializes co-tenant context loads on that shared port).
+// An empty partition list keeps the historical exclusive whole-fabric
+// mode.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/config_codec.hpp"
+#include "runtime/geometry.hpp"
+
+namespace dsra::runtime {
+
+/// One rectangular partition of a physical fabric: origin (in cluster
+/// coordinates of the fabric grid) plus the partition's own array
+/// geometry. Placement feasibility, bitstreams and frame images all
+/// resolve against `geometry` exactly as for a standalone fabric of that
+/// size — the origin only matters when the partition's configuration is
+/// written into the fabric-wide frame address space.
+struct PartitionSpec {
+  int origin_x = 0;
+  int origin_y = 0;
+  ArrayGeometry geometry;
+
+  auto operator<=>(const PartitionSpec&) const = default;
+
+  /// The partition's rectangle in fabric-grid frame coordinates.
+  [[nodiscard]] ConfigRegion region() const {
+    return ConfigRegion{origin_x, origin_y, geometry.width, geometry.height};
+  }
+};
+
+/// "8x4@(0,4)" — the spelling partition diagnostics and labels use.
+[[nodiscard]] std::string to_string(const PartitionSpec& spec);
+
+/// The static partition plan of a fabric geometry: a 12x8 fabric splits
+/// into two 8x4-class slots stacked at (0,0) and (0,4) (the four
+/// rightmost columns stay dark — the scc mappings cannot use them, and a
+/// third 8x4 slot does not fit). Geometries without a known plan return
+/// an empty vector, which FabricConfig reads as exclusive whole-fabric
+/// mode.
+[[nodiscard]] std::vector<PartitionSpec> static_partition_plan(const ArrayGeometry& fabric);
+
+/// Validate @p plan against @p fabric: every partition must have a
+/// positive geometry, lie inside the fabric grid, and overlap no other
+/// partition. Throws std::invalid_argument naming the offending
+/// partition(s). An empty plan (exclusive mode) is valid.
+void validate_partition_plan(const ArrayGeometry& fabric,
+                             const std::vector<PartitionSpec>& plan);
+
+}  // namespace dsra::runtime

@@ -35,12 +35,24 @@ MultiStreamScheduler::MultiStreamScheduler(const KernelLibrary& library,
                                            SchedulerConfig config)
     : library_(library), config_(std::move(config)) {
   const std::vector<FabricConfig> resolved = config_.resolved_fabrics();
-  for (std::size_t k = 0; k < resolved.size(); ++k)
+  for (std::size_t k = 0; k < resolved.size(); ++k) {
     if (!library_.has_geometry(resolved[k].geometry))
       throw std::invalid_argument(
           "fabric " + std::to_string(k) + ": kernel library was not built for array "
           "geometry " + to_string(resolved[k].geometry) +
           "; list it in KernelLibraryConfig.geometries");
+    // Fail fast on a bad tenancy plan: partitions must tile inside the
+    // fabric without overlapping, and every partition's geometry must be
+    // a library geometry (a slot can only dispatch compiled contexts).
+    validate_partition_plan(resolved[k].geometry, resolved[k].partitions);
+    for (const PartitionSpec& part : resolved[k].partitions)
+      if (!library_.has_geometry(part.geometry))
+        throw std::invalid_argument(
+            "fabric " + std::to_string(k) + ": partition " + to_string(part) +
+            " uses array geometry " + to_string(part.geometry) +
+            " the kernel library was not built for; list it in "
+            "KernelLibraryConfig.geometries");
+  }
 }
 
 RunReport MultiStreamScheduler::run(std::vector<StreamJob>& streams) {
@@ -383,10 +395,13 @@ RunReport MultiStreamScheduler::run(std::vector<StreamJob>& streams) {
   report.fabrics = pool.size();
   report.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
-  const SimSchedule sim =
-      simulate_timeline(streams, report.timeline, config_.queue.pipeline_lookahead);
+  const SimSchedule sim = simulate_timeline(streams, report.timeline,
+                                            config_.queue.pipeline_lookahead,
+                                            &pool.physical_of());
   report.sim_makespan_cycles = sim.makespan_cycles;
   report.sim_utilization = sim.mean_utilization;
+  report.physical_fabrics = pool.physical_count();
+  report.port_contention_cycles = sim.contention_cycles;
 
   // Stamp the modeled clock domain back into the streams: per frame, the
   // first stage's readiness to the last stage's completion; per stream,
@@ -466,9 +481,39 @@ RunReport MultiStreamScheduler::run(std::vector<StreamJob>& streams) {
   for (const GeometrySummary& g : report.geometry_stats)
     report.placement_rejections += g.placement_rejections;
 
-  for (int f = 0; f < pool.size(); ++f)
-    report.fabric_labels.push_back("fabric " + std::to_string(f) + " (" +
-                                   to_string(pool.at(f).geometry()) + ")");
+  for (int f = 0; f < pool.size(); ++f) {
+    const Fabric& fabric = pool.at(f);
+    std::string label = "fabric " + std::to_string(f) + " (" +
+                        to_string(fabric.geometry()) + ")";
+    if (!fabric.exclusive())
+      label = "slot " + std::to_string(f) + " (fabric " +
+              std::to_string(fabric.physical_id()) + " " +
+              to_string(fabric.partition()) + ")";
+    report.fabric_labels.push_back(std::move(label));
+  }
+
+  // Per-slot occupancy/contention: the tenancy view of the run. Busy and
+  // port-wait cycles come from the sim replay (modeled clock domain);
+  // switch and region-programming counts from the slots themselves.
+  for (int f = 0; f < pool.size(); ++f) {
+    const Fabric& fabric = pool.at(f);
+    PartitionSummary p;
+    p.slot = f;
+    p.physical = fabric.physical_id();
+    p.partition = fabric.partition();
+    p.exclusive = fabric.exclusive();
+    if (f < static_cast<int>(sim.fabric_busy_cycles.size()))
+      p.busy_cycles = sim.fabric_busy_cycles[static_cast<std::size_t>(f)];
+    if (f < static_cast<int>(sim.port_wait_cycles.size()))
+      p.port_wait_cycles = sim.port_wait_cycles[static_cast<std::size_t>(f)];
+    if (sim.makespan_cycles > 0)
+      p.occupancy = static_cast<double>(p.busy_cycles) /
+                    static_cast<double>(sim.makespan_cycles);
+    p.switches = fabric.reconfig().switches_performed();
+    p.region_deltas = fabric.region_deltas();
+    p.region_blits = fabric.region_blits();
+    report.partitions.push_back(p);
+  }
 
   if (rec != nullptr) {
     // Modeled-cycle span bounds come from the deterministic sim replay;
@@ -494,6 +539,10 @@ RunReport MultiStreamScheduler::run(std::vector<StreamJob>& streams) {
     m.count("cache_evictions", report.cache.evictions);
     m.count("cache_delta_fetches", report.cache.delta_fetches);
     m.count("placement_rejections", report.placement_rejections);
+    m.count("port_contention_cycles", report.port_contention_cycles);
+    m.count("region_deltas_applied", pool.region_deltas_applied());
+    m.count("region_blits", pool.region_blits());
+    m.gauge("physical_fabrics", static_cast<double>(report.physical_fabrics));
     m.count("condition_switches", report.condition_switches);
     m.count("stale_frames", report.stale_frames);
     if (report.admission.enabled) {

@@ -73,7 +73,8 @@ FlatIndex build_index(const std::vector<StreamJob>& streams,
 
 SimSchedule simulate_timeline(const std::vector<StreamJob>& streams,
                               const std::vector<StageEvent>& timeline,
-                              int pipeline_lookahead) {
+                              int pipeline_lookahead,
+                              const std::vector<int>* slot_physical) {
   if (pipeline_lookahead < 0) pipeline_lookahead = 0;
   SimSchedule schedule;
   const FlatIndex index = build_index(streams, timeline);
@@ -103,12 +104,19 @@ SimSchedule simulate_timeline(const std::vector<StreamJob>& streams,
   // dispatch events — and therefore their simulated end times — precede
   // this job's dispatch event.
   std::vector<std::uint64_t> fabric_clock;
+  // The physical configuration port's clock: co-tenant slots of one
+  // fabric serialize their context loads on it. Under the identity
+  // topology (no slot_physical) each slot has its own port, so the port
+  // clock can never exceed the slot clock and the schedule is bit-exact
+  // with the pre-tenancy model.
+  std::vector<std::uint64_t> port_clock;
   schedule.jobs.reserve(timeline.size() / 2);
   for (const StageEvent& e : timeline) {
     if (!e.start) continue;
     if (e.fabric_id >= static_cast<int>(fabric_clock.size())) {
       fabric_clock.resize(static_cast<std::size_t>(e.fabric_id) + 1, 0);
       schedule.fabric_busy_cycles.resize(fabric_clock.size(), 0);
+      schedule.port_wait_cycles.resize(fabric_clock.size(), 0);
     }
 
     std::uint64_t ready = 0;
@@ -151,6 +159,25 @@ SimSchedule simulate_timeline(const std::vector<StreamJob>& streams,
     job.reconfig_cycles = reconfig;
     job.ready_cycles = ready;
     job.start_cycles = std::max(ready, clock);
+    if (reconfig > 0) {
+      // The job opens with its context load; the load needs the physical
+      // port, which a co-tenant may be holding. Waiting pushes the whole
+      // job back (start + reconfig + compute stays contiguous, so span
+      // building and stall attribution see a single late-started job).
+      const std::size_t slot = static_cast<std::size_t>(e.fabric_id);
+      const int phys = slot_physical != nullptr && slot < slot_physical->size()
+                           ? (*slot_physical)[slot]
+                           : e.fabric_id;
+      if (phys >= static_cast<int>(port_clock.size()))
+        port_clock.resize(static_cast<std::size_t>(phys) + 1, 0);
+      auto& port = port_clock[static_cast<std::size_t>(phys)];
+      const std::uint64_t port_start = std::max(job.start_cycles, port);
+      job.port_wait_cycles = port_start - job.start_cycles;
+      job.start_cycles = port_start;
+      port = port_start + reconfig;
+      schedule.port_wait_cycles[slot] += job.port_wait_cycles;
+      schedule.contention_cycles += job.port_wait_cycles;
+    }
     job.end_cycles = job.start_cycles + duration;
     clock = job.end_cycles;
     end_of[index.stage_at(e.stream_id, e.frame_index, e.stage)] = job.end_cycles;

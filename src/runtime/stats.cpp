@@ -269,6 +269,48 @@ ReportTable geometry_table(const RunReport& report) {
   return table;
 }
 
+ReportTable partition_table(const RunReport& report) {
+  ReportTable table("Per-partition occupancy (" + std::to_string(report.fabrics) +
+                    " slots on " + std::to_string(report.physical_fabrics) +
+                    " physical fabrics)");
+  table.set_header({"slot", "fabric", "rectangle", "mode", "busy cycles", "occupancy",
+                    "port wait", "switches", "deltas", "blits"});
+  std::uint64_t busy = 0;
+  std::uint64_t port_wait = 0;
+  int switches = 0;
+  std::uint64_t deltas = 0;
+  std::uint64_t blits = 0;
+  for (const PartitionSummary& p : report.partitions) {
+    busy += p.busy_cycles;
+    port_wait += p.port_wait_cycles;
+    switches += p.switches;
+    deltas += p.region_deltas;
+    blits += p.region_blits;
+    table.add_row({std::to_string(p.slot), std::to_string(p.physical),
+                   to_string(p.partition), p.exclusive ? "exclusive" : "co-tenant",
+                   format_i64(static_cast<std::int64_t>(p.busy_cycles)),
+                   format_double(100.0 * p.occupancy, 0) + "%",
+                   format_i64(static_cast<std::int64_t>(p.port_wait_cycles)),
+                   std::to_string(p.switches),
+                   format_i64(static_cast<std::int64_t>(p.region_deltas)),
+                   format_i64(static_cast<std::int64_t>(p.region_blits))});
+  }
+  table.add_separator();
+  table.add_row({"total", std::to_string(report.physical_fabrics), "-", "-",
+                 format_i64(static_cast<std::int64_t>(busy)),
+                 report.sim_makespan_cycles > 0 && report.fabrics > 0
+                     ? format_double(100.0 * static_cast<double>(busy) /
+                                         (static_cast<double>(report.fabrics) *
+                                          static_cast<double>(report.sim_makespan_cycles)),
+                                     0) +
+                           "%"
+                     : "-",
+                 format_i64(static_cast<std::int64_t>(port_wait)), std::to_string(switches),
+                 format_i64(static_cast<std::int64_t>(deltas)),
+                 format_i64(static_cast<std::int64_t>(blits))});
+  return table;
+}
+
 namespace {
 
 std::string format_busy(const RunReport& r) {

@@ -12,6 +12,7 @@
 #include "runtime/context_cache.hpp"
 #include "runtime/geometry.hpp"
 #include "runtime/job.hpp"
+#include "runtime/partition.hpp"
 #include "runtime/telemetry/attribution.hpp"
 #include "runtime/telemetry/trace.hpp"
 
@@ -89,10 +90,28 @@ struct GeometrySummary {
   std::uint64_t placement_rejections = 0;
 };
 
+/// Occupancy and contention of one scheduler-visible slot (a partition
+/// rectangle of a physical fabric, or a whole exclusive fabric).
+struct PartitionSummary {
+  int slot = 0;      ///< scheduler-visible slot id
+  int physical = 0;  ///< physical fabric the slot lives on
+  PartitionSpec partition;
+  bool exclusive = true;             ///< the slot covers its whole fabric
+  std::uint64_t busy_cycles = 0;     ///< modeled busy cycles (sim replay)
+  double occupancy = 0.0;            ///< busy / makespan
+  std::uint64_t port_wait_cycles = 0;  ///< stalled on the shared config port
+  int switches = 0;                  ///< bitstream switches the slot performed
+  std::uint64_t region_deltas = 0;   ///< partial switches applied as region deltas
+  std::uint64_t region_blits = 0;    ///< full reloads blitted into the rectangle
+};
+
 struct RunReport {
   std::string policy;
   std::string mode;  ///< dispatch mode (monolithic-frames / stage-pipeline)
-  int fabrics = 0;
+  int fabrics = 0;   ///< scheduler-visible slots (= partitions when tenanted)
+  /// Physical fabrics underneath the slots (= fabrics when nothing is
+  /// partitioned).
+  int physical_fabrics = 0;
   std::vector<StreamSummary> streams;
   double wall_seconds = 0.0;
   std::uint64_t total_frames = 0;
@@ -130,6 +149,12 @@ struct RunReport {
   std::vector<StageEvent> timeline;       ///< dispatch/completion event log
   std::uint64_t sim_makespan_cycles = 0;  ///< modeled-array makespan (sim_schedule)
   double sim_utilization = 0.0;           ///< mean busy fraction of the active fabrics
+  /// Configuration-port cycles jobs spent waiting for a co-tenant's load
+  /// on the same physical fabric to finish (sim replay; 0 untenanted).
+  std::uint64_t port_contention_cycles = 0;
+  /// Per-slot occupancy/contention breakdown, indexed by slot id. Filled
+  /// for every run; interesting when some fabric is partitioned.
+  std::vector<PartitionSummary> partitions;
   /// Per-geometry reconfiguration + placement-rejection breakdown, in
   /// first-seen fabric order (one entry per distinct geometry).
   std::vector<GeometrySummary> geometry_stats;
@@ -183,6 +208,12 @@ struct RunReport {
 /// and port cycles per array geometry, plus how often dispatch routed a
 /// job away from the geometry on placement grounds.
 [[nodiscard]] ReportTable geometry_table(const RunReport& report);
+
+/// Per-slot occupancy/contention breakdown of a (possibly partitioned)
+/// pool: which rectangle of which physical fabric each slot drives, its
+/// modeled busy fraction, config-port wait, switches and region-scoped
+/// programming counts.
+[[nodiscard]] ReportTable partition_table(const RunReport& report);
 
 /// Comparison of dispatch modes over the same workload and silicon
 /// (throughput, per-fabric utilization, per-kernel reconfiguration), with

@@ -161,6 +161,16 @@ def validate_bench(doc):
     )
     require(is_num(doc.get("host_wall_seconds")) and doc["host_wall_seconds"] >= 0,
             "host_wall_seconds must be a non-negative number")
+    # Reproducibility stamp (schema v2, additive): every bench must carry
+    # the RNG seed its workload was drawn from and a digest of its
+    # configuration, so a perf delta between two CI runs can be told
+    # apart from a workload change.
+    seed = doc.get("rng_seed")
+    require(isinstance(seed, int) and not isinstance(seed, bool) and seed >= 0,
+            "rng_seed must be a non-negative int")
+    digest = doc.get("config_digest")
+    require(isinstance(digest, str) and digest,
+            "config_digest must be a non-empty string")
     require(isinstance(doc.get("metrics"), dict), "metrics must be an object")
     for name, v in doc["metrics"].items():
         require(v is None or is_num(v), f"metric {name} must be a number or null")
